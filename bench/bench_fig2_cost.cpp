@@ -1,0 +1,93 @@
+// Paper Fig. 2: scheduling algorithm cost (running time) as a function of
+// the number of processors, averaged over the evaluation workloads
+// (LU / Laplace / Stencil, V ~ 2000, CCR in {0.2, 5}, several seeds).
+//
+// Expected shape (Section 6.1): ETF is by far the most expensive and grows
+// steeply with P; MCP grows with P but much more slowly; DSC-LLB is flat in
+// P (its dominant cost, clustering, is P-independent); FCP and FLB are the
+// cheapest and near-flat in P. Absolute milliseconds differ from the
+// paper's 1999 Pentium Pro, the ordering and growth must not.
+
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+
+  std::cout << "Fig. 2 — scheduling cost [ms] vs number of processors\n"
+            << "(V ~ " << cfg.tasks << ", workloads LU/Laplace/Stencil, "
+            << cfg.seeds << " seeds, CCR averaged over";
+  for (double c : cfg.ccrs) std::cout << " " << c;
+  std::cout << ")\n\n";
+
+  // Algorithm -> P -> times.
+  std::map<std::string, std::map<ProcId, std::vector<double>>> times;
+
+  for (const std::string& workload : cfg.workloads) {
+    for (double ccr : cfg.ccrs) {
+      for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+        WorkloadParams params;
+        params.ccr = ccr;
+        params.seed = seed;
+        TaskGraph g = make_workload(workload, cfg.tasks, params);
+        for (ProcId p : cfg.procs) {
+          for (const std::string& algo : scheduler_names()) {
+            auto sched = make_scheduler(algo, seed);
+            RunResult r = run_once(*sched, g, p);
+            times[algo][p].push_back(r.millis);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> headers{"algorithm"};
+  for (ProcId p : cfg.procs) headers.push_back("P=" + std::to_string(p));
+  Table table(headers);
+  double worst_rel_sd = 0.0;
+  for (const std::string& algo : scheduler_names()) {
+    std::vector<std::string> row{algo};
+    for (ProcId p : cfg.procs) {
+      row.push_back(format_fixed(mean(times[algo][p]), 2));
+      if (mean(times[algo][p]) > 0.0)
+        worst_rel_sd = std::max(
+            worst_rel_sd, stddev(times[algo][p]) / mean(times[algo][p]));
+    }
+    table.add_row(row);
+  }
+  emit(table, cfg);
+  std::cout << "\ntiming noise: worst relative stddev across cells "
+            << format_fixed(worst_rel_sd * 100.0, 1) << "%\n";
+
+  // The paper's qualitative claims, checked mechanically.
+  auto t = [&](const std::string& algo, ProcId p) {
+    return mean(times[algo][p]);
+  };
+  ProcId p_lo = cfg.procs.front(), p_hi = cfg.procs.back();
+  std::cout << "\nshape checks (paper Section 6.1):\n";
+  std::cout << "  ETF most expensive at P=" << p_hi << ": "
+            << (t("ETF", p_hi) > t("MCP", p_hi) &&
+                        t("ETF", p_hi) > t("DSC-LLB", p_hi) &&
+                        t("ETF", p_hi) > t("FLB", p_hi)
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  std::cout << "  ETF grows with P (x"
+            << format_fixed(t("ETF", p_hi) / t("ETF", p_lo), 1)
+            << " from P=" << p_lo << " to P=" << p_hi << ")\n";
+  std::cout << "  MCP cheaper than ETF at P=" << p_hi << ": "
+            << (t("MCP", p_hi) < t("ETF", p_hi) ? "yes" : "NO") << "\n";
+  std::cout << "  DSC-LLB flat in P (x"
+            << format_fixed(t("DSC-LLB", p_hi) / t("DSC-LLB", p_lo), 2)
+            << ")\n";
+  std::cout << "  FLB near FCP cost: FLB "
+            << format_fixed(t("FLB", p_hi), 2) << " ms vs FCP "
+            << format_fixed(t("FCP", p_hi), 2) << " ms at P=" << p_hi
+            << "\n";
+  std::cout << "  FLB cheaper than MCP at P=" << p_hi << ": "
+            << (t("FLB", p_hi) < t("MCP", p_hi) ? "yes" : "NO") << "\n";
+  return 0;
+}

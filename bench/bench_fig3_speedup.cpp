@@ -1,0 +1,65 @@
+// Paper Fig. 3: FLB speedup (T_seq / T_par) for the evaluation workloads at
+// CCR = 0.2 and CCR = 5.0, P = 1..32. The figure plots Stencil, Laplace and
+// LU; the accompanying text also discusses FFT, so it is included here.
+//
+// Expected shape (Section 6.2): the regular problems (Stencil, FFT) scale
+// near-linearly; LU and Laplace, with their many joins, flatten out at
+// higher processor counts; CCR = 5 yields uniformly lower speedups than
+// CCR = 0.2.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "flb/core/flb.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+  cfg.workloads = {"Stencil", "Laplace", "LU", "FFT"};
+  // Fig. 3's x-axis starts at P = 1.
+  if (cfg.procs.front() != 1)
+    cfg.procs.insert(cfg.procs.begin(), 1);
+
+  std::cout << "Fig. 3 — FLB speedup (V ~ " << cfg.tasks << ", " << cfg.seeds
+            << " seeds)\n";
+
+  for (double ccr : cfg.ccrs) {
+    std::cout << "\nCCR = " << ccr << "\n";
+    std::vector<std::string> headers{"workload"};
+    for (ProcId p : cfg.procs) headers.push_back("P=" + std::to_string(p));
+    Table table(headers);
+
+    std::map<std::string, std::map<ProcId, double>> speedups;
+    for (const std::string& workload : cfg.workloads) {
+      std::map<ProcId, std::vector<double>> per_p;
+      for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+        WorkloadParams params;
+        params.ccr = ccr;
+        params.seed = seed;
+        TaskGraph g = make_workload(workload, cfg.tasks, params);
+        FlbScheduler flb;
+        for (ProcId p : cfg.procs) {
+          RunResult r = run_once(flb, g, p);
+          per_p[p].push_back(g.total_comp() / r.makespan);
+        }
+      }
+      std::vector<std::string> row{workload};
+      for (ProcId p : cfg.procs) {
+        double s = mean(per_p[p]);
+        speedups[workload][p] = s;
+        row.push_back(format_fixed(s, 2));
+      }
+      table.add_row(row);
+    }
+    emit(table, cfg);
+
+    ProcId p_hi = cfg.procs.back();
+    std::cout << "shape checks: regular problems scale best at P=" << p_hi
+              << " -> Stencil " << format_fixed(speedups["Stencil"][p_hi], 1)
+              << ", FFT " << format_fixed(speedups["FFT"][p_hi], 1)
+              << ", Laplace " << format_fixed(speedups["Laplace"][p_hi], 1)
+              << ", LU " << format_fixed(speedups["LU"][p_hi], 1) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Paper Fig. 4: normalized schedule lengths (makespan / MCP's makespan) for
+// MCP, ETF, DSC-LLB, FCP and FLB on LU, Stencil and Laplace at CCR 0.2 and
+// 5.0, P = 2..32 — six panels, reproduced here as six tables.
+//
+// Expected shape (Section 6.2): MCP and ETF trade wins per problem and
+// granularity; DSC-LLB trails the one-step algorithms (typically <= ~20%
+// above, occasionally more); FCP and FLB track MCP/ETF closely; FLB
+// consistently beats DSC-LLB.
+
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+
+  std::cout << "Fig. 4 — normalized schedule length vs MCP (V ~ "
+            << cfg.tasks << ", " << cfg.seeds << " seeds)\n";
+
+  // workload -> ccr -> algo -> P -> mean NSL, for the shape summary.
+  std::map<std::string, double> nsl_sum_flb_vs_dscllb;
+
+  for (const std::string& workload : cfg.workloads) {
+    for (double ccr : cfg.ccrs) {
+      std::cout << "\n" << workload << ", CCR = " << ccr << "\n";
+      std::vector<std::string> headers{"algorithm"};
+      for (ProcId p : cfg.procs) headers.push_back("P=" + std::to_string(p));
+      Table table(headers);
+
+      // algo -> P -> NSLs over seeds.
+      std::map<std::string, std::map<ProcId, std::vector<double>>> nsl;
+      for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+        WorkloadParams params;
+        params.ccr = ccr;
+        params.seed = seed;
+        TaskGraph g = make_workload(workload, cfg.tasks, params);
+        for (ProcId p : cfg.procs) {
+          auto mcp = make_scheduler("MCP", seed);
+          Cost mcp_len = run_once(*mcp, g, p).makespan;
+          nsl["MCP"][p].push_back(1.0);
+          for (const std::string& algo : scheduler_names()) {
+            if (algo == "MCP") continue;
+            auto sched = make_scheduler(algo, seed);
+            Cost len = run_once(*sched, g, p).makespan;
+            nsl[algo][p].push_back(len / mcp_len);
+          }
+        }
+      }
+
+      for (const std::string& algo : scheduler_names()) {
+        std::vector<std::string> row{algo};
+        for (ProcId p : cfg.procs)
+          row.push_back(format_fixed(mean(nsl[algo][p]), 3));
+        table.add_row(row);
+      }
+      emit(table, cfg);
+
+      for (ProcId p : cfg.procs) {
+        nsl_sum_flb_vs_dscllb["FLB"] += mean(nsl["FLB"][p]);
+        nsl_sum_flb_vs_dscllb["DSC-LLB"] += mean(nsl["DSC-LLB"][p]);
+        nsl_sum_flb_vs_dscllb["ETF"] += mean(nsl["ETF"][p]);
+        nsl_sum_flb_vs_dscllb["FCP"] += mean(nsl["FCP"][p]);
+        nsl_sum_flb_vs_dscllb["count"] += 1.0;
+      }
+    }
+  }
+
+  double n = nsl_sum_flb_vs_dscllb["count"];
+  std::cout << "\nshape checks (averaged over all panels):\n";
+  std::cout << "  mean NSL: ETF "
+            << format_fixed(nsl_sum_flb_vs_dscllb["ETF"] / n, 3) << ", FCP "
+            << format_fixed(nsl_sum_flb_vs_dscllb["FCP"] / n, 3) << ", FLB "
+            << format_fixed(nsl_sum_flb_vs_dscllb["FLB"] / n, 3)
+            << ", DSC-LLB "
+            << format_fixed(nsl_sum_flb_vs_dscllb["DSC-LLB"] / n, 3) << "\n";
+  std::cout << "  FLB beats DSC-LLB on average: "
+            << (nsl_sum_flb_vs_dscllb["FLB"] < nsl_sum_flb_vs_dscllb["DSC-LLB"]
+                    ? "yes"
+                    : "NO")
+            << "\n";
+  std::cout << "  FLB within 15% of MCP on average: "
+            << (nsl_sum_flb_vs_dscllb["FLB"] / n < 1.15 ? "yes" : "NO")
+            << "\n";
+  return 0;
+}

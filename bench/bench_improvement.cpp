@@ -1,0 +1,65 @@
+// Local-search headroom ablation: run the single-task-move hill climber on
+// each algorithm's schedule and report how much makespan it recovers — a
+// proxy for each heuristic's distance from local optimality. Algorithms
+// whose schedules improve little were already near a local optimum;
+// algorithms that improve a lot left quality on the table (at whatever
+// their scheduling cost was).
+
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+#include "flb/sched/improve.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+  CliArgs args(argc, argv);
+  const auto procs = static_cast<ProcId>(args.get_int("at-procs", 8));
+  if (!args.has("tasks")) cfg.tasks = 400;  // V*P evaluations per pass
+  if (!args.has("seeds")) cfg.seeds = 3;
+
+  std::cout << "Local-search headroom at P = " << procs << " (V ~ "
+            << cfg.tasks << ", " << cfg.seeds
+            << " seeds, averaged over workloads and CCR "
+            << "{0.2, 5}; 'recovered' = 1 - improved/original)\n\n";
+
+  Table table({"algorithm", "hill-climb recovered", "moves",
+               "anneal recovered", "best of both"});
+  for (const std::string& algo : scheduler_names()) {
+    std::vector<double> hc_rec, moves, sa_rec, best_rec;
+    for (const std::string& workload : cfg.workloads) {
+      for (double ccr : cfg.ccrs) {
+        for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+          WorkloadParams params;
+          params.ccr = ccr;
+          params.seed = seed;
+          TaskGraph g = make_workload(workload, cfg.tasks, params);
+          auto sched = make_scheduler(algo, seed);
+          Schedule s = sched->run(g, procs);
+          ImproveResult hc = improve_schedule(g, s);
+          AnnealOptions ao;
+          ao.iterations = 1500;
+          ao.seed = seed;
+          ImproveResult sa = anneal_schedule(g, s, ao);
+          double base = std::max(1e-12, hc.initial_makespan);
+          hc_rec.push_back(1.0 - hc.final_makespan / base);
+          sa_rec.push_back(1.0 - sa.final_makespan / base);
+          best_rec.push_back(
+              1.0 - std::min(hc.final_makespan, sa.final_makespan) / base);
+          moves.push_back(static_cast<double>(hc.moves));
+        }
+      }
+    }
+    table.add_row({algo, format_fixed(mean(hc_rec) * 100.0, 2) + "%",
+                   format_fixed(mean(moves), 1),
+                   format_fixed(mean(sa_rec) * 100.0, 2) + "%",
+                   format_fixed(mean(best_rec) * 100.0, 2) + "%"});
+  }
+  emit(table, cfg);
+  std::cout << "\n(small recovery = the heuristic was already near a "
+               "single-move local optimum; annealing explores beyond "
+               "strict descent at a fixed 1500-evaluation budget)\n";
+  return 0;
+}

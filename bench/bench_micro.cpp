@@ -1,0 +1,91 @@
+// Google-benchmark micro benchmarks: per-algorithm scheduling throughput on
+// a fixed paper-scale instance, and the addressable-heap operations FLB's
+// inner loop is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "flb/core/flb.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/util/indexed_heap.hpp"
+#include "flb/util/rng.hpp"
+#include "flb/workloads/workloads.hpp"
+
+namespace {
+
+using namespace flb;
+
+const TaskGraph& shared_graph() {
+  static TaskGraph g = [] {
+    WorkloadParams params;
+    params.ccr = 1.0;
+    params.seed = 1;
+    return make_workload("LU", 2000, params);
+  }();
+  return g;
+}
+
+void BM_Scheduler(benchmark::State& state, const std::string& name) {
+  const TaskGraph& g = shared_graph();
+  const auto procs = static_cast<ProcId>(state.range(0));
+  auto sched = make_scheduler(name, 1);
+  for (auto _ : state) {
+    Schedule s = sched->run(g, procs);
+    benchmark::DoNotOptimize(s.makespan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.num_tasks());
+}
+
+void BM_FLB(benchmark::State& state) { BM_Scheduler(state, "FLB"); }
+void BM_FCP(benchmark::State& state) { BM_Scheduler(state, "FCP"); }
+void BM_MCP(benchmark::State& state) { BM_Scheduler(state, "MCP"); }
+void BM_DSCLLB(benchmark::State& state) { BM_Scheduler(state, "DSC-LLB"); }
+void BM_ETF(benchmark::State& state) { BM_Scheduler(state, "ETF"); }
+
+BENCHMARK(BM_FLB)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FCP)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MCP)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DSCLLB)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ETF)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_HeapPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> keys(n);
+  for (double& k : keys) k = rng.next_double();
+  IndexedMinHeap<std::pair<double, std::size_t>> heap(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) heap.push(i, {keys[i], i});
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_HeapPushPop)->Arg(64)->Arg(2048);
+
+void BM_HeapUpdate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  IndexedMinHeap<std::pair<double, std::size_t>> heap(n);
+  for (std::size_t i = 0; i < n; ++i) heap.push(i, {rng.next_double(), i});
+  for (auto _ : state) {
+    std::size_t id = rng.next_below(n);
+    heap.update(id, {rng.next_double(), id});
+    benchmark::DoNotOptimize(heap.top());
+  }
+}
+BENCHMARK(BM_HeapUpdate)->Arg(64)->Arg(2048);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadParams params;
+  params.seed = 1;
+  for (auto _ : state) {
+    TaskGraph g = make_workload("Laplace", 2000, params);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

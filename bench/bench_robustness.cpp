@@ -1,0 +1,72 @@
+// Robustness ablation: compile-time schedules meet runtime variability.
+// Each algorithm schedules the *nominal* graph; the schedule's dispatch
+// order is then executed (event-driven) on graphs whose weights are
+// perturbed by +/- spread. Reported: mean simulated makespan normalized by
+// the nominal analytic makespan. An algorithm whose schedules degrade
+// gracefully leaves slack in the right places; one that overfits the exact
+// weights loses its paper-model advantage at runtime.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "flb/sim/machine_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+  CliArgs args(argc, argv);
+  const auto procs = static_cast<ProcId>(args.get_int("at-procs", 8));
+  std::vector<double> spreads =
+      args.get_double_list("spread", {0.0, 0.2, 0.5, 0.9});
+  const std::size_t trials =
+      static_cast<std::size_t>(args.get_int("trials", 5));
+
+  std::cout << "Runtime-variability ablation at P = " << procs << " (V ~ "
+            << cfg.tasks << ", " << cfg.seeds << " seeds, " << trials
+            << " perturbation trials; simulated / nominal makespan, "
+            << "averaged over LU/Laplace/Stencil and CCR {0.2, 5})\n\n";
+
+  std::vector<std::string> headers{"algorithm"};
+  for (double spread : spreads)
+    headers.push_back("+-" + format_compact(spread * 100) + "%");
+  Table table(headers);
+
+  std::map<std::string, std::map<double, std::vector<double>>> cells;
+  for (const std::string& workload : cfg.workloads) {
+    for (double ccr : cfg.ccrs) {
+      for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+        WorkloadParams params;
+        params.ccr = ccr;
+        params.seed = seed;
+        TaskGraph g = make_workload(workload, cfg.tasks, params);
+        for (const std::string& algo : scheduler_names()) {
+          auto sched = make_scheduler(algo, seed);
+          Schedule s = sched->run(g, procs);
+          Cost nominal = s.makespan();
+          for (double spread : spreads) {
+            for (std::size_t trial = 1; trial <= trials; ++trial) {
+              TaskGraph perturbed =
+                  perturb_weights(g, spread, seed * 1000 + trial);
+              SimResult r = simulate(perturbed, s);
+              cells[algo][spread].push_back(r.makespan / nominal);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::string& algo : scheduler_names()) {
+    std::vector<std::string> row{algo};
+    for (double spread : spreads)
+      row.push_back(format_fixed(mean(cells[algo][spread]), 3));
+    table.add_row(row);
+  }
+  emit(table, cfg);
+
+  std::cout << "\n(the +-0% column re-executes the nominal schedule and must "
+               "be exactly 1.000 — an end-to-end simulator cross-check; "
+               "growth with spread is the price of static scheduling)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table and every ablation with the paper's
+# default configuration (V ~ 2000, 5 seeds, CCR {0.2, 5}, P {2..32}),
+# saving outputs under results/. Usage:
+#
+#   scripts/reproduce_all.sh [build-dir] [results-dir]
+#
+# Takes a few minutes on a laptop; pass --seeds/--tasks overrides to the
+# individual binaries for quicker spot checks.
+
+set -euo pipefail
+
+build="${1:-build}"
+out="${2:-results}"
+mkdir -p "$out"
+
+if [[ ! -d "$build/bench" ]]; then
+  echo "build directory '$build' not found — run:" >&2
+  echo "  cmake -B $build -G Ninja && cmake --build $build" >&2
+  exit 1
+fi
+
+benches=(
+  bench_fig2_cost
+  bench_fig3_speedup
+  bench_fig4_nsl
+  bench_complexity_scaling
+  bench_ablation_tiebreak
+  bench_ablation_ccr
+  bench_width
+  bench_ablation_duplication
+  bench_sim_contention
+  bench_extended_compare
+  bench_multistep
+  bench_hetero
+  bench_improvement
+  bench_topology
+  bench_robustness
+  bench_ablation_lookahead
+)
+
+for b in "${benches[@]}"; do
+  echo "== $b"
+  "$build/bench/$b" | tee "$out/$b.txt"
+  echo
+done
+
+echo "== table 1 trace"
+"$build/examples/trace_paper_example" | tee "$out/table1_trace.txt"
+
+echo
+echo "All outputs saved under $out/. Compare against EXPERIMENTS.md."

@@ -1,0 +1,93 @@
+#include "flb/algos/dls.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "flb/graph/properties.hpp"
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+namespace {
+
+// Same cached ready-task quantities as ETF (see etf.cpp): EMT(t,p) equals
+// LMT(t) on every processor except the enabling one.
+struct ReadyTask {
+  TaskId task;
+  Cost lmt;
+  Cost emt_on_ep;
+  ProcId ep;
+};
+
+}  // namespace
+
+Schedule DlsScheduler::run(const TaskGraph& g, ProcId num_procs) {
+  FLB_REQUIRE(num_procs >= 1, "DLS: at least one processor required");
+  const TaskId n = g.num_tasks();
+  Schedule sched(num_procs, n);
+  std::vector<Cost> sl = computation_bottom_levels(g);
+
+  std::vector<std::size_t> unscheduled_preds(n);
+  std::vector<ReadyTask> ready;
+  ready.reserve(n);
+
+  auto make_ready = [&](TaskId t) {
+    ReadyTask r{t, 0.0, 0.0, kInvalidProc};
+    for (const Adj& a : g.predecessors(t)) {
+      Cost arrival = sched.finish(a.node) + a.comm;
+      if (arrival > r.lmt || r.ep == kInvalidProc) {
+        r.lmt = arrival;
+        r.ep = sched.proc(a.node);
+      }
+    }
+    for (const Adj& a : g.predecessors(t)) {
+      if (sched.proc(a.node) == r.ep) continue;
+      r.emt_on_ep = std::max(r.emt_on_ep, sched.finish(a.node) + a.comm);
+    }
+    ready.push_back(r);
+  };
+
+  for (TaskId t = 0; t < n; ++t) {
+    unscheduled_preds[t] = g.in_degree(t);
+    if (unscheduled_preds[t] == 0) make_ready(t);
+  }
+
+  for (TaskId step = 0; step < n; ++step) {
+    FLB_ASSERT(!ready.empty());
+    std::size_t best_idx = 0;
+    ProcId best_proc = 0;
+    Cost best_dl = -kInfiniteTime;
+    Cost best_est = 0.0;
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const ReadyTask& r = ready[i];
+      for (ProcId p = 0; p < num_procs; ++p) {
+        Cost emt = (p == r.ep) ? r.emt_on_ep : r.lmt;
+        Cost est = std::max(emt, sched.proc_ready_time(p));
+        Cost dl = sl[r.task] - est;
+        bool better = dl > best_dl;
+        if (!better && dl == best_dl) {
+          const ReadyTask& b = ready[best_idx];
+          better = r.task < b.task || (r.task == b.task && p < best_proc);
+        }
+        if (better) {
+          best_dl = dl;
+          best_est = est;
+          best_idx = i;
+          best_proc = p;
+        }
+      }
+    }
+
+    TaskId t = ready[best_idx].task;
+    sched.assign(t, best_proc, best_est, best_est + g.comp(t));
+    ready[best_idx] = ready.back();
+    ready.pop_back();
+    for (const Adj& a : g.successors(t))
+      if (--unscheduled_preds[a.node] == 0) make_ready(a.node);
+  }
+
+  FLB_ASSERT(sched.complete());
+  return sched;
+}
+
+}  // namespace flb

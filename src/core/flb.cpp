@@ -1,0 +1,284 @@
+#include "flb/core/flb.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "flb/graph/properties.hpp"
+#include "flb/util/error.hpp"
+#include "flb/util/heap_forest.hpp"
+#include "flb/util/indexed_heap.hpp"
+#include "flb/util/rng.hpp"
+
+namespace flb {
+
+namespace {
+
+// Task-list key: (primary time, negated tie priority, task id). Sorted
+// ascending, so smaller time first, then larger tie priority (the paper
+// breaks ties toward the longest path to an exit, i.e. the larger bottom
+// level), then smaller id for full determinism.
+using TaskKey = std::tuple<Cost, Cost, TaskId>;
+
+// Processor-list key: (time, processor id).
+using ProcKey = std::pair<Cost, ProcId>;
+
+/// The per-run scheduling engine. Implements the paper's four procedures —
+/// ScheduleTask, UpdateTaskLists, UpdateProcLists, UpdateReadyTasks — on top
+/// of addressable heaps. The per-processor EP task lists live in two
+/// IndexedHeapForest instances (a task is enabled by at most one processor
+/// at a time), so setup is O(V + P) and the whole run matches the paper's
+/// O(V(log W + log P) + E) bound operation-for-operation.
+class Engine {
+ public:
+  Engine(const TaskGraph& g, ProcId num_procs, const FlbOptions& opts)
+      : g_(g),
+        num_procs_(num_procs),
+        sched_(num_procs, g.num_tasks()),
+        info_(g.num_tasks()),
+        unscheduled_preds_(g.num_tasks()),
+        non_ep_(g.num_tasks()),
+        emt_ep_(g.num_tasks(), num_procs),
+        lmt_ep_(g.num_tasks(), num_procs),
+        active_procs_(num_procs),
+        all_procs_(num_procs) {
+    init_tie_priorities(opts);
+    init_lists();
+  }
+
+  Schedule run(const FlbObserver* observer, FlbStats* stats) {
+    const TaskId n = g_.num_tasks();
+    for (TaskId step = 0; step < n; ++step) {
+      schedule_one(observer);
+    }
+    FLB_ASSERT(sched_.complete());
+    stats_.iterations = n;
+    if (stats) *stats = stats_;
+    return std::move(sched_);
+  }
+
+ private:
+  void init_tie_priorities(const FlbOptions& opts) {
+    switch (opts.tie_break) {
+      case FlbTieBreak::kBottomLevel:
+        tie_ = bottom_levels(g_);
+        break;
+      case FlbTieBreak::kTaskId:
+        tie_.assign(g_.num_tasks(), 0.0);
+        break;
+      case FlbTieBreak::kRandom: {
+        Rng rng(opts.seed);
+        tie_.resize(g_.num_tasks());
+        for (Cost& v : tie_) v = rng.next_double();
+        break;
+      }
+    }
+  }
+
+  TaskKey task_key(Cost primary, TaskId t) const {
+    return {primary, -tie_[t], t};
+  }
+
+  void init_lists() {
+    for (TaskId t = 0; t < g_.num_tasks(); ++t) {
+      unscheduled_preds_[t] = g_.in_degree(t);
+      if (unscheduled_preds_[t] == 0) {
+        // Entry tasks have no enabling processor: always non-EP, LMT = 0.
+        info_[t] = {0.0, 0.0, kInvalidProc};
+        non_ep_.push(t, task_key(0.0, t));
+        ++ready_count_;
+      }
+    }
+    stats_.max_ready = std::max(stats_.max_ready, ready_count_);
+    for (ProcId p = 0; p < num_procs_; ++p) all_procs_.push(p, {0.0, p});
+  }
+
+  // The paper's ScheduleTask followed by the three update procedures.
+  void schedule_one(const FlbObserver* observer) {
+    // Candidate (a): EP-type task with min EST on its enabling processor.
+    const bool have_ep = !active_procs_.empty();
+    ProcId p1 = kInvalidProc;
+    TaskId t1 = kInvalidTask;
+    Cost est1 = kInfiniteTime;
+    if (have_ep) {
+      p1 = static_cast<ProcId>(active_procs_.top());
+      est1 = active_procs_.top_key().first;
+      t1 = static_cast<TaskId>(emt_ep_.top(p1));
+    }
+
+    // Candidate (b): non-EP task with min LMT on the earliest-idle
+    // processor. By Corollary 2, EST = max(LMT, PRT).
+    const bool have_non_ep = !non_ep_.empty();
+    ProcId p2 = kInvalidProc;
+    TaskId t2 = kInvalidTask;
+    Cost est2 = kInfiniteTime;
+    if (have_non_ep) {
+      t2 = static_cast<TaskId>(non_ep_.top());
+      p2 = static_cast<ProcId>(all_procs_.top());
+      est2 = std::max(info_[t2].lmt, sched_.proc_ready_time(p2));
+    }
+
+    FLB_ASSERT(have_ep || have_non_ep);
+
+    // Strict '<': on a tie the non-EP pair is preferred because its
+    // communication already overlaps earlier computation (paper Sec. 4.1).
+    const bool choose_ep = have_ep && (!have_non_ep || est1 < est2);
+    const TaskId t = choose_ep ? t1 : t2;
+    const ProcId p = choose_ep ? p1 : p2;
+    const Cost est = choose_ep ? est1 : est2;
+
+    if (observer) notify(*observer, t, p, est, choose_ep);
+
+    sched_.assign(t, p, est, est + g_.comp(t));
+    --ready_count_;
+    if (choose_ep) {
+      ++stats_.ep_selections;
+      active_procs_.erase(p);  // re-inserted by update_proc_lists if needed
+      emt_ep_.erase(t);
+      lmt_ep_.erase(t);
+    } else {
+      ++stats_.non_ep_selections;
+      non_ep_.erase(t);
+    }
+
+    update_task_lists(p);
+    update_proc_lists(p);
+    update_ready_tasks(t);
+    stats_.max_ready = std::max(stats_.max_ready, ready_count_);
+  }
+
+  // PRT(p) just grew: EP tasks enabled by p whose LMT fell below PRT(p) no
+  // longer satisfy the EP condition and move to the non-EP list. Tested in
+  // ascending LMT order, so the scan stops at the first survivor.
+  void update_task_lists(ProcId p) {
+    const Cost prt = sched_.proc_ready_time(p);
+    while (!lmt_ep_.empty(p)) {
+      TaskId t = static_cast<TaskId>(lmt_ep_.top(p));
+      if (info_[t].lmt >= prt) break;
+      lmt_ep_.pop(p);
+      emt_ep_.erase(t);
+      non_ep_.push(t, task_key(info_[t].lmt, t));
+      ++stats_.ep_demotions;
+    }
+  }
+
+  // Refresh p's priorities: in the global processor list (keyed by PRT) and
+  // in the active processor list (keyed by the min EST of the EP tasks p
+  // enables — max(EMT of the head task, PRT), computed in O(1)).
+  void update_proc_lists(ProcId p) {
+    all_procs_.push_or_update(p, {sched_.proc_ready_time(p), p});
+    if (emt_ep_.empty(p)) {
+      if (active_procs_.contains(p)) active_procs_.erase(p);
+    } else {
+      refresh_active_priority(p);
+    }
+  }
+
+  void refresh_active_priority(ProcId p) {
+    TaskId head = static_cast<TaskId>(emt_ep_.top(p));
+    Cost est = std::max(info_[head].emt_ep, sched_.proc_ready_time(p));
+    active_procs_.push_or_update(p, {est, p});
+  }
+
+  // Successors of the just-scheduled task that became ready are classified
+  // EP / non-EP and enqueued. LMT, EP and EMT(·, EP) are computed here by
+  // one predecessor scan per task — O(E) in total over the whole run.
+  void update_ready_tasks(TaskId scheduled) {
+    for (const Adj& out : g_.successors(scheduled)) {
+      TaskId t = out.node;
+      FLB_ASSERT(unscheduled_preds_[t] > 0);
+      if (--unscheduled_preds_[t] != 0) continue;
+
+      Cost lmt = 0.0;
+      ProcId ep = kInvalidProc;
+      for (const Adj& in : g_.predecessors(t)) {
+        Cost arrival = sched_.finish(in.node) + in.comm;
+        if (arrival > lmt || ep == kInvalidProc) {
+          lmt = arrival;
+          ep = sched_.proc(in.node);
+        }
+      }
+      // EMT on the enabling processor. Messages from predecessors already
+      // on ep cost zero but their finish times still participate in the
+      // max, matching the paper's worked example (Table 1); this never
+      // changes EST = max(EMT, PRT) — a local predecessor's FT is always
+      // <= PRT — but it fixes the EMT list order the paper uses.
+      Cost emt = 0.0;
+      for (const Adj& in : g_.predecessors(t)) {
+        Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
+        emt = std::max(emt, sched_.finish(in.node) + c);
+      }
+      info_[t] = {lmt, emt, ep};
+      ++ready_count_;
+
+      if (lmt < sched_.proc_ready_time(ep)) {
+        non_ep_.push(t, task_key(lmt, t));
+      } else {
+        emt_ep_.push(ep, t, task_key(emt, t));
+        lmt_ep_.push(ep, t, task_key(lmt, t));
+        refresh_active_priority(ep);
+        ++stats_.tasks_classified_ep;
+      }
+    }
+  }
+
+  // Build the observer snapshot (only on instrumented runs).
+  void notify(const FlbObserver& observer, TaskId t, ProcId p, Cost est,
+              bool ep_type) {
+    FlbStep step;
+    step.task = t;
+    step.proc = p;
+    step.est = est;
+    step.ep_type = ep_type;
+    step.ep_lists.resize(num_procs_);
+    for (ProcId q = 0; q < num_procs_; ++q) {
+      for (std::size_t id : emt_ep_.items(q))
+        step.ep_lists[q].push_back(static_cast<TaskId>(id));
+      std::sort(step.ep_lists[q].begin(), step.ep_lists[q].end(),
+                [&](TaskId a, TaskId b) {
+                  return emt_ep_.key_of(a) < emt_ep_.key_of(b);
+                });
+      step.ready_tasks.insert(step.ready_tasks.end(),
+                              step.ep_lists[q].begin(),
+                              step.ep_lists[q].end());
+    }
+    for (std::size_t id : non_ep_.items())
+      step.non_ep_list.push_back(static_cast<TaskId>(id));
+    std::sort(step.non_ep_list.begin(), step.non_ep_list.end(),
+              [&](TaskId a, TaskId b) {
+                return non_ep_.key_of(a) < non_ep_.key_of(b);
+              });
+    step.ready_tasks.insert(step.ready_tasks.end(), step.non_ep_list.begin(),
+                            step.non_ep_list.end());
+    std::sort(step.ready_tasks.begin(), step.ready_tasks.end());
+    observer(sched_, step);
+  }
+
+  const TaskGraph& g_;
+  ProcId num_procs_;
+  Schedule sched_;
+  std::vector<Cost> tie_;
+  std::vector<FlbScheduler::ReadyInfo> info_;
+  std::vector<std::size_t> unscheduled_preds_;
+  IndexedMinHeap<TaskKey> non_ep_;
+  IndexedHeapForest<TaskKey> emt_ep_, lmt_ep_;
+  IndexedMinHeap<ProcKey> active_procs_, all_procs_;
+  FlbStats stats_;
+  std::size_t ready_count_ = 0;
+};
+
+}  // namespace
+
+Schedule FlbScheduler::run(const TaskGraph& g, ProcId num_procs) {
+  return run_instrumented(g, num_procs, nullptr, nullptr);
+}
+
+Schedule FlbScheduler::run_instrumented(const TaskGraph& g, ProcId num_procs,
+                                        const FlbObserver* observer,
+                                        FlbStats* stats) {
+  FLB_REQUIRE(num_procs >= 1, "FLB: at least one processor required");
+  Engine engine(g, num_procs, options_);
+  return engine.run(observer, stats);
+}
+
+}  // namespace flb

@@ -1,0 +1,97 @@
+#include "flb/core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "flb/graph/properties.hpp"
+#include "flb/sched/tentative.hpp"
+#include "flb/util/table.hpp"
+
+namespace flb {
+
+namespace {
+
+// EMT with the worked-example convention: local predecessors contribute
+// their finish time (communication zeroed), remote ones FT + comm.
+Cost trace_emt(const TaskGraph& g, const Schedule& s, TaskId t, ProcId p) {
+  Cost emt = 0.0;
+  for (const Adj& a : g.predecessors(t)) {
+    Cost c = s.proc(a.node) == p ? 0.0 : a.comm;
+    emt = std::max(emt, s.finish(a.node) + c);
+  }
+  return emt;
+}
+
+}  // namespace
+
+std::vector<FlbTraceRow> trace_flb(const TaskGraph& g, ProcId num_procs,
+                                   FlbOptions options) {
+  std::vector<FlbTraceRow> rows;
+  std::vector<Cost> bl = bottom_levels(g);
+
+  FlbObserver observer = [&](const Schedule& s, const FlbStep& step) {
+    FlbTraceRow row;
+    row.ep_cells.resize(num_procs);
+    for (ProcId p = 0; p < num_procs; ++p) {
+      for (TaskId t : step.ep_lists[p]) {
+        std::ostringstream cell;
+        cell << "t" << t << "[" << format_compact(trace_emt(g, s, t, p))
+             << "; " << format_compact(bl[t]) << "/"
+             << format_compact(last_message_time(g, s, t)) << "]";
+        row.ep_cells[p].push_back(cell.str());
+      }
+    }
+    for (TaskId t : step.non_ep_list) {
+      std::ostringstream cell;
+      cell << "t" << t << "[" << format_compact(last_message_time(g, s, t))
+           << "]";
+      row.non_ep_cells.push_back(cell.str());
+    }
+    row.task = step.task;
+    row.proc = step.proc;
+    row.start = step.est;
+    row.finish = step.est + g.comp(step.task);
+    row.ep_type = step.ep_type;
+    std::ostringstream decision;
+    decision << "t" << step.task << " -> p" << step.proc << ", ["
+             << format_compact(row.start) << " - "
+             << format_compact(row.finish) << "]";
+    row.decision = decision.str();
+    rows.push_back(std::move(row));
+  };
+
+  FlbScheduler scheduler(options);
+  (void)scheduler.run_instrumented(g, num_procs, &observer, nullptr);
+  return rows;
+}
+
+void write_trace(std::ostream& os, const std::vector<FlbTraceRow>& rows,
+                 ProcId num_procs) {
+  std::vector<std::string> headers;
+  for (ProcId p = 0; p < num_procs; ++p)
+    headers.push_back("EP tasks on p" + std::to_string(p));
+  headers.emplace_back("non-EP tasks");
+  headers.emplace_back("scheduling");
+  Table table(std::move(headers));
+
+  auto join = [](const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out += "  ";
+      out += cells[i];
+    }
+    return out.empty() ? "-" : out;
+  };
+
+  for (const FlbTraceRow& row : rows) {
+    std::vector<std::string> cells;
+    for (ProcId p = 0; p < num_procs; ++p) cells.push_back(join(row.ep_cells[p]));
+    cells.push_back(join(row.non_ep_cells));
+    cells.push_back(row.decision);
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+}  // namespace flb

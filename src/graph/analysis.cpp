@@ -1,0 +1,93 @@
+#include "flb/graph/analysis.hpp"
+
+#include <algorithm>
+
+#include "flb/graph/properties.hpp"
+#include "flb/graph/width.hpp"
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+std::vector<Edge> transitive_edges(const TaskGraph& g) {
+  std::vector<Edge> out;
+  if (g.num_tasks() == 0) return out;
+  Reachability direct(g);
+  // Edge (u, v) is transitive iff some other successor w of u reaches v.
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const Adj& a : g.successors(u)) {
+      bool redundant = false;
+      for (const Adj& b : g.successors(u)) {
+        if (b.node == a.node) continue;
+        if (direct.reaches(b.node, a.node)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (redundant) out.push_back({u, a.node, a.comm});
+    }
+  }
+  return out;
+}
+
+TaskGraph strip_transitive_edges(const TaskGraph& g) {
+  std::vector<Edge> redundant = transitive_edges(g);
+  auto is_redundant = [&](TaskId from, TaskId to) {
+    for (const Edge& e : redundant)
+      if (e.from == from && e.to == to) return true;
+    return false;
+  };
+  TaskGraphBuilder b;
+  b.set_name(g.name());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) b.add_task(g.comp(t));
+  for (const Edge& e : g.edges())
+    if (!is_redundant(e.from, e.to)) b.add_edge(e.from, e.to, e.comm);
+  return std::move(b).build();
+}
+
+Cost granularity(const TaskGraph& g) {
+  if (g.num_edges() == 0) return kInfiniteTime;
+  // Largest incident communication per task.
+  std::vector<Cost> max_comm(g.num_tasks(), 0.0);
+  for (const Edge& e : g.edges()) {
+    max_comm[e.from] = std::max(max_comm[e.from], e.comm);
+    max_comm[e.to] = std::max(max_comm[e.to], e.comm);
+  }
+  Cost grain = kInfiniteTime;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (max_comm[t] <= 0.0) continue;  // no communicating edges
+    grain = std::min(grain, g.comp(t) / max_comm[t]);
+  }
+  return grain;
+}
+
+GraphStats graph_stats(const TaskGraph& g) {
+  GraphStats s;
+  s.num_tasks = g.num_tasks();
+  s.num_edges = g.num_edges();
+  if (g.num_tasks() == 0) return s;
+
+  s.min_comp = kInfiniteTime;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(t));
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(t));
+    s.min_comp = std::min(s.min_comp, g.comp(t));
+    s.max_comp = std::max(s.max_comp, g.comp(t));
+    if (g.is_entry(t)) ++s.entry_tasks;
+    if (g.is_exit(t)) ++s.exit_tasks;
+  }
+  s.avg_degree = static_cast<double>(s.num_edges) /
+                 static_cast<double>(s.num_tasks);
+  if (s.num_edges > 0) {
+    s.min_comm = kInfiniteTime;
+    for (const Edge& e : g.edges()) {
+      s.min_comm = std::min(s.min_comm, e.comm);
+      s.max_comm = std::max(s.max_comm, e.comm);
+    }
+  }
+  s.ccr = g.ccr();
+  s.granularity = granularity(g);
+  s.depth = level_decomposition(g).size();
+  return s;
+}
+
+}  // namespace flb

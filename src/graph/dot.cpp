@@ -1,0 +1,63 @@
+#include "flb/graph/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "flb/sched/schedule.hpp"
+#include "flb/util/table.hpp"
+
+namespace flb {
+
+namespace {
+
+const char* kProcColors[] = {"#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+                             "#80b1d3", "#fdb462", "#b3de69", "#fccde5"};
+
+void write_header(std::ostream& os, const TaskGraph& g) {
+  os << "digraph \"" << (g.name().empty() ? "taskgraph" : g.name())
+     << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+}
+
+void write_edges(std::ostream& os, const TaskGraph& g) {
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    for (const Adj& a : g.successors(t))
+      os << "  t" << t << " -> t" << a.node << " [label=\""
+         << format_compact(a.comm) << "\"];\n";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const TaskGraph& g) {
+  write_header(os, g);
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    os << "  t" << t << " [label=\"t" << t << "\\n"
+       << format_compact(g.comp(t)) << "\"];\n";
+  write_edges(os, g);
+  os << "}\n";
+}
+
+void write_dot(std::ostream& os, const TaskGraph& g, const Schedule& s) {
+  write_header(os, g);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    os << "  t" << t << " [label=\"t" << t << "\\n"
+       << format_compact(g.comp(t)) << "\"";
+    if (s.is_scheduled(t)) {
+      ProcId p = s.proc(t);
+      os << ", proc=" << p << ", style=filled, fillcolor=\""
+         << kProcColors[p % (sizeof kProcColors / sizeof *kProcColors)]
+         << "\"";
+    }
+    os << "];\n";
+  }
+  write_edges(os, g);
+  os << "}\n";
+}
+
+std::string to_dot(const TaskGraph& g) {
+  std::ostringstream os;
+  write_dot(os, g);
+  return os.str();
+}
+
+}  // namespace flb

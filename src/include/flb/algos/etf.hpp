@@ -1,0 +1,28 @@
+#pragma once
+
+#include "flb/sched/scheduler.hpp"
+
+/// \file etf.hpp
+/// ETF — Earliest Task First (Hwang, Chow, Anger & Lee, SIAM J. Computing
+/// 1989). At every iteration the ready task that can start the earliest is
+/// scheduled on the processor achieving that start time, found by
+/// tentatively scheduling every ready task on every processor —
+/// O(W(E+V)P) overall. FLB provably selects a pair with the same (minimal)
+/// start time at O(V(log W + log P) + E) total cost; the two differ only in
+/// tie-breaking (paper Sections 4 and 6.2).
+///
+/// Tie-breaking here follows the paper's characterization of ETF: among
+/// equally early (task, processor) pairs the task with the larger *static*
+/// priority — the bottom level — wins; remaining ties resolve to the
+/// smaller task id, then the smaller processor id.
+
+namespace flb {
+
+class EtfScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ETF"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+};
+
+}  // namespace flb

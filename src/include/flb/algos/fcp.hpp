@@ -1,0 +1,31 @@
+#pragma once
+
+#include "flb/sched/scheduler.hpp"
+
+/// \file fcp.hpp
+/// FCP — Fast Critical Path (Rădulescu & van Gemund, ICS 1999). The direct
+/// predecessor of FLB: a list scheduler with *static* task selection and
+/// the two-processor placement rule. At each iteration the ready task with
+/// the highest static priority (bottom level) is selected, and only two
+/// processors are considered for it — its enabling processor and the
+/// processor becoming idle the earliest. The ICS'99 paper proves one of
+/// these two always attains the task's minimum start time (the property
+/// FLB strengthens to *task* selection as well; see Theorem 3), giving
+/// complexity O(V(log W + log P) + E) == O(V log P + E) since the ready
+/// heap is the only W-sized structure.
+///
+/// The difference from FLB (and the reason Fig. 4 shows them apart): FCP
+/// commits to the statically most critical ready task even when another
+/// ready task could start earlier; FLB always schedules the earliest
+/// starting one.
+
+namespace flb {
+
+class FcpScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FCP"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+};
+
+}  // namespace flb

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "flb/sched/hetero.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file heft.hpp
+/// HEFT and CPOP (Topcuoglu, Hariri & Wu, IEEE TPDS 2002) on the related-
+/// machines extension of the paper's model — the best-known successors of
+/// the list-scheduling line the paper belongs to, included as the
+/// "where this research went next" extension.
+///
+/// * **HEFT** (Heterogeneous Earliest Finish Time): tasks in descending
+///   *upward rank* — mean execution time plus the heaviest
+///   (comm + rank) path to an exit — each placed on the processor that
+///   finishes it earliest, idle gaps included. O(V log V + (E+V)P + V·k)
+///   with k the average tasks per processor (insertion search).
+/// * **CPOP** (Critical Path On a Processor): priorities are upward +
+///   downward rank; every task on the (rank-defined) critical path is
+///   pinned to the single processor executing the whole path fastest;
+///   the rest go to their earliest-finish processor.
+///
+/// With a uniform machine both reduce to communication-aware homogeneous
+/// list schedulers (HEFT ~ a bottom-level-priority MCP-I), which the tests
+/// exploit for cross-checking.
+
+namespace flb {
+
+/// HEFT's upward ranks: rank_u(t) = w(t) + max over succ (comm + rank_u),
+/// with w(t) the mean execution time over processors.
+std::vector<Cost> upward_ranks(const TaskGraph& g,
+                               const HeteroMachine& machine);
+
+/// CPOP's downward ranks: rank_d(t) = max over preds (rank_d + w + comm).
+std::vector<Cost> downward_ranks(const TaskGraph& g,
+                                 const HeteroMachine& machine);
+
+/// Schedule g on the heterogeneous machine with HEFT.
+Schedule heft(const TaskGraph& g, const HeteroMachine& machine);
+
+/// Schedule g on the heterogeneous machine with CPOP.
+Schedule cpop(const TaskGraph& g, const HeteroMachine& machine);
+
+}  // namespace flb

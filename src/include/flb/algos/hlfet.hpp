@@ -1,0 +1,26 @@
+#pragma once
+
+#include "flb/sched/scheduler.hpp"
+
+/// \file hlfet.hpp
+/// HLFET — Highest Level First with Estimated Times (Adam, Chandy & Dickson
+/// 1974), the archetypal static list scheduler and the simplest credible
+/// baseline in this library. Ready tasks are ordered by static level (the
+/// computation-only bottom level, larger first); the selected task goes to
+/// the processor on which it starts the earliest. O(V log W + (E+V)P).
+///
+/// HLFET predates communication-aware priorities: its level ignores edge
+/// costs entirely, which is exactly the weakness MCP (communication-aware
+/// ALAP) and the earliest-start family (ETF/FCP/FLB) address. Included as
+/// the historical control for the benchmark ablations.
+
+namespace flb {
+
+class HlfetScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "HLFET"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+};
+
+}  // namespace flb

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "flb/sched/scheduler.hpp"
+
+/// \file ish.hpp
+/// ISH — Insertion Scheduling Heuristic (Kruatrachue & Lewis 1988, the
+/// non-duplicating companion of DSH). Static-level list scheduling like
+/// HLFET, but each task may start inside an idle gap of its processor
+/// (communication delays carve such holes). The cheapest insertion-based
+/// algorithm in the library; contrast with MCP-I, which pairs insertion
+/// with ALAP priorities. O(V log W + (E+V)P + gap search).
+
+namespace flb {
+
+class IshScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "ISH"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+};
+
+}  // namespace flb

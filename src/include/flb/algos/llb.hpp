@@ -1,0 +1,47 @@
+#pragma once
+
+#include "flb/algos/dsc.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sched/scheduler.hpp"
+
+/// \file llb.hpp
+/// LLB — List-based Load Balancing (Rădulescu, van Gemund & Lin,
+/// IPPS/SPDP 1999): the second step of DSC-LLB. LLB maps the clusters
+/// produced by DSC onto the P physical processors and orders the tasks,
+/// treating each cluster as an indivisible unit (once any task of a cluster
+/// is placed on a processor, the whole cluster is *mapped* there).
+///
+/// Following the paper's Section 3.3: at each iteration the destination is
+/// the processor becoming idle the earliest; the two candidate tasks are
+/// (a) the highest-priority ready task already mapped to that processor and
+/// (b) the highest-priority ready unmapped task — and the one that starts
+/// the earliest is scheduled (ties prefer the mapped candidate, keeping
+/// clusters together). Priorities are bottom levels computed with
+/// intra-cluster communication zeroed — after clustering those messages are
+/// free by construction. (The paper's text reads "least bottom level"; we
+/// read this as "least latest-possible-start", i.e. the conventional
+/// largest-bottom-level-first rule that MCP's description also uses,
+/// since scheduling least-critical tasks first is clearly not intended.)
+///
+/// When the earliest-idle processor has no ready mapped task and no
+/// unmapped task exists, the earliest-idle processor that *does* have a
+/// ready mapped task is used instead (the paper leaves this case implicit).
+///
+/// Complexity O(C log C + V log W + E), C = number of clusters.
+
+namespace flb {
+
+/// Map a clustering onto num_procs processors and order the tasks.
+Schedule llb_map(const TaskGraph& g, const Clustering& clustering,
+                 ProcId num_procs);
+
+/// The complete DSC-LLB multi-step scheduler (paper Section 3.3): DSC
+/// clustering followed by LLB cluster mapping.
+class DscLlbScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "DSC-LLB"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+};
+
+}  // namespace flb

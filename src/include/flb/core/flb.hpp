@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sched/scheduler.hpp"
+
+/// \file flb.hpp
+/// FLB — Fast Load Balancing (Rădulescu & van Gemund, ICPP'99), the paper's
+/// contribution. A one-step list scheduler that, at every iteration,
+/// schedules the ready task that can start the earliest (ETF's criterion)
+/// but finds that task/processor pair in O(log W + log P) rather than
+/// O(W P), for a total complexity of O(V (log W + log P) + E).
+///
+/// The key structure (paper Section 4): a ready task t is *EP-type* iff
+/// LMT(t) >= PRT(EP(t)) — it starts earliest on its enabling processor —
+/// and *non-EP-type* otherwise, in which case it starts earliest on the
+/// processor that becomes idle first (Corollary 2). Theorem 3 shows the
+/// globally earliest-starting pair is always one of just two candidates:
+///
+///   (a) the EP-type task with minimum EST(t, EP(t)) on its enabling
+///       processor — found via a per-processor heap of enabled EP tasks
+///       keyed by EMT and a heap of *active* processors keyed by min EST;
+///   (b) the non-EP-type task with minimum LMT on the processor that
+///       becomes idle the earliest — found via a global non-EP task heap
+///       keyed by LMT and a global processor heap keyed by PRT.
+///
+/// On an EST tie the non-EP pair is preferred (its communication is already
+/// overlapped with earlier computation). Ties inside every task list break
+/// toward the larger bottom level (longest path to an exit), then task id.
+
+namespace flb {
+
+/// Tie-breaking rule used inside FLB's task lists when two tasks share the
+/// same primary key (EMT or LMT). The paper uses the bottom level; the
+/// alternatives exist for the tie-break ablation study (bench_ablation_tiebreak).
+enum class FlbTieBreak {
+  kBottomLevel,  ///< larger bottom level first (the paper's rule)
+  kTaskId,       ///< smaller task id first (FIFO-like, deterministic)
+  kRandom,       ///< random priority drawn per task from the seed
+};
+
+/// Options for FlbScheduler.
+struct FlbOptions {
+  FlbTieBreak tie_break = FlbTieBreak::kBottomLevel;
+  std::uint64_t seed = 1;  ///< used only by FlbTieBreak::kRandom
+};
+
+/// Counters describing one FLB run; used by tests and the complexity bench.
+struct FlbStats {
+  std::size_t iterations = 0;          ///< scheduling steps (== V)
+  std::size_t ep_selections = 0;       ///< steps that chose the EP pair
+  std::size_t non_ep_selections = 0;   ///< steps that chose the non-EP pair
+  std::size_t ep_demotions = 0;        ///< EP tasks re-classified as non-EP
+  std::size_t tasks_classified_ep = 0; ///< ready tasks first classified EP
+  std::size_t max_ready = 0;           ///< peak ready-set size (<= width W)
+};
+
+/// Everything an observer sees about one scheduling decision, captured
+/// *before* the task is placed. Drives the Table 1 execution trace and the
+/// Theorem 3 oracle tests. Snapshots are only materialized when an observer
+/// is attached; observer-free runs pay nothing.
+struct FlbStep {
+  TaskId task = kInvalidTask;   ///< the task being scheduled
+  ProcId proc = kInvalidProc;   ///< its processor
+  Cost est = 0.0;               ///< its start time
+  bool ep_type = false;         ///< whether the chosen pair was the EP pair
+  std::vector<TaskId> ready_tasks;              ///< the full ready set
+  std::vector<std::vector<TaskId>> ep_lists;    ///< per-proc EP tasks, EMT order
+  std::vector<TaskId> non_ep_list;              ///< non-EP tasks, LMT order
+};
+
+/// Observer invoked once per iteration with the partial schedule as it was
+/// before the step's assignment.
+using FlbObserver = std::function<void(const Schedule&, const FlbStep&)>;
+
+/// The FLB scheduler.
+class FlbScheduler final : public Scheduler {
+ public:
+  explicit FlbScheduler(FlbOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "FLB"; }
+
+  [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+
+  /// As run(), but invokes `observer` each iteration and fills `stats`
+  /// (either may be null).
+  [[nodiscard]] Schedule run_instrumented(const TaskGraph& g,
+                                          ProcId num_procs,
+                                          const FlbObserver* observer,
+                                          FlbStats* stats);
+
+  /// Per-ready-task quantities FLB maintains; exposed read-only to the
+  /// observer path via FlbStep and to tests through this accessor type.
+  struct ReadyInfo {
+    Cost lmt = 0.0;       ///< last message arrival time
+    Cost emt_ep = 0.0;    ///< EMT on the enabling processor
+    ProcId ep = kInvalidProc;  ///< enabling processor
+  };
+
+ private:
+  FlbOptions options_;
+};
+
+}  // namespace flb

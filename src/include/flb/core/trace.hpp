@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/task_graph.hpp"
+
+/// \file trace.hpp
+/// Execution tracing of FLB in the format of the paper's Table 1: one row
+/// per scheduling iteration listing, for each processor, the EP-type tasks
+/// it enables as "t[EMT; BL/LMT]" in list order, the non-EP tasks as
+/// "t[LMT]", and the decision "t -> p, [ST - FT]".
+
+namespace flb {
+
+/// One iteration of the trace (the paper's Table 1 has one such row per
+/// scheduling step).
+struct FlbTraceRow {
+  /// EP-type task cells per processor, in EMT list order, each formatted
+  /// "t<id>[<EMT>; <BL>/<LMT>]".
+  std::vector<std::vector<std::string>> ep_cells;
+  /// Non-EP task cells in LMT list order, each formatted "t<id>[<LMT>]".
+  std::vector<std::string> non_ep_cells;
+  /// "t<id> -> p<id>, [<ST> - <FT>]".
+  std::string decision;
+
+  // Raw decision fields for programmatic checks.
+  TaskId task = kInvalidTask;
+  ProcId proc = kInvalidProc;
+  Cost start = 0.0;
+  Cost finish = 0.0;
+  bool ep_type = false;
+};
+
+/// Run FLB on `g` with `num_procs` processors, capturing one trace row per
+/// iteration. The scheduling outcome is identical to FlbScheduler::run.
+std::vector<FlbTraceRow> trace_flb(const TaskGraph& g, ProcId num_procs,
+                                   FlbOptions options = {});
+
+/// Render rows as an aligned table with one column per processor's EP list,
+/// one for the non-EP list and one for the decision — the shape of Table 1.
+void write_trace(std::ostream& os, const std::vector<FlbTraceRow>& rows,
+                 ProcId num_procs);
+
+}  // namespace flb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+
+/// \file analysis.hpp
+/// Structural analysis of task graphs beyond levels and width: transitive
+/// (redundant-precedence) edges, granularity, and summary statistics used
+/// by the workload gallery and the test suite.
+
+namespace flb {
+
+/// Edges (from, to, comm) whose precedence constraint is implied by a
+/// longer path from `from` to `to`. NOTE: such an edge is only *fully*
+/// redundant for scheduling if its communication never matters (e.g. zero
+/// cost): with non-zero cost the edge still delays the consumer when the
+/// endpoints land on different processors. This is an analysis routine, not
+/// a legal graph rewrite in general. O(V E / 64) via reachability bitsets.
+std::vector<Edge> transitive_edges(const TaskGraph& g);
+
+/// A copy of g with all transitive edges removed. Use only when the
+/// removed edges are pure precedence (see transitive_edges). Node costs,
+/// ids and the graph name are preserved.
+TaskGraph strip_transitive_edges(const TaskGraph& g);
+
+/// Granularity of the graph: min over tasks of comp(t) divided by the
+/// largest communication cost on any edge incident to t (Gerasoulis &
+/// Yang's definition; a graph with granularity >= 1 is coarse-grained).
+/// Returns +infinity for graphs without edges.
+Cost granularity(const TaskGraph& g);
+
+/// Degree and weight summary for reporting.
+struct GraphStats {
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_in_degree = 0;
+  std::size_t max_out_degree = 0;
+  double avg_degree = 0.0;       ///< E / V
+  Cost min_comp = 0.0;
+  Cost max_comp = 0.0;
+  Cost min_comm = 0.0;           ///< 0 for edgeless graphs
+  Cost max_comm = 0.0;
+  Cost ccr = 0.0;
+  Cost granularity = 0.0;
+  std::size_t entry_tasks = 0;
+  std::size_t exit_tasks = 0;
+  std::size_t depth = 0;         ///< number of precedence levels
+};
+
+/// Compute all of the above in one pass (plus one level decomposition).
+GraphStats graph_stats(const TaskGraph& g);
+
+}  // namespace flb

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flb/graph/task_graph.hpp"
+
+/// \file dot.hpp
+/// Graphviz DOT export of task graphs, optionally annotated with a schedule
+/// (processor assignment as node colour class).
+
+namespace flb {
+
+class Schedule;  // sched/schedule.hpp
+
+/// Write g in Graphviz DOT format. Node labels show "t<id> (comp)"; edge
+/// labels show the communication cost.
+void write_dot(std::ostream& os, const TaskGraph& g);
+
+/// As above, additionally grouping tasks by assigned processor: each node
+/// gets a `proc=<p>` attribute and one of a rotating fill colours per
+/// processor.
+void write_dot(std::ostream& os, const TaskGraph& g, const Schedule& s);
+
+/// Convenience: DOT text as a string.
+std::string to_dot(const TaskGraph& g);
+
+}  // namespace flb

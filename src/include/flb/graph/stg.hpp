@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/workloads/workloads.hpp"
+
+/// \file stg.hpp
+/// Reader for the Standard Task Graph Set (STG) format (Kasahara
+/// Laboratory), the de-facto exchange format for scheduling benchmarks:
+///
+///     <n>                                  number of real tasks
+///     <id> <processing-time> <#preds> <pred...>     n + 2 lines
+///                                          (ids 0..n+1; 0 and n+1 are the
+///                                          zero-cost dummy source/sink)
+///
+/// Lines whose first non-blank character is '#' are comments. STG carries
+/// no communication costs, so edge weights are synthesized from a
+/// WorkloadParams: uniform with mean ccr * (average task cost), or exactly
+/// that value when random_weights is false — giving the requested CCR in
+/// expectation. Dummy source/sink tasks are kept (they are zero-cost and
+/// harmless to every scheduler here).
+
+namespace flb {
+
+/// Parse an STG stream. Throws flb::Error on malformed input (bad counts,
+/// unknown predecessor ids, cycles).
+TaskGraph read_stg(std::istream& is, const WorkloadParams& params = {});
+
+/// Convenience: parse STG from a string.
+TaskGraph stg_from_text(const std::string& text,
+                        const WorkloadParams& params = {});
+
+}  // namespace flb

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+
+/// \file width.hpp
+/// Task-graph width W: the maximum number of tasks that are pairwise not
+/// connected by a path (the maximum antichain of the reachability poset).
+/// W bounds the size of the ready set at any moment (paper Section 2) and
+/// appears in both FLB's and ETF's complexity bounds.
+///
+/// Exact computation uses Dilworth's theorem: the maximum antichain equals
+/// V minus the maximum matching of the bipartite "split" graph of the
+/// transitive closure (a minimum chain cover). We compute the closure with
+/// word-packed bitsets in topological order and run Hopcroft–Karp over it.
+/// This is an analysis/diagnostics routine — O(V^2/64 * E) closure plus
+/// O(E* sqrt(V)) matching — and is never on a scheduler's hot path.
+
+namespace flb {
+
+/// Word-packed reachability matrix: row t holds the set of tasks reachable
+/// from t by a non-empty path.
+class Reachability {
+ public:
+  /// Build the transitive closure of g.
+  explicit Reachability(const TaskGraph& g);
+
+  /// True iff `to` is reachable from `from` by a non-empty path.
+  [[nodiscard]] bool reaches(TaskId from, TaskId to) const {
+    return (rows_[from * words_ + to / 64] >> (to % 64)) & 1u;
+  }
+
+  /// True iff a and b are comparable (a path exists in either direction).
+  [[nodiscard]] bool comparable(TaskId a, TaskId b) const {
+    return reaches(a, b) || reaches(b, a);
+  }
+
+  /// Number of tasks.
+  [[nodiscard]] TaskId num_tasks() const { return n_; }
+
+ private:
+  friend std::size_t exact_width(const TaskGraph&);
+
+  TaskId n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> rows_;
+};
+
+/// Exact task graph width (maximum antichain) via Dilworth / Hopcroft–Karp.
+std::size_t exact_width(const TaskGraph& g);
+
+/// Exact width by brute force over all subsets; for cross-checking
+/// exact_width in tests. Requires num_tasks() <= 20.
+std::size_t brute_force_width(const TaskGraph& g);
+
+}  // namespace flb

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file gantt.hpp
+/// Plain-text Gantt chart rendering of a schedule — one row per processor,
+/// time flowing left to right, each task drawn as a labelled box. Used by
+/// the examples and handy when debugging scheduler changes.
+
+namespace flb {
+
+/// Render `s` as an ASCII Gantt chart scaled to about `columns` characters
+/// of timeline. Tasks too narrow to label are drawn as '#'.
+void write_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
+                 std::size_t columns = 100);
+
+/// Convenience: chart as a string.
+std::string to_gantt(const TaskGraph& g, const Schedule& s,
+                     std::size_t columns = 100);
+
+/// Tabular listing of the schedule: one line per task in start-time order
+/// with processor, ST and FT — the format of the paper's Table 1 last
+/// column ("t -> p, [ST - FT]").
+void write_schedule_listing(std::ostream& os, const Schedule& s);
+
+/// Render the schedule as a standalone SVG Gantt chart: one lane per
+/// processor, one rounded rectangle per task (coloured from a small
+/// rotating palette keyed by task id), a time axis, and hover tooltips
+/// with exact start/finish values. `width_px` is the drawing width of the
+/// timeline area.
+void write_svg_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
+                     std::size_t width_px = 960);
+
+/// Convenience: SVG text as a string.
+std::string to_svg_gantt(const TaskGraph& g, const Schedule& s,
+                         std::size_t width_px = 960);
+
+}  // namespace flb

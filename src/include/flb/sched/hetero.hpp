@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sched/validator.hpp"
+
+/// \file hetero.hpp
+/// Heterogeneous (related/uniform) machine model: processors differ by a
+/// positive speed factor, so task t takes comp(t) / speed(p) on processor
+/// p; the network stays a contention-free clique.
+///
+/// This extends the paper's homogeneous model in the direction its
+/// successors took (HEFT/CPOP, `algos/heft.hpp`). A machine with all
+/// speeds 1 is exactly the paper's model, which the tests use to
+/// cross-check the heterogeneous code paths against the homogeneous ones.
+
+namespace flb {
+
+class HeteroMachine {
+ public:
+  /// A machine with the given per-processor speed factors (all > 0).
+  explicit HeteroMachine(std::vector<double> speeds);
+
+  /// P identical unit-speed processors — the paper's machine.
+  static HeteroMachine uniform(ProcId num_procs);
+
+  [[nodiscard]] ProcId num_procs() const {
+    return static_cast<ProcId>(speeds_.size());
+  }
+
+  /// Speed factor of processor p.
+  [[nodiscard]] double speed(ProcId p) const { return speeds_[p]; }
+
+  /// Execution time of a task with computation cost `comp` on p.
+  [[nodiscard]] Cost exec_time(Cost comp, ProcId p) const {
+    return comp / speeds_[p];
+  }
+
+  /// Average execution time of `comp` over all processors (HEFT's
+  /// rank weights).
+  [[nodiscard]] Cost mean_exec_time(Cost comp) const {
+    return comp * mean_inverse_speed_;
+  }
+
+  /// True iff every speed equals 1 (the homogeneous special case).
+  [[nodiscard]] bool is_uniform() const { return uniform_; }
+
+ private:
+  std::vector<double> speeds_;
+  double mean_inverse_speed_ = 1.0;
+  bool uniform_ = true;
+};
+
+/// Feasibility check for schedules on a heterogeneous machine: identical
+/// to validate_schedule except that the expected duration of task t on
+/// processor p is comp(t) / speed(p).
+std::vector<Violation> validate_hetero_schedule(const TaskGraph& g,
+                                                const HeteroMachine& machine,
+                                                const Schedule& s,
+                                                double tolerance = 1e-9);
+
+/// True iff validate_hetero_schedule reports nothing.
+bool is_valid_hetero_schedule(const TaskGraph& g,
+                              const HeteroMachine& machine, const Schedule& s,
+                              double tolerance = 1e-9);
+
+}  // namespace flb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "flb/util/error.hpp"
+#include "flb/util/types.hpp"
+
+/// \file machine.hpp
+/// The machine model of Section 2: a set of P homogeneous processors in a
+/// clique topology; inter-processor communication is contention-free, and
+/// communication between tasks on the same processor costs zero.
+///
+/// Because the machine is homogeneous and fully connected, the model is
+/// fully described by P; the class exists to make processor counts a typed,
+/// validated quantity in the public API and to centralize the cost rule.
+
+namespace flb {
+
+class MachineModel {
+ public:
+  /// A machine with `p` identical, fully connected processors. p >= 1.
+  explicit MachineModel(ProcId p) : num_procs_(p) {
+    FLB_REQUIRE(p >= 1, "MachineModel: at least one processor required");
+  }
+
+  /// Number of processors P.
+  [[nodiscard]] ProcId num_procs() const { return num_procs_; }
+
+  /// Cost of sending a message of nominal cost `comm` from processor `from`
+  /// to processor `to`: zero when both endpoints coincide (the paper's
+  /// zero-intra-processor rule), the full edge cost otherwise.
+  [[nodiscard]] static Cost comm_cost(ProcId from, ProcId to, Cost comm) {
+    return from == to ? 0.0 : comm;
+  }
+
+ private:
+  ProcId num_procs_;
+};
+
+}  // namespace flb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file metrics.hpp
+/// Schedule-quality metrics used throughout the paper's evaluation
+/// (Section 6): schedule length, speedup, normalized schedule length (NSL),
+/// efficiency, and lower bounds used as sanity baselines in tests.
+
+namespace flb {
+
+/// Speedup S = T_seq / T_par where T_seq is the sum of all computation
+/// costs (the one-processor schedule with no communication) — the metric of
+/// paper Fig. 3. Returns 0 for an empty schedule.
+Cost speedup(const TaskGraph& g, const Schedule& s);
+
+/// Efficiency = speedup / P.
+Cost efficiency(const TaskGraph& g, const Schedule& s);
+
+/// Normalized schedule length: `makespan / reference_makespan`. The paper's
+/// Fig. 4 normalizes against MCP's schedule length.
+Cost normalized_schedule_length(Cost makespan, Cost reference_makespan);
+
+/// Load imbalance: max processor busy time divided by mean busy time over
+/// the processors that received work; 1.0 is perfectly balanced. Returns 0
+/// for an empty schedule.
+Cost load_imbalance(const TaskGraph& g, const Schedule& s);
+
+/// Busy time (sum of computation) on processor p.
+Cost busy_time(const TaskGraph& g, const Schedule& s, ProcId p);
+
+/// A lower bound on any feasible makespan on P processors:
+/// max(computation-only critical path, T_seq / P). No schedule, by any
+/// algorithm, can beat this; used as a test oracle.
+Cost makespan_lower_bound(const TaskGraph& g, ProcId num_procs);
+
+}  // namespace flb

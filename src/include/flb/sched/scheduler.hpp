@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file scheduler.hpp
+/// The uniform scheduler interface and a name-based registry over every
+/// algorithm in the library (FLB, ETF, MCP, FCP, DSC-LLB), used by the
+/// benchmark harness, the examples and the cross-algorithm tests.
+
+namespace flb {
+
+/// A compile-time task scheduler for a bounded number of processors.
+/// Implementations are deterministic given their construction-time seed.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Short algorithm name as used in the paper ("FLB", "ETF", "MCP",
+  /// "FCP", "DSC-LLB").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Schedule `g` on `num_procs` homogeneous processors. The returned
+  /// schedule is complete and feasible. May be called repeatedly; calls are
+  /// independent (internal RNG state, if any, advances between calls, which
+  /// only affects documented random tie-breaking).
+  [[nodiscard]] virtual Schedule run(const TaskGraph& g,
+                                     ProcId num_procs) = 0;
+};
+
+/// Names of the paper's algorithms in canonical (Fig. 4 legend) order:
+/// MCP, ETF, DSC-LLB, FCP, FLB. The figure-regenerating benches iterate
+/// exactly this set.
+std::vector<std::string> scheduler_names();
+
+/// All registered algorithms: the paper's five plus the extra baselines
+/// (HLFET, DLS, MCP-I). Used by the wider integration tests and the
+/// extended comparison bench.
+std::vector<std::string> extended_scheduler_names();
+
+/// Construct a scheduler by registry name; throws flb::Error for unknown
+/// names. `seed` feeds algorithms with documented random tie-breaking (MCP);
+/// the others ignore it.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          std::uint64_t seed = 1);
+
+}  // namespace flb

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file tentative.hpp
+/// Tentative-scheduling quantities from Section 2 of the paper, computed
+/// against a partial schedule. These are the shared vocabulary of every
+/// list scheduler here:
+///
+///   LMT(t)    last message arrival time  = max over preds (FT + comm)
+///   EP(t)     enabling processor         = processor of the argmax above
+///   EMT(t,p)  effective message arrival  = max over preds NOT on p
+///   EST(t,p)  estimated start time       = max(EMT(t,p), PRT(p))
+///
+/// All functions require every predecessor of t to be scheduled (t ready).
+/// Each costs O(in-degree(t)); the reference schedulers (ETF, MCP, FCP) call
+/// them directly, while FLB maintains the same quantities incrementally.
+
+namespace flb {
+
+/// Last message arrival time of ready task t. Zero for entry tasks.
+Cost last_message_time(const TaskGraph& g, const Schedule& s, TaskId t);
+
+/// Enabling processor of ready task t: the processor the latest-arriving
+/// message is sent from. kInvalidProc for entry tasks. Ties between equally
+/// late messages resolve to the predecessor occurring first in the graph's
+/// adjacency (deterministic).
+ProcId enabling_proc(const TaskGraph& g, const Schedule& s, TaskId t);
+
+/// Effective message arrival time of ready task t on processor p: messages
+/// from predecessors already on p are free. Zero for entry tasks.
+Cost effective_message_time(const TaskGraph& g, const Schedule& s, TaskId t,
+                            ProcId p);
+
+/// Estimated start time of ready task t on processor p:
+/// max(EMT(t,p), PRT(p)).
+Cost est_start(const TaskGraph& g, const Schedule& s, TaskId t, ProcId p);
+
+/// True iff every predecessor of t is scheduled.
+bool is_ready(const TaskGraph& g, const Schedule& s, TaskId t);
+
+/// Minimum EST over all processors, scanning every processor exhaustively.
+/// Returns the (processor, est) pair; lower-numbered processors win ties.
+/// O(in-degree + P); the brute-force oracle against which FLB's two-pair
+/// selection rule (Theorem 3) is verified.
+std::pair<ProcId, Cost> best_proc_exhaustive(const TaskGraph& g,
+                                             const Schedule& s, TaskId t);
+
+}  // namespace flb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+
+/// \file validator.hpp
+/// Independent feasibility checking of schedules. Every scheduler in this
+/// library is tested against this validator; it recomputes all constraints
+/// from scratch and shares no code with any scheduler.
+
+namespace flb {
+
+/// One detected constraint violation.
+struct Violation {
+  enum class Kind {
+    kUnscheduledTask,    ///< a task was never assigned
+    kWrongDuration,      ///< FT(t) != ST(t) + comp(t)
+    kNegativeStart,      ///< ST(t) < 0
+    kProcessorOverlap,   ///< two tasks overlap on one processor
+    kPrecedence,         ///< t starts before a predecessor's data arrives
+  };
+  Kind kind;
+  TaskId task;         ///< offending task (the later one for overlaps)
+  std::string detail;  ///< human-readable description
+};
+
+/// Check `s` against `g`. Returns all violations found (empty == feasible).
+/// Constraints (paper Section 2):
+///  * every task is scheduled exactly once with FT = ST + comp;
+///  * tasks on one processor do not overlap in time;
+///  * a task starts no earlier than FT(pred) for same-processor
+///    predecessors and FT(pred) + comm for remote ones.
+/// Comparisons use a small absolute tolerance to absorb floating-point
+/// accumulation.
+std::vector<Violation> validate_schedule(const TaskGraph& g,
+                                         const Schedule& s,
+                                         double tolerance = 1e-9);
+
+/// True iff validate_schedule finds no violations.
+bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
+                       double tolerance = 1e-9);
+
+/// Render one violation for diagnostics.
+std::string to_string(const Violation& v);
+
+}  // namespace flb

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sim/machine_sim.hpp"
+
+/// \file topology.hpp
+/// Interconnect topologies and topology-aware schedule execution.
+///
+/// The paper assumes a clique with contention-free links (Section 2).
+/// Real distributed-memory machines of its era (and today's) route
+/// messages over sparse networks where links are shared. This module
+/// executes a schedule computed under the paper's model on a machine with
+/// an explicit topology: messages follow deterministic shortest-path
+/// routes, each hop is store-and-forward (one full message time per hop),
+/// and every link carries one transfer at a time. The bench_topology
+/// ablation reports how much of the clique-model schedule quality survives
+/// on meshes, rings and stars.
+
+namespace flb {
+
+/// An undirected interconnect with deterministic shortest-path routing
+/// (ties resolve toward the smaller next-node id, so routes are stable).
+class Topology {
+ public:
+  /// Fully connected network — the paper's assumption.
+  static Topology clique(ProcId nodes);
+
+  /// Bidirectional ring 0-1-...-(n-1)-0.
+  static Topology ring(ProcId nodes);
+
+  /// rows x cols 2-D mesh (no wraparound), node id = r * cols + c.
+  static Topology mesh2d(ProcId rows, ProcId cols);
+
+  /// Star: node 0 is the hub, all others are leaves.
+  static Topology star(ProcId nodes);
+
+  /// Arbitrary undirected link list. The network must be connected.
+  static Topology from_links(ProcId nodes,
+                             std::vector<std::pair<ProcId, ProcId>> links);
+
+  [[nodiscard]] ProcId num_nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  /// Hop distance between two nodes (0 for from == to).
+  [[nodiscard]] std::size_t hops(ProcId from, ProcId to) const;
+
+  /// The links of the route from `from` to `to`, in traversal order; each
+  /// element is a dense link index usable for per-link bookkeeping.
+  [[nodiscard]] std::vector<std::size_t> route(ProcId from, ProcId to) const;
+
+  /// Endpoints of a link by dense index (a < b).
+  [[nodiscard]] std::pair<ProcId, ProcId> link(std::size_t id) const {
+    return links_[id];
+  }
+
+  /// Network diameter (max hop distance over node pairs).
+  [[nodiscard]] std::size_t diameter() const;
+
+ private:
+  Topology() = default;
+  void build_routes();
+  [[nodiscard]] std::size_t link_index(ProcId a, ProcId b) const;
+
+  ProcId nodes_ = 0;
+  std::vector<std::pair<ProcId, ProcId>> links_;      // a < b
+  std::vector<std::vector<ProcId>> neighbours_;
+  std::vector<ProcId> next_hop_;                       // [from * n + to]
+  std::vector<std::size_t> hop_count_;                 // [from * n + to]
+};
+
+/// Extra outputs of a topology-aware run.
+struct TopologySimResult {
+  SimResult sim;                     ///< per-task times, makespan, messages
+  std::size_t total_hops = 0;        ///< hops summed over all messages
+  Cost max_link_busy = 0.0;          ///< busiest link's total transfer time
+  Cost total_link_busy = 0.0;        ///< transfer time summed over links
+};
+
+/// Execute schedule `s` of `g` on `topology` (same node count as the
+/// schedule's processor count). Store-and-forward routing: a message of
+/// cost c takes c * latency_factor per hop, links serialize transfers in
+/// global event order, same-processor messages are free. Dispatch
+/// semantics match flb::simulate.
+TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
+                                       const Topology& topology,
+                                       Cost latency_factor = 1.0);
+
+}  // namespace flb

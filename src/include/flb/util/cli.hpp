@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal command-line option parsing for the bench and example binaries.
+/// Supports `--name value` and `--name=value` forms plus bare positionals.
+
+namespace flb {
+
+/// Parsed command-line arguments with typed, defaulted accessors.
+class CliArgs {
+ public:
+  /// Parse argv. Throws flb::Error on an option missing its value.
+  CliArgs(int argc, const char* const* argv);
+
+  /// True iff `--name` was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+
+  /// Integer value of `--name`, or `fallback` when absent. Throws on a
+  /// non-numeric value.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Double value of `--name`, or `fallback` when absent.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Comma-separated list of integers for `--name`, or `fallback` when
+  /// absent (e.g. "--procs 2,4,8").
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  /// Comma-separated list of doubles for `--name`.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& name, std::vector<double> fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace flb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error reporting helpers. The library throws flb::Error for user-facing
+/// precondition violations (malformed graphs, bad parameters) and uses
+/// FLB_ASSERT for internal invariants that indicate a library bug.
+
+namespace flb {
+
+/// Exception type thrown on precondition violations in the public API.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void assert_fail(const char* file, int line, const char* expr);
+}  // namespace detail
+
+}  // namespace flb
+
+/// Throw flb::Error with source location if `cond` does not hold.
+/// Used to validate user input; always enabled.
+#define FLB_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) ::flb::detail::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant check; indicates a bug in flb itself when it fires.
+/// Always enabled: the algorithms here are cheap relative to the checks.
+#define FLB_ASSERT(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::flb::detail::assert_fail(__FILE__, __LINE__, #expr); \
+  } while (0)

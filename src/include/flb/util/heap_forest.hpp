@@ -1,0 +1,206 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "flb/util/error.hpp"
+
+/// \file heap_forest.hpp
+/// A family of addressable binary min-heaps over one shared id space.
+///
+/// FLB keeps two sorted task lists per processor (the EP-type tasks each
+/// processor enables, by EMT and by LMT), but any task belongs to at most
+/// one processor's list at a time. A forest exploits that: position, key
+/// and heap-membership are stored once per id — O(V + P) memory and O(V+P)
+/// initialization — while each of the P heaps is just a dynamically grown
+/// array of ids. Using P independent IndexedMinHeap instances instead
+/// would cost O(V * P) setup per scheduling run, which dominates FLB's
+/// O(V(log W + log P) + E) scheduling loop at large P (visible as spurious
+/// cost growth in the Fig. 2 reproduction).
+
+namespace flb {
+
+/// `num_heaps` addressable min-heaps over ids in [0, num_items). Each id is
+/// in at most one heap at a time. All mutating operations are O(log n) in
+/// the size of the affected heap.
+template <typename Key>
+class IndexedHeapForest {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  IndexedHeapForest() = default;
+
+  IndexedHeapForest(std::size_t num_items, std::size_t num_heaps) {
+    reset(num_items, num_heaps);
+  }
+
+  /// Drop everything and re-dimension.
+  void reset(std::size_t num_items, std::size_t num_heaps) {
+    heaps_.assign(num_heaps, {});
+    pos_.assign(num_items, npos);
+    heap_of_.assign(num_items, npos);
+    keys_.resize(num_items);
+  }
+
+  /// Number of ids the forest is dimensioned for.
+  [[nodiscard]] std::size_t num_items() const { return pos_.size(); }
+
+  /// Number of heaps.
+  [[nodiscard]] std::size_t num_heaps() const { return heaps_.size(); }
+
+  /// True iff heap `h` has no items.
+  [[nodiscard]] bool empty(std::size_t h) const { return heaps_[h].empty(); }
+
+  /// Number of items in heap `h`.
+  [[nodiscard]] std::size_t size(std::size_t h) const {
+    return heaps_[h].size();
+  }
+
+  /// True iff `id` is in some heap.
+  [[nodiscard]] bool contains(std::size_t id) const {
+    return id < heap_of_.size() && heap_of_[id] != npos;
+  }
+
+  /// The heap currently holding `id`; npos if absent.
+  [[nodiscard]] std::size_t heap_of(std::size_t id) const {
+    return heap_of_[id];
+  }
+
+  /// Key of a contained item.
+  [[nodiscard]] const Key& key_of(std::size_t id) const {
+    FLB_ASSERT(contains(id));
+    return keys_[id];
+  }
+
+  /// Minimum-key id of non-empty heap `h`.
+  [[nodiscard]] std::size_t top(std::size_t h) const {
+    FLB_ASSERT(!heaps_[h].empty());
+    return heaps_[h].front();
+  }
+
+  /// Key of the minimum-key item of non-empty heap `h`.
+  [[nodiscard]] const Key& top_key(std::size_t h) const {
+    return keys_[top(h)];
+  }
+
+  /// Ids in heap `h` in internal array order (NOT sorted). Observer hook.
+  [[nodiscard]] const std::vector<std::size_t>& items(std::size_t h) const {
+    return heaps_[h];
+  }
+
+  /// Insert `id` (must not be in any heap) into heap `h`.
+  void push(std::size_t h, std::size_t id, Key key) {
+    FLB_ASSERT(h < heaps_.size());
+    FLB_ASSERT(id < pos_.size());
+    FLB_ASSERT(heap_of_[id] == npos);
+    keys_[id] = std::move(key);
+    heap_of_[id] = h;
+    pos_[id] = heaps_[h].size();
+    heaps_[h].push_back(id);
+    sift_up(h, heaps_[h].size() - 1);
+  }
+
+  /// Remove and return the minimum of heap `h`.
+  std::size_t pop(std::size_t h) {
+    std::size_t id = top(h);
+    erase(id);
+    return id;
+  }
+
+  /// Remove `id` from whichever heap holds it.
+  void erase(std::size_t id) {
+    FLB_ASSERT(contains(id));
+    std::size_t h = heap_of_[id];
+    auto& heap = heaps_[h];
+    std::size_t hole = pos_[id];
+    pos_[id] = npos;
+    heap_of_[id] = npos;
+    std::size_t last = heap.size() - 1;
+    if (hole != last) {
+      std::size_t moved = heap[last];
+      heap[hole] = moved;
+      pos_[moved] = hole;
+      heap.pop_back();
+      if (!sift_up(h, hole)) sift_down(h, hole);
+    } else {
+      heap.pop_back();
+    }
+  }
+
+  /// Re-key `id` within its current heap.
+  void update(std::size_t id, Key key) {
+    FLB_ASSERT(contains(id));
+    keys_[id] = std::move(key);
+    std::size_t h = heap_of_[id];
+    std::size_t i = pos_[id];
+    if (!sift_up(h, i)) sift_down(h, i);
+  }
+
+  /// Move `id` to heap `h` with a new key (erase + push).
+  void move(std::size_t id, std::size_t h, Key key) {
+    erase(id);
+    push(h, id, std::move(key));
+  }
+
+  /// O(total) structural check for tests.
+  [[nodiscard]] bool validate() const {
+    std::size_t present = 0;
+    for (std::size_t h = 0; h < heaps_.size(); ++h) {
+      const auto& heap = heaps_[h];
+      for (std::size_t i = 0; i < heap.size(); ++i) {
+        std::size_t id = heap[i];
+        if (heap_of_[id] != h || pos_[id] != i) return false;
+        std::size_t l = 2 * i + 1, r = 2 * i + 2;
+        if (l < heap.size() && keys_[heap[l]] < keys_[id]) return false;
+        if (r < heap.size() && keys_[heap[r]] < keys_[id]) return false;
+      }
+      present += heap.size();
+    }
+    std::size_t tracked = 0;
+    for (std::size_t p : pos_)
+      if (p != npos) ++tracked;
+    return tracked == present;
+  }
+
+ private:
+  bool sift_up(std::size_t h, std::size_t i) {
+    auto& heap = heaps_[h];
+    bool moved = false;
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!(keys_[heap[i]] < keys_[heap[parent]])) break;
+      swap_at(h, i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t h, std::size_t i) {
+    auto& heap = heaps_[h];
+    const std::size_t n = heap.size();
+    for (;;) {
+      std::size_t l = 2 * i + 1, r = 2 * i + 2, smallest = i;
+      if (l < n && keys_[heap[l]] < keys_[heap[smallest]]) smallest = l;
+      if (r < n && keys_[heap[r]] < keys_[heap[smallest]]) smallest = r;
+      if (smallest == i) break;
+      swap_at(h, i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_at(std::size_t h, std::size_t a, std::size_t b) {
+    auto& heap = heaps_[h];
+    std::swap(heap[a], heap[b]);
+    pos_[heap[a]] = a;
+    pos_[heap[b]] = b;
+  }
+
+  std::vector<std::vector<std::size_t>> heaps_;
+  std::vector<std::size_t> pos_;      // id -> position in its heap
+  std::vector<std::size_t> heap_of_;  // id -> heap index, npos if absent
+  std::vector<Key> keys_;             // id -> key (valid while present)
+};
+
+}  // namespace flb

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "flb/util/error.hpp"
+
+/// \file indexed_heap.hpp
+/// An addressable binary min-heap over dense integer item ids.
+///
+/// This is the workhorse behind every "sorted list" in the FLB paper's
+/// pseudocode: Enqueue / Dequeue / RemoveItem / BalanceList map onto
+/// push / pop / erase / update. All operations on a heap of n items run in
+/// O(log n); `contains`, `key_of` and `top` are O(1).
+///
+/// Items are identified by ids in [0, capacity). The heap stores each id at
+/// most once and tracks positions so that arbitrary items can be removed or
+/// re-keyed — the capability plain std::priority_queue lacks and the reason
+/// FLB attains its O(V(log W + log P) + E) bound.
+
+namespace flb {
+
+/// Addressable binary min-heap keyed by `Key` (any strict-weak-ordered type;
+/// flb uses tuples of (time, tie-break, id) so ordering is always total).
+template <typename Key>
+class IndexedMinHeap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  IndexedMinHeap() = default;
+
+  /// Create a heap able to hold ids in [0, capacity).
+  explicit IndexedMinHeap(std::size_t capacity) { reset(capacity); }
+
+  /// Drop all contents and re-dimension for ids in [0, capacity).
+  void reset(std::size_t capacity) {
+    heap_.clear();
+    heap_.reserve(capacity);
+    pos_.assign(capacity, npos);
+    keys_.resize(capacity);
+  }
+
+  /// Number of items currently in the heap.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// True iff the heap holds no items.
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+  /// Maximum id (exclusive) this heap was dimensioned for.
+  [[nodiscard]] std::size_t capacity() const noexcept { return pos_.size(); }
+
+  /// True iff `id` is currently in the heap.
+  [[nodiscard]] bool contains(std::size_t id) const {
+    return id < pos_.size() && pos_[id] != npos;
+  }
+
+  /// Key of an item that is in the heap.
+  [[nodiscard]] const Key& key_of(std::size_t id) const {
+    FLB_ASSERT(contains(id));
+    return keys_[id];
+  }
+
+  /// Id of the minimum-key item. Heap must be non-empty.
+  [[nodiscard]] std::size_t top() const {
+    FLB_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Key of the minimum-key item. Heap must be non-empty.
+  [[nodiscard]] const Key& top_key() const { return keys_[top()]; }
+
+  /// Insert `id` with `key`. `id` must not already be present.
+  void push(std::size_t id, Key key) {
+    FLB_ASSERT(id < pos_.size());
+    FLB_ASSERT(pos_[id] == npos);
+    keys_[id] = std::move(key);
+    pos_[id] = heap_.size();
+    heap_.push_back(id);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Remove and return the minimum-key item.
+  std::size_t pop() {
+    std::size_t id = top();
+    erase(id);
+    return id;
+  }
+
+  /// Remove an arbitrary item that is currently in the heap.
+  void erase(std::size_t id) {
+    FLB_ASSERT(contains(id));
+    std::size_t hole = pos_[id];
+    pos_[id] = npos;
+    std::size_t last = heap_.size() - 1;
+    if (hole != last) {
+      std::size_t moved = heap_[last];
+      heap_[hole] = moved;
+      pos_[moved] = hole;
+      heap_.pop_back();
+      // The moved item may need to travel either direction.
+      if (!sift_up(hole)) sift_down(hole);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Change the key of an item in the heap (the paper's BalanceList).
+  void update(std::size_t id, Key key) {
+    FLB_ASSERT(contains(id));
+    keys_[id] = std::move(key);
+    std::size_t i = pos_[id];
+    if (!sift_up(i)) sift_down(i);
+  }
+
+  /// Insert if absent, otherwise re-key. Convenience for callers that do not
+  /// track membership themselves.
+  void push_or_update(std::size_t id, Key key) {
+    if (contains(id)) {
+      update(id, std::move(key));
+    } else {
+      push(id, std::move(key));
+    }
+  }
+
+  /// All item ids currently in the heap, in internal (array) order — NOT
+  /// sorted by key. Used by observers that snapshot list contents.
+  [[nodiscard]] const std::vector<std::size_t>& items() const {
+    return heap_;
+  }
+
+  /// Remove everything while keeping the capacity.
+  void clear() {
+    for (std::size_t id : heap_) pos_[id] = npos;
+    heap_.clear();
+  }
+
+  /// Validate the heap property and the position index; O(n). Test hook.
+  [[nodiscard]] bool validate() const {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pos_[heap_[i]] != i) return false;
+      std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < heap_.size() && keys_[heap_[l]] < keys_[heap_[i]]) return false;
+      if (r < heap_.size() && keys_[heap_[r]] < keys_[heap_[i]]) return false;
+    }
+    std::size_t present = 0;
+    for (std::size_t p : pos_)
+      if (p != npos) ++present;
+    return present == heap_.size();
+  }
+
+ private:
+  // Returns true if the item actually moved up.
+  bool sift_up(std::size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!(keys_[heap_[i]] < keys_[heap_[parent]])) break;
+      swap_at(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t l = 2 * i + 1, r = 2 * i + 2, smallest = i;
+      if (l < n && keys_[heap_[l]] < keys_[heap_[smallest]]) smallest = l;
+      if (r < n && keys_[heap_[r]] < keys_[heap_[smallest]]) smallest = r;
+      if (smallest == i) break;
+      swap_at(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_at(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = a;
+    pos_[heap_[b]] = b;
+  }
+
+  std::vector<std::size_t> heap_;  // heap array of ids
+  std::vector<std::size_t> pos_;   // id -> position in heap_, npos if absent
+  std::vector<Key> keys_;          // id -> key (valid only while present)
+};
+
+}  // namespace flb

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+
+/// \file stopwatch.hpp
+/// Wall-clock timing for the scheduling-cost experiments (paper Fig. 2).
+
+namespace flb {
+
+/// Simple monotonic stopwatch. Started on construction or by restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Reset the start point to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction/restart.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds since construction/restart.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flb

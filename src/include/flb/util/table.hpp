@@ -1,0 +1,47 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Plain-text and CSV table rendering used by the benchmark harness to print
+/// paper-style result tables (one table per figure).
+
+namespace flb {
+
+/// A rectangular table of strings with a header row. Column widths are
+/// computed on render; numeric cells should be pre-formatted by the caller
+/// (see format_fixed below).
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Number of columns.
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-style quoting for cells containing , " or \n).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed `digits` decimals (no locale surprises).
+std::string format_fixed(double v, int digits);
+
+/// Format a double as a compact "best effort" string (trailing-zero trimmed).
+std::string format_compact(double v);
+
+}  // namespace flb

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "flb/graph/task_graph.hpp"
+
+/// \file paper_example.hpp
+/// The 8-task example graph of the paper's Fig. 1, used by Section 5's
+/// execution trace (Table 1).
+
+namespace flb {
+
+/// The Fig. 1 task graph. Node weights: comp(t0)=2, comp(t1)=2, comp(t2)=2,
+/// comp(t3)=3, comp(t4)=3, comp(t5)=3, comp(t6)=2, comp(t7)=2. Edges (with
+/// communication costs) reconstructed from the printed figure together with
+/// the bottom-level and message-arrival values of Table 1, which pin every
+/// weight uniquely:
+///
+///   t0->t1 (1)  t0->t2 (4)  t0->t3 (1)
+///   t1->t4 (2)  t3->t5 (1)  t1->t5 (1)  t2->t6 (1)
+///   t4->t7 (1)  t5->t7 (3)  t6->t7 (2)
+///
+/// Scheduling this graph on two processors with FLB reproduces Table 1
+/// row for row (see tests/flb_trace_test.cpp).
+TaskGraph paper_example_graph();
+
+}  // namespace flb

@@ -1,0 +1,168 @@
+#include "flb/sched/export.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+namespace {
+
+// JSON-safe number formatting: plain decimal with enough precision to
+// round-trip a double.
+void number(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void write_schedule_json(std::ostream& os, const TaskGraph& g,
+                         const Schedule& s) {
+  os << "{\"graph\":\"" << g.name() << "\",\"procs\":" << s.num_procs()
+     << ",\"tasks_total\":" << g.num_tasks() << ",\"makespan\":";
+  number(os, s.makespan());
+  os << ",\"tasks\":[";
+  bool first = true;
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!s.is_scheduled(t)) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << t << ",\"proc\":" << s.proc(t) << ",\"start\":";
+    number(os, s.start(t));
+    os << ",\"finish\":";
+    number(os, s.finish(t));
+    os << ",\"comp\":";
+    number(os, g.comp(t));
+    os << "}";
+  }
+  os << "]}";
+}
+
+void write_chrome_trace(std::ostream& os, const TaskGraph& g,
+                        const Schedule& s) {
+  os << "[";
+  bool first = true;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    for (TaskId t : s.tasks_on(p)) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "{\"name\":\"t" << t << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << p
+         << ",\"ts\":";
+      number(os, s.start(t) * 1e6);
+      os << ",\"dur\":";
+      number(os, (s.finish(t) - s.start(t)) * 1e6);
+      os << ",\"args\":{\"comp\":";
+      number(os, g.comp(t));
+      os << "}}";
+    }
+  }
+  os << "]\n";
+}
+
+void write_schedule_text(std::ostream& os, const Schedule& s) {
+  os << "flb-schedule 1\n";
+  os << "procs " << s.num_procs() << "\n";
+  os << "tasks " << s.num_tasks() << "\n";
+  os.precision(17);
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    if (!s.is_scheduled(t)) continue;
+    os << "a " << t << " " << s.proc(t) << " " << s.start(t) << " "
+       << s.finish(t) << "\n";
+  }
+}
+
+namespace {
+
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Schedule read_schedule_text(std::istream& is) {
+  std::string line;
+  FLB_REQUIRE(next_line(is, line), "read_schedule_text: empty input");
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    int version = 0;
+    ls >> magic >> version;
+    FLB_REQUIRE(magic == "flb-schedule" && version == 1,
+                "read_schedule_text: bad magic line '" + line + "'");
+  }
+  std::size_t procs = 0, tasks = 0;
+  bool have_procs = false, have_tasks = false;
+  while (!(have_procs && have_tasks)) {
+    FLB_REQUIRE(next_line(is, line), "read_schedule_text: truncated header");
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "procs") {
+      FLB_REQUIRE(static_cast<bool>(ls >> procs) && procs >= 1,
+                  "read_schedule_text: malformed procs line");
+      have_procs = true;
+    } else if (key == "tasks") {
+      FLB_REQUIRE(static_cast<bool>(ls >> tasks),
+                  "read_schedule_text: malformed tasks line");
+      have_tasks = true;
+    } else {
+      FLB_REQUIRE(false,
+                  "read_schedule_text: unexpected header line '" + line + "'");
+    }
+  }
+
+  Schedule s(static_cast<ProcId>(procs), static_cast<TaskId>(tasks));
+  while (next_line(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    std::size_t task = 0, proc = 0;
+    double start = 0.0, finish = 0.0;
+    FLB_REQUIRE(
+        static_cast<bool>(ls >> key >> task >> proc >> start >> finish) &&
+            key == "a",
+        "read_schedule_text: malformed assignment line '" + line + "'");
+    FLB_REQUIRE(task < tasks, "read_schedule_text: task id out of range");
+    FLB_REQUIRE(proc < procs,
+                "read_schedule_text: processor id out of range");
+    s.assign(static_cast<TaskId>(task), static_cast<ProcId>(proc), start,
+             finish);
+  }
+  return s;
+}
+
+std::string to_schedule_text(const Schedule& s) {
+  std::ostringstream os;
+  write_schedule_text(os, s);
+  return os.str();
+}
+
+Schedule schedule_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_schedule_text(is);
+}
+
+std::string to_schedule_json(const TaskGraph& g, const Schedule& s) {
+  std::ostringstream os;
+  write_schedule_json(os, g, s);
+  return os.str();
+}
+
+std::string to_chrome_trace(const TaskGraph& g, const Schedule& s) {
+  std::ostringstream os;
+  write_chrome_trace(os, g, s);
+  return os.str();
+}
+
+}  // namespace flb

@@ -1,0 +1,146 @@
+#include "flb/sched/gantt.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "flb/util/table.hpp"
+
+namespace flb {
+
+void write_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
+                 std::size_t columns) {
+  (void)g;
+  const Cost span = s.makespan();
+  if (span <= 0.0 || columns < 10) {
+    os << "(empty schedule)\n";
+    return;
+  }
+  const double scale = static_cast<double>(columns) / span;
+
+  auto col = [&](Cost t) {
+    return static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(columns),
+                         std::max(0.0, t * scale)));
+  };
+
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    std::string row(columns, '.');
+    for (TaskId t : s.tasks_on(p)) {
+      std::size_t a = col(s.start(t));
+      std::size_t b = std::max(a + 1, col(s.finish(t)));
+      b = std::min(b, columns);
+      for (std::size_t i = a; i < b; ++i) row[i] = '#';
+      // Built by append rather than operator+ to sidestep a GCC 12
+      // -Wrestrict false positive on the char* + string&& overload.
+      std::string label = "t";
+      label += std::to_string(t);
+      if (b - a >= label.size() + 2) {
+        for (std::size_t i = 0; i < label.size(); ++i)
+          row[a + 1 + i] = label[i];
+      }
+    }
+    os << "P" << p << " |" << row << "|\n";
+  }
+  os << "     0";
+  std::ostringstream tail;
+  tail << format_compact(span);
+  std::string right = tail.str();
+  if (columns > right.size() + 1)
+    os << std::string(columns - right.size() - 1, ' ') << right;
+  os << "  (time)\n";
+}
+
+std::string to_gantt(const TaskGraph& g, const Schedule& s,
+                     std::size_t columns) {
+  std::ostringstream os;
+  write_gantt(os, g, s, columns);
+  return os.str();
+}
+
+void write_svg_gantt(std::ostream& os, const TaskGraph& g, const Schedule& s,
+                     std::size_t width_px) {
+  (void)g;
+  static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f",
+                                   "#e15759", "#76b7b2", "#edc948",
+                                   "#b07aa1", "#9c755f"};
+  constexpr std::size_t kPaletteSize = sizeof kPalette / sizeof *kPalette;
+  constexpr double kLaneHeight = 28.0;
+  constexpr double kLaneGap = 6.0;
+  constexpr double kLeftMargin = 48.0;
+  constexpr double kTopMargin = 10.0;
+  constexpr double kAxisHeight = 24.0;
+
+  const Cost span = std::max(s.makespan(), 1e-12);
+  const double w_px = static_cast<double>(width_px);
+  const double scale = w_px / span;
+  const double height = kTopMargin +
+                        s.num_procs() * (kLaneHeight + kLaneGap) +
+                        kAxisHeight;
+  const double width = kLeftMargin + w_px + 16.0;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" font-family=\"sans-serif\" "
+     << "font-size=\"11\">\n";
+
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    double y = kTopMargin + p * (kLaneHeight + kLaneGap);
+    os << "  <text x=\"4\" y=\"" << y + kLaneHeight * 0.65 << "\">P" << p
+       << "</text>\n";
+    os << "  <rect x=\"" << kLeftMargin << "\" y=\"" << y << "\" width=\""
+       << w_px << "\" height=\"" << kLaneHeight
+       << "\" fill=\"#f2f2f2\"/>\n";
+    for (TaskId t : s.tasks_on(p)) {
+      double x = kLeftMargin + s.start(t) * scale;
+      double w = std::max(1.0, (s.finish(t) - s.start(t)) * scale);
+      os << "  <rect x=\"" << x << "\" y=\"" << y + 2 << "\" width=\"" << w
+         << "\" height=\"" << kLaneHeight - 4 << "\" rx=\"3\" fill=\""
+         << kPalette[t % kPaletteSize] << "\"><title>t" << t << " ["
+         << format_compact(s.start(t)) << ", "
+         << format_compact(s.finish(t)) << ")</title></rect>\n";
+      if (w > 26.0) {
+        os << "  <text x=\"" << x + 3 << "\" y=\""
+           << y + kLaneHeight * 0.65 << "\" fill=\"#ffffff\">t" << t
+           << "</text>\n";
+      }
+    }
+  }
+
+  // Time axis with ~8 round ticks.
+  double axis_y = kTopMargin + s.num_procs() * (kLaneHeight + kLaneGap) + 4;
+  os << "  <line x1=\"" << kLeftMargin << "\" y1=\"" << axis_y << "\" x2=\""
+     << kLeftMargin + w_px << "\" y2=\"" << axis_y
+     << "\" stroke=\"#888\"/>\n";
+  for (int i = 0; i <= 8; ++i) {
+    double tvalue = span * i / 8.0;
+    double x = kLeftMargin + tvalue * scale;
+    os << "  <line x1=\"" << x << "\" y1=\"" << axis_y << "\" x2=\"" << x
+       << "\" y2=\"" << axis_y + 4 << "\" stroke=\"#888\"/>\n";
+    os << "  <text x=\"" << x - 6 << "\" y=\"" << axis_y + 16 << "\">"
+       << format_compact(tvalue) << "</text>\n";
+  }
+  os << "</svg>\n";
+}
+
+std::string to_svg_gantt(const TaskGraph& g, const Schedule& s,
+                         std::size_t width_px) {
+  std::ostringstream os;
+  write_svg_gantt(os, g, s, width_px);
+  return os.str();
+}
+
+void write_schedule_listing(std::ostream& os, const Schedule& s) {
+  std::vector<TaskId> tasks;
+  for (TaskId t = 0; t < s.num_tasks(); ++t)
+    if (s.is_scheduled(t)) tasks.push_back(t);
+  std::stable_sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+    return s.start(a) < s.start(b);
+  });
+  for (TaskId t : tasks) {
+    os << "t" << t << " -> p" << s.proc(t) << ", [" << format_compact(s.start(t))
+       << " - " << format_compact(s.finish(t)) << "]\n";
+  }
+}
+
+}  // namespace flb

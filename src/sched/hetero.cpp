@@ -1,0 +1,64 @@
+#include "flb/sched/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+HeteroMachine::HeteroMachine(std::vector<double> speeds)
+    : speeds_(std::move(speeds)) {
+  FLB_REQUIRE(!speeds_.empty(),
+              "HeteroMachine: at least one processor required");
+  double inv_sum = 0.0;
+  for (double s : speeds_) {
+    FLB_REQUIRE(s > 0.0, "HeteroMachine: speeds must be positive");
+    inv_sum += 1.0 / s;
+    if (s != speeds_.front()) uniform_ = false;
+  }
+  uniform_ = uniform_ && speeds_.front() == 1.0;
+  mean_inverse_speed_ = inv_sum / static_cast<double>(speeds_.size());
+}
+
+HeteroMachine HeteroMachine::uniform(ProcId num_procs) {
+  FLB_REQUIRE(num_procs >= 1,
+              "HeteroMachine: at least one processor required");
+  return HeteroMachine(std::vector<double>(num_procs, 1.0));
+}
+
+std::vector<Violation> validate_hetero_schedule(const TaskGraph& g,
+                                                const HeteroMachine& machine,
+                                                const Schedule& s,
+                                                double tolerance) {
+  FLB_REQUIRE(machine.num_procs() == s.num_procs(),
+              "validate_hetero_schedule: machine/schedule size mismatch");
+  // Delegate everything except the duration rule to the homogeneous
+  // validator by filtering its duration findings and re-checking them
+  // against the speed-scaled expectation.
+  std::vector<Violation> raw = validate_schedule(g, s, tolerance);
+  std::vector<Violation> out;
+  for (Violation& v : raw)
+    if (v.kind != Violation::Kind::kWrongDuration) out.push_back(std::move(v));
+
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!s.is_scheduled(t)) continue;  // already reported
+    Cost expected = machine.exec_time(g.comp(t), s.proc(t));
+    if (std::abs(s.finish(t) - (s.start(t) + expected)) > tolerance) {
+      std::ostringstream os;
+      os << "task " << t << ": finish " << s.finish(t) << " != start "
+         << s.start(t) << " + comp " << g.comp(t) << " / speed "
+         << machine.speed(s.proc(t));
+      out.push_back({Violation::Kind::kWrongDuration, t, os.str()});
+    }
+  }
+  return out;
+}
+
+bool is_valid_hetero_schedule(const TaskGraph& g, const HeteroMachine& machine,
+                              const Schedule& s, double tolerance) {
+  return validate_hetero_schedule(g, machine, s, tolerance).empty();
+}
+
+}  // namespace flb

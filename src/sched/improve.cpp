@@ -1,0 +1,119 @@
+#include "flb/sched/improve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "flb/algos/mapping.hpp"
+#include "flb/util/error.hpp"
+#include "flb/util/rng.hpp"
+
+namespace flb {
+
+ImproveResult improve_schedule(const TaskGraph& g, const Schedule& s,
+                               const ImproveOptions& options) {
+  FLB_REQUIRE(s.complete(), "improve_schedule: schedule is incomplete");
+  const TaskId n = g.num_tasks();
+  const ProcId procs = s.num_procs();
+
+  std::vector<ProcId> assignment(n);
+  for (TaskId t = 0; t < n; ++t) assignment[t] = s.proc(t);
+
+  Schedule current = schedule_with_fixed_assignment(g, assignment, procs);
+  ImproveResult result{std::move(current), 0.0, 0.0, 0, 1};
+  result.initial_makespan = result.schedule.makespan();
+  result.final_makespan = result.initial_makespan;
+  if (procs == 1 || n == 0) return result;
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    // Sweep tasks in descending finish time of the current schedule: the
+    // tasks closing out the makespan are the profitable movers.
+    std::vector<TaskId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return result.schedule.finish(a) > result.schedule.finish(b);
+    });
+
+    bool improved_this_pass = false;
+    for (TaskId t : order) {
+      ProcId original = assignment[t];
+      for (ProcId p = 0; p < procs; ++p) {
+        if (p == original) continue;
+        if (result.evaluations >= options.max_evaluations) break;
+        assignment[t] = p;
+        Schedule candidate =
+            schedule_with_fixed_assignment(g, assignment, procs);
+        ++result.evaluations;
+        if (candidate.makespan() < result.final_makespan - 1e-12) {
+          result.schedule = std::move(candidate);
+          result.final_makespan = result.schedule.makespan();
+          ++result.moves;
+          improved_this_pass = true;
+          original = p;  // accepted; keep climbing from here
+        } else {
+          assignment[t] = original;
+        }
+      }
+      if (result.evaluations >= options.max_evaluations) break;
+    }
+    if (!improved_this_pass ||
+        result.evaluations >= options.max_evaluations)
+      break;
+  }
+  return result;
+}
+
+ImproveResult anneal_schedule(const TaskGraph& g, const Schedule& s,
+                              const AnnealOptions& options) {
+  FLB_REQUIRE(s.complete(), "anneal_schedule: schedule is incomplete");
+  FLB_REQUIRE(options.initial_temp_fraction > 0.0,
+              "anneal_schedule: temperature fraction must be positive");
+  const TaskId n = g.num_tasks();
+  const ProcId procs = s.num_procs();
+
+  std::vector<ProcId> assignment(n);
+  for (TaskId t = 0; t < n; ++t) assignment[t] = s.proc(t);
+
+  Schedule current = schedule_with_fixed_assignment(g, assignment, procs);
+  Cost current_len = current.makespan();
+  ImproveResult result{std::move(current), current_len, current_len, 0, 1};
+  if (procs == 1 || n == 0 || options.iterations == 0) return result;
+
+  Rng rng(options.seed);
+  const double t0 = options.initial_temp_fraction *
+                    static_cast<double>(result.initial_makespan);
+  // Geometric cooling down to t0 / 1000 across the run.
+  const double alpha =
+      std::pow(1e-3, 1.0 / static_cast<double>(options.iterations));
+  double temp = t0;
+
+  for (std::size_t it = 0; it < options.iterations; ++it, temp *= alpha) {
+    TaskId t = static_cast<TaskId>(rng.next_below(n));
+    ProcId old_p = assignment[t];
+    ProcId new_p =
+        static_cast<ProcId>(rng.next_below(procs - 1));
+    if (new_p >= old_p) ++new_p;  // uniform over the other processors
+
+    assignment[t] = new_p;
+    Schedule candidate = schedule_with_fixed_assignment(g, assignment, procs);
+    ++result.evaluations;
+    Cost len = candidate.makespan();
+    double delta = static_cast<double>(len - current_len);
+    bool accept = delta <= 0.0 ||
+                  rng.next_double() < std::exp(-delta / std::max(temp, 1e-12));
+    if (accept) {
+      current_len = len;
+      ++result.moves;
+      if (len < result.final_makespan - 1e-12) {
+        result.final_makespan = len;
+        result.schedule = std::move(candidate);
+      }
+    } else {
+      assignment[t] = old_p;
+    }
+  }
+  return result;
+}
+
+}  // namespace flb

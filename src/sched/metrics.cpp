@@ -1,0 +1,52 @@
+#include "flb/sched/metrics.hpp"
+
+#include <algorithm>
+
+#include "flb/graph/properties.hpp"
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+Cost speedup(const TaskGraph& g, const Schedule& s) {
+  Cost m = s.makespan();
+  if (m <= 0.0) return 0.0;
+  return g.total_comp() / m;
+}
+
+Cost efficiency(const TaskGraph& g, const Schedule& s) {
+  return speedup(g, s) / static_cast<Cost>(s.num_procs());
+}
+
+Cost normalized_schedule_length(Cost makespan, Cost reference_makespan) {
+  FLB_REQUIRE(reference_makespan > 0.0,
+              "normalized_schedule_length: reference must be positive");
+  return makespan / reference_makespan;
+}
+
+Cost busy_time(const TaskGraph& g, const Schedule& s, ProcId p) {
+  Cost sum = 0.0;
+  for (TaskId t : s.tasks_on(p)) sum += g.comp(t);
+  return sum;
+}
+
+Cost load_imbalance(const TaskGraph& g, const Schedule& s) {
+  Cost max_busy = 0.0, total_busy = 0.0;
+  ProcId used = 0;
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    Cost b = busy_time(g, s, p);
+    if (b > 0.0) ++used;
+    total_busy += b;
+    max_busy = std::max(max_busy, b);
+  }
+  if (used == 0 || total_busy == 0.0) return 0.0;
+  Cost mean_busy = total_busy / static_cast<Cost>(used);
+  return max_busy / mean_busy;
+}
+
+Cost makespan_lower_bound(const TaskGraph& g, ProcId num_procs) {
+  FLB_REQUIRE(num_procs >= 1, "makespan_lower_bound: P must be positive");
+  Cost avg = g.total_comp() / static_cast<Cost>(num_procs);
+  return std::max(computation_critical_path(g), avg);
+}
+
+}  // namespace flb

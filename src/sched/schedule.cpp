@@ -1,0 +1,89 @@
+#include "flb/sched/schedule.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+Schedule::Schedule(ProcId num_procs, TaskId num_tasks)
+    : placements_(num_tasks), timelines_(num_procs), prt_(num_procs, 0.0) {
+  FLB_REQUIRE(num_procs >= 1, "Schedule: at least one processor required");
+}
+
+void Schedule::assign(TaskId t, ProcId p, Cost start, Cost finish) {
+  FLB_REQUIRE(t < placements_.size(), "Schedule::assign: task id out of range");
+  FLB_REQUIRE(p < timelines_.size(),
+              "Schedule::assign: processor id out of range");
+  FLB_REQUIRE(!is_scheduled(t),
+              "Schedule::assign: task " + std::to_string(t) +
+                  " is already scheduled");
+  FLB_REQUIRE(finish >= start, "Schedule::assign: finish precedes start");
+  FLB_REQUIRE(start >= 0.0, "Schedule::assign: negative start time");
+
+  auto& timeline = timelines_[p];
+  // Position within the timeline, which is kept sorted by
+  // (start, duration > 0): a zero-duration task coinciding with a positive
+  // task's start sorts before it, so per-processor timeline order is
+  // always a feasible execution order (the machine simulator replays it).
+  const bool positive = finish > start;
+  auto key = std::pair<Cost, bool>(start, positive);
+  auto it = std::upper_bound(
+      timeline.begin(), timeline.end(), key,
+      [&](const std::pair<Cost, bool>& k, TaskId other) {
+        const Placement& pl = placements_[other];
+        return k < std::pair<Cost, bool>(pl.start, pl.finish > pl.start);
+      });
+  // Two executions conflict only when they share positive measure, so
+  // zero-duration tasks (legal for zero-cost graph nodes) never overlap
+  // anything and are skipped when locating the binding neighbours.
+  if (finish > start) {
+    for (auto left = it; left != timeline.begin();) {
+      --left;
+      const Placement& prev = placements_[*left];
+      if (prev.finish <= prev.start) continue;  // zero-duration
+      FLB_REQUIRE(prev.finish <= start,
+                  "Schedule::assign: task " + std::to_string(t) +
+                      " would overlap task " + std::to_string(*left) +
+                      " on processor " + std::to_string(p));
+      break;
+    }
+    for (auto right = it; right != timeline.end(); ++right) {
+      const Placement& next = placements_[*right];
+      if (next.finish <= next.start) continue;  // zero-duration
+      FLB_REQUIRE(finish <= next.start,
+                  "Schedule::assign: task " + std::to_string(t) +
+                      " would overlap task " + std::to_string(*right) +
+                      " on processor " + std::to_string(p));
+      break;
+    }
+  }
+
+  placements_[t] = {p, start, finish};
+  timeline.insert(it, t);
+  prt_[p] = std::max(prt_[p], finish);
+  ++num_scheduled_;
+}
+
+Cost Schedule::earliest_gap(ProcId p, Cost earliest, Cost duration) const {
+  FLB_REQUIRE(p < timelines_.size(),
+              "Schedule::earliest_gap: processor id out of range");
+  FLB_REQUIRE(duration >= 0.0,
+              "Schedule::earliest_gap: negative duration");
+  Cost candidate = std::max(earliest, 0.0);
+  for (TaskId other : timelines_[p]) {
+    const Placement& pl = placements_[other];
+    if (pl.start >= candidate + duration) break;  // fits before `other`
+    candidate = std::max(candidate, pl.finish);
+  }
+  return candidate;
+}
+
+Cost Schedule::makespan() const {
+  Cost m = 0.0;
+  for (Cost r : prt_) m = std::max(m, r);
+  return m;
+}
+
+}  // namespace flb

@@ -1,0 +1,109 @@
+#include "flb/sched/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flb {
+
+std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
+                                         double tolerance) {
+  std::vector<Violation> out;
+  const TaskId n = g.num_tasks();
+
+  auto report = [&](Violation::Kind kind, TaskId t, std::string detail) {
+    out.push_back({kind, t, std::move(detail)});
+  };
+
+  // Per-task checks.
+  for (TaskId t = 0; t < n; ++t) {
+    if (!s.is_scheduled(t)) {
+      report(Violation::Kind::kUnscheduledTask, t,
+             "task " + std::to_string(t) + " was never scheduled");
+      continue;
+    }
+    const Placement& pl = s.placement(t);
+    if (pl.start < -tolerance) {
+      std::ostringstream os;
+      os << "task " << t << " starts at negative time " << pl.start;
+      report(Violation::Kind::kNegativeStart, t, os.str());
+    }
+    if (std::abs(pl.finish - (pl.start + g.comp(t))) > tolerance) {
+      std::ostringstream os;
+      os << "task " << t << ": finish " << pl.finish << " != start "
+         << pl.start << " + comp " << g.comp(t);
+      report(Violation::Kind::kWrongDuration, t, os.str());
+    }
+  }
+
+  // Per-processor exclusivity: sort each processor's tasks by start, then
+  // sweep with a running maximum finish. Two executions conflict only when
+  // they share positive measure, so zero-duration tasks neither trigger
+  // nor mask an overlap; tracking the running maximum (rather than just
+  // the previous task) also catches a long task engulfing a later short
+  // one. We deliberately re-sort rather than trust the Schedule's order.
+  for (ProcId p = 0; p < s.num_procs(); ++p) {
+    auto span = s.tasks_on(p);
+    std::vector<TaskId> tasks(span.begin(), span.end());
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      return s.start(a) < s.start(b);
+    });
+    Cost max_finish = -kInfiniteTime;
+    TaskId max_task = kInvalidTask;
+    for (TaskId cur : tasks) {
+      bool zero_duration = s.finish(cur) <= s.start(cur) + tolerance;
+      if (!zero_duration && s.start(cur) < max_finish - tolerance) {
+        std::ostringstream os;
+        os << "tasks " << max_task << " and " << cur
+           << " overlap on processor " << p << ": [" << s.start(max_task)
+           << ", " << s.finish(max_task) << ") vs [" << s.start(cur) << ", "
+           << s.finish(cur) << ")";
+        report(Violation::Kind::kProcessorOverlap, cur, os.str());
+      }
+      if (s.finish(cur) > max_finish) {
+        max_finish = s.finish(cur);
+        max_task = cur;
+      }
+    }
+  }
+
+  // Precedence + communication: ST(t) >= FT(pred) (+ comm if remote).
+  for (TaskId t = 0; t < n; ++t) {
+    if (!s.is_scheduled(t)) continue;
+    for (const Adj& a : g.predecessors(t)) {
+      if (!s.is_scheduled(a.node)) continue;  // already reported above
+      Cost arrival = s.finish(a.node) +
+                     (s.proc(a.node) == s.proc(t) ? 0.0 : a.comm);
+      if (s.start(t) < arrival - tolerance) {
+        std::ostringstream os;
+        os << "task " << t << " starts at " << s.start(t)
+           << " before data from predecessor " << a.node << " arrives at "
+           << arrival << " (pred finish " << s.finish(a.node) << ", comm "
+           << a.comm << ", " << (s.proc(a.node) == s.proc(t) ? "same" : "remote")
+           << " processor)";
+        report(Violation::Kind::kPrecedence, t, os.str());
+      }
+    }
+  }
+
+  return out;
+}
+
+bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
+                       double tolerance) {
+  return validate_schedule(g, s, tolerance).empty();
+}
+
+std::string to_string(const Violation& v) {
+  const char* kind = "";
+  switch (v.kind) {
+    case Violation::Kind::kUnscheduledTask: kind = "unscheduled-task"; break;
+    case Violation::Kind::kWrongDuration: kind = "wrong-duration"; break;
+    case Violation::Kind::kNegativeStart: kind = "negative-start"; break;
+    case Violation::Kind::kProcessorOverlap: kind = "processor-overlap"; break;
+    case Violation::Kind::kPrecedence: kind = "precedence"; break;
+  }
+  return std::string("[") + kind + "] " + v.detail;
+}
+
+}  // namespace flb

@@ -1,0 +1,152 @@
+#include "flb/sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+namespace {
+
+/// Completion event: (time, sequence) so simultaneous completions resolve
+/// in creation order, keeping the simulation deterministic.
+struct Event {
+  Cost time;
+  std::size_t seq;
+  TaskId task;
+  bool operator>(const Event& other) const {
+    return std::tie(time, seq) > std::tie(other.time, other.seq);
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const TaskGraph& g, const Schedule& s,
+                   const SimOptions& options) {
+  const TaskId n = g.num_tasks();
+  FLB_REQUIRE(s.complete(), "simulate: schedule is incomplete");
+  FLB_REQUIRE(options.latency_factor >= 0.0,
+              "simulate: latency factor must be non-negative");
+
+  SimResult result;
+  result.start.assign(n, kUndefinedTime);
+  result.finish.assign(n, kUndefinedTime);
+
+  const ProcId procs = s.num_procs();
+  std::vector<std::size_t> dispatch_idx(procs, 0);  // next task per proc
+  std::vector<Cost> proc_free(procs, 0.0);
+  std::vector<Cost> send_free(procs, 0.0);
+  std::vector<Cost> recv_free(procs, 0.0);
+
+  // arrival[e] for remote edges, indexed like g's successor CSR; local
+  // edges are handled through `finished`.
+  std::vector<Cost> arrival(g.num_edges(), kUndefinedTime);
+  std::vector<std::size_t> edge_offset(n + 1, 0);
+  for (TaskId t = 0; t < n; ++t)
+    edge_offset[t + 1] = edge_offset[t] + g.out_degree(t);
+
+  std::vector<bool> finished(n, false);
+  std::vector<bool> dispatched(n, false);
+  std::vector<std::size_t> pending_preds(n);
+  for (TaskId t = 0; t < n; ++t) pending_preds[t] = g.in_degree(t);
+
+  // Position of each (pred -> t) edge inside pred's successor list, so the
+  // consumer can find its arrival slot.
+  auto arrival_slot = [&](TaskId pred, TaskId to) -> std::size_t {
+    auto succs = g.successors(pred);
+    for (std::size_t i = 0; i < succs.size(); ++i)
+      if (succs[i].node == to) return edge_offset[pred] + i;
+    FLB_ASSERT(false);
+    return 0;
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::size_t seq = 0;
+  TaskId completed = 0;
+
+  // Try to dispatch the head task of processor p. All arrival times are
+  // known once every predecessor has finished, so the completion event can
+  // be scheduled immediately even if the start lies in the future.
+  auto try_dispatch = [&](ProcId p) {
+    while (dispatch_idx[p] < s.tasks_on(p).size()) {
+      TaskId t = s.tasks_on(p)[dispatch_idx[p]];
+      if (dispatched[t]) {
+        ++dispatch_idx[p];
+        continue;
+      }
+      if (pending_preds[t] > 0) return;  // retried when the last pred ends
+      Cost start = proc_free[p];
+      for (const Adj& a : g.predecessors(t)) {
+        if (s.proc(a.node) == p) {
+          start = std::max(start, result.finish[a.node]);
+        } else {
+          Cost arr = arrival[arrival_slot(a.node, t)];
+          FLB_ASSERT(arr != kUndefinedTime);
+          start = std::max(start, arr);
+        }
+      }
+      dispatched[t] = true;
+      result.start[t] = start;
+      result.finish[t] = start + g.comp(t);
+      proc_free[p] = result.finish[t];
+      events.push({result.finish[t], seq++, t});
+      ++dispatch_idx[p];
+    }
+  };
+
+  for (ProcId p = 0; p < procs; ++p) try_dispatch(p);
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    TaskId t = ev.task;
+    finished[t] = true;
+    ++completed;
+    const ProcId p = s.proc(t);
+
+    // Emit messages to remote successors; ports are allocated now, in
+    // global completion order.
+    std::size_t slot = edge_offset[t];
+    for (const Adj& a : g.successors(t)) {
+      if (s.proc(a.node) != p) {
+        Cost cost = a.comm * options.latency_factor;
+        Cost send_start = ev.time;
+        if (options.network != SimNetwork::kContentionFree) {
+          send_start = std::max(send_start, send_free[p]);
+          send_free[p] = send_start + cost;
+        }
+        Cost arr = send_start + cost;
+        if (options.network == SimNetwork::kSinglePortSendRecv) {
+          ProcId dest = s.proc(a.node);
+          Cost recv_start = std::max(send_start, recv_free[dest]);
+          recv_free[dest] = recv_start + cost;
+          arr = recv_start + cost;
+        }
+        arrival[slot] = arr;
+        ++result.messages;
+        result.network_busy += cost;
+      }
+      ++slot;
+    }
+
+    // Release successors and poke the processors that may now dispatch.
+    try_dispatch(p);
+    for (const Adj& a : g.successors(t)) {
+      FLB_ASSERT(pending_preds[a.node] > 0);
+      if (--pending_preds[a.node] == 0) try_dispatch(s.proc(a.node));
+    }
+  }
+
+  FLB_REQUIRE(completed == n,
+              "simulate: dispatch deadlock — the schedule's per-processor "
+              "order is inconsistent with the task dependences");
+
+  for (Cost f : result.finish) result.makespan = std::max(result.makespan, f);
+  return result;
+}
+
+}  // namespace flb

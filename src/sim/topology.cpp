@@ -1,0 +1,262 @@
+#include "flb/sim/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+Topology Topology::clique(ProcId nodes) {
+  FLB_REQUIRE(nodes >= 1, "Topology::clique: at least one node");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId a = 0; a < nodes; ++a)
+    for (ProcId b = a + 1; b < nodes; ++b) links.emplace_back(a, b);
+  return from_links(nodes, std::move(links));
+}
+
+Topology Topology::ring(ProcId nodes) {
+  FLB_REQUIRE(nodes >= 1, "Topology::ring: at least one node");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId a = 0; a + 1 < nodes; ++a) links.emplace_back(a, a + 1);
+  if (nodes > 2) links.emplace_back(0, nodes - 1);
+  return from_links(nodes, std::move(links));
+}
+
+Topology Topology::mesh2d(ProcId rows, ProcId cols) {
+  FLB_REQUIRE(rows >= 1 && cols >= 1, "Topology::mesh2d: empty mesh");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  auto id = [cols](ProcId r, ProcId c) { return r * cols + c; };
+  for (ProcId r = 0; r < rows; ++r) {
+    for (ProcId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return from_links(rows * cols, std::move(links));
+}
+
+Topology Topology::star(ProcId nodes) {
+  FLB_REQUIRE(nodes >= 1, "Topology::star: at least one node");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  for (ProcId leaf = 1; leaf < nodes; ++leaf) links.emplace_back(0, leaf);
+  return from_links(nodes, std::move(links));
+}
+
+Topology Topology::from_links(ProcId nodes,
+                              std::vector<std::pair<ProcId, ProcId>> links) {
+  FLB_REQUIRE(nodes >= 1, "Topology: at least one node");
+  Topology t;
+  t.nodes_ = nodes;
+  for (auto& [a, b] : links) {
+    FLB_REQUIRE(a < nodes && b < nodes, "Topology: link endpoint out of range");
+    FLB_REQUIRE(a != b, "Topology: self-links are not allowed");
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  t.links_ = std::move(links);
+  t.neighbours_.assign(nodes, {});
+  for (const auto& [a, b] : t.links_) {
+    t.neighbours_[a].push_back(b);
+    t.neighbours_[b].push_back(a);
+  }
+  for (auto& nb : t.neighbours_) std::sort(nb.begin(), nb.end());
+  t.build_routes();
+  return t;
+}
+
+void Topology::build_routes() {
+  const std::size_t n = nodes_;
+  next_hop_.assign(n * n, kInvalidProc);
+  hop_count_.assign(n * n, static_cast<std::size_t>(-1));
+
+  // BFS from every destination so next_hop_[from][to] is the first step of
+  // a shortest from->to path; neighbour lists are sorted, giving the
+  // smallest-id tie-break.
+  for (ProcId dest = 0; dest < nodes_; ++dest) {
+    hop_count_[dest * n + dest] = 0;
+    std::queue<ProcId> q;
+    q.push(dest);
+    while (!q.empty()) {
+      ProcId cur = q.front();
+      q.pop();
+      for (ProcId nb : neighbours_[cur]) {
+        if (hop_count_[nb * n + dest] != static_cast<std::size_t>(-1))
+          continue;
+        hop_count_[nb * n + dest] = hop_count_[cur * n + dest] + 1;
+        next_hop_[nb * n + dest] = cur;
+        q.push(nb);
+      }
+    }
+  }
+  for (ProcId a = 0; a < nodes_; ++a)
+    for (ProcId b = 0; b < nodes_; ++b)
+      FLB_REQUIRE(hop_count_[a * n + b] != static_cast<std::size_t>(-1),
+                  "Topology: the network is not connected");
+}
+
+std::size_t Topology::hops(ProcId from, ProcId to) const {
+  return hop_count_[from * nodes_ + to];
+}
+
+std::size_t Topology::link_index(ProcId a, ProcId b) const {
+  if (a > b) std::swap(a, b);
+  auto it = std::lower_bound(links_.begin(), links_.end(),
+                             std::pair<ProcId, ProcId>(a, b));
+  FLB_ASSERT(it != links_.end() && *it == std::make_pair(a, b));
+  return static_cast<std::size_t>(it - links_.begin());
+}
+
+std::vector<std::size_t> Topology::route(ProcId from, ProcId to) const {
+  std::vector<std::size_t> out;
+  ProcId cur = from;
+  while (cur != to) {
+    ProcId nxt = next_hop_[cur * nodes_ + to];
+    out.push_back(link_index(cur, nxt));
+    cur = nxt;
+  }
+  return out;
+}
+
+std::size_t Topology::diameter() const {
+  std::size_t d = 0;
+  for (ProcId a = 0; a < nodes_; ++a)
+    for (ProcId b = 0; b < nodes_; ++b) d = std::max(d, hops(a, b));
+  return d;
+}
+
+namespace {
+
+struct Event {
+  Cost time;
+  std::size_t seq;
+  TaskId task;
+  bool operator>(const Event& other) const {
+    return std::tie(time, seq) > std::tie(other.time, other.seq);
+  }
+};
+
+}  // namespace
+
+TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
+                                       const Topology& topology,
+                                       Cost latency_factor) {
+  const TaskId n = g.num_tasks();
+  FLB_REQUIRE(s.complete(), "simulate_on_topology: schedule is incomplete");
+  FLB_REQUIRE(topology.num_nodes() == s.num_procs(),
+              "simulate_on_topology: topology/schedule size mismatch");
+  FLB_REQUIRE(latency_factor >= 0.0,
+              "simulate_on_topology: latency factor must be non-negative");
+
+  TopologySimResult result;
+  result.sim.start.assign(n, kUndefinedTime);
+  result.sim.finish.assign(n, kUndefinedTime);
+
+  const ProcId procs = s.num_procs();
+  std::vector<std::size_t> dispatch_idx(procs, 0);
+  std::vector<Cost> proc_free(procs, 0.0);
+  std::vector<Cost> link_free(topology.num_links(), 0.0);
+  std::vector<Cost> link_busy(topology.num_links(), 0.0);
+
+  std::vector<Cost> arrival(g.num_edges(), kUndefinedTime);
+  std::vector<std::size_t> edge_offset(n + 1, 0);
+  for (TaskId t = 0; t < n; ++t)
+    edge_offset[t + 1] = edge_offset[t] + g.out_degree(t);
+  auto arrival_slot = [&](TaskId pred, TaskId to) -> std::size_t {
+    auto succs = g.successors(pred);
+    for (std::size_t i = 0; i < succs.size(); ++i)
+      if (succs[i].node == to) return edge_offset[pred] + i;
+    FLB_ASSERT(false);
+    return 0;
+  };
+
+  std::vector<bool> dispatched(n, false);
+  std::vector<std::size_t> pending_preds(n);
+  for (TaskId t = 0; t < n; ++t) pending_preds[t] = g.in_degree(t);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::size_t seq = 0;
+  TaskId completed = 0;
+
+  auto try_dispatch = [&](ProcId p) {
+    while (dispatch_idx[p] < s.tasks_on(p).size()) {
+      TaskId t = s.tasks_on(p)[dispatch_idx[p]];
+      if (dispatched[t]) {
+        ++dispatch_idx[p];
+        continue;
+      }
+      if (pending_preds[t] > 0) return;
+      Cost start = proc_free[p];
+      for (const Adj& a : g.predecessors(t)) {
+        if (s.proc(a.node) == p) {
+          start = std::max(start, result.sim.finish[a.node]);
+        } else {
+          Cost arr = arrival[arrival_slot(a.node, t)];
+          FLB_ASSERT(arr != kUndefinedTime);
+          start = std::max(start, arr);
+        }
+      }
+      dispatched[t] = true;
+      result.sim.start[t] = start;
+      result.sim.finish[t] = start + g.comp(t);
+      proc_free[p] = result.sim.finish[t];
+      events.push({result.sim.finish[t], seq++, t});
+      ++dispatch_idx[p];
+    }
+  };
+
+  for (ProcId p = 0; p < procs; ++p) try_dispatch(p);
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    TaskId t = ev.task;
+    ++completed;
+    const ProcId p = s.proc(t);
+
+    std::size_t slot = edge_offset[t];
+    for (const Adj& a : g.successors(t)) {
+      ProcId dest = s.proc(a.node);
+      if (dest != p) {
+        // Store-and-forward over the deterministic route: each hop takes
+        // the full (scaled) message time; links serialize in global event
+        // order.
+        Cost hop_time = a.comm * latency_factor;
+        Cost clock = ev.time;
+        for (std::size_t link : topology.route(p, dest)) {
+          Cost begin = std::max(clock, link_free[link]);
+          link_free[link] = begin + hop_time;
+          link_busy[link] += hop_time;
+          clock = begin + hop_time;
+          ++result.total_hops;
+        }
+        arrival[slot] = clock;
+        ++result.sim.messages;
+        result.sim.network_busy += hop_time;
+      }
+      ++slot;
+    }
+
+    try_dispatch(p);
+    for (const Adj& a : g.successors(t)) {
+      FLB_ASSERT(pending_preds[a.node] > 0);
+      if (--pending_preds[a.node] == 0) try_dispatch(s.proc(a.node));
+    }
+  }
+
+  FLB_REQUIRE(completed == n,
+              "simulate_on_topology: dispatch deadlock — per-processor "
+              "order inconsistent with the task dependences");
+
+  for (Cost f : result.sim.finish)
+    result.sim.makespan = std::max(result.sim.makespan, f);
+  for (Cost b : link_busy) {
+    result.max_link_busy = std::max(result.max_link_busy, b);
+    result.total_link_busy += b;
+  }
+  return result;
+}
+
+}  // namespace flb

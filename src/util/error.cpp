@@ -1,0 +1,20 @@
+#include "flb/util/error.hpp"
+
+#include <sstream>
+
+namespace flb::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+void assert_fail(const char* file, int line, const char* expr) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " [" << file << ":" << line
+     << "]";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace flb::detail

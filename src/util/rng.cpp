@@ -1,0 +1,94 @@
+#include "flb/util/rng.hpp"
+
+#include "flb/util/error.hpp"
+
+namespace flb {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // A state of all zeros would be a fixed point; splitmix64 cannot produce
+  // four consecutive zeros, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FLB_REQUIRE(lo <= hi, "Rng::uniform: lo must not exceed hi");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  FLB_REQUIRE(n > 0, "Rng::next_below: n must be positive");
+  // Lemire-style rejection-free-in-expectation bounded draw. The 128-bit
+  // multiply is a GCC/Clang extension; __extension__ keeps -Wpedantic
+  // builds clean.
+  __extension__ typedef unsigned __int128 u128;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    // Split into high/low via 128-bit multiply.
+    u128 m = static_cast<u128>(r) * static_cast<u128>(n);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FLB_REQUIRE(lo <= hi, "Rng::uniform_int: lo must not exceed hi");
+  std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::bernoulli(double p) {
+  return next_double() < p;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  std::uint64_t x = next_u64();
+  for (auto& s : child.s_) s = splitmix64(x);
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0)
+    child.s_[0] = 1;
+  return child;
+}
+
+Cost draw_weight(Rng& rng, Cost mean) {
+  FLB_REQUIRE(mean >= 0.0, "draw_weight: mean must be non-negative");
+  return rng.uniform(0.0, 2.0 * mean);
+}
+
+}  // namespace flb

@@ -1,0 +1,32 @@
+#include "flb/workloads/paper_example.hpp"
+
+namespace flb {
+
+TaskGraph paper_example_graph() {
+  TaskGraphBuilder b;
+  b.set_name("paper-fig1");
+  TaskId t0 = b.add_task(2);
+  TaskId t1 = b.add_task(2);
+  TaskId t2 = b.add_task(2);
+  TaskId t3 = b.add_task(3);
+  TaskId t4 = b.add_task(3);
+  TaskId t5 = b.add_task(3);
+  TaskId t6 = b.add_task(2);
+  TaskId t7 = b.add_task(2);
+  // Insertion order fixes predecessor iteration order; t3->t5 precedes
+  // t1->t5 so that the equally-late messages of t5 resolve its enabling
+  // processor to t3's processor, as in the paper's trace.
+  b.add_edge(t0, t1, 1);
+  b.add_edge(t0, t2, 4);
+  b.add_edge(t0, t3, 1);
+  b.add_edge(t1, t4, 2);
+  b.add_edge(t3, t5, 1);
+  b.add_edge(t1, t5, 1);
+  b.add_edge(t2, t6, 1);
+  b.add_edge(t4, t7, 1);
+  b.add_edge(t5, t7, 3);
+  b.add_edge(t6, t7, 2);
+  return std::move(b).build();
+}
+
+}  // namespace flb

@@ -1,0 +1,178 @@
+// Focused unit tests for subtle algorithm paths that the broader sweeps
+// reach only statistically: FLB's EP demotion mechanics, DSC's
+// accept/reject rule, LLB's fallback destination, and the annotated DOT
+// export.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "flb/algos/dsc.hpp"
+#include "flb/algos/llb.hpp"
+#include "flb/core/flb.hpp"
+#include "flb/graph/dot.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// --- FLB demotion mechanics ----------------------------------------------------
+
+TEST(FlbDetails, DemotionHappensExactlyWhenPrtPassesLmt) {
+  // The paper-example run demotes exactly t1 (after t3 is scheduled),
+  // t5 (after t2) and t6 (after t5): three demotions, visible in stats.
+  TaskGraph g = paper_example_graph();
+  FlbScheduler flb;
+  FlbStats stats;
+  (void)flb.run_instrumented(g, 2, nullptr, &stats);
+  EXPECT_EQ(stats.ep_demotions, 3u);
+  // t0 and the three demoted tasks are scheduled from the non-EP list;
+  // t3, t2, t4, t7 from the EP list.
+  EXPECT_EQ(stats.non_ep_selections, 4u);
+  EXPECT_EQ(stats.ep_selections, 4u);
+  // Seven tasks were first classified EP-type (everything but entry t0).
+  EXPECT_EQ(stats.tasks_classified_ep, 7u);
+  EXPECT_EQ(stats.max_ready, 3u);
+}
+
+TEST(FlbDetails, EntryTasksAreAlwaysNonEp) {
+  TaskGraph g = independent_graph(6);
+  FlbScheduler flb;
+  FlbStats stats;
+  (void)flb.run_instrumented(g, 3, nullptr, &stats);
+  EXPECT_EQ(stats.tasks_classified_ep, 0u);
+  EXPECT_EQ(stats.non_ep_selections, 6u);
+}
+
+TEST(FlbDetails, PureChainIsAllEpSelections) {
+  // In a chain each successor becomes ready exactly when its predecessor
+  // finishes, with LMT = FT + comm >= PRT: always EP type, always kept on
+  // the enabling processor.
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 1.0;
+  TaskGraph g = chain_graph(10, p);
+  FlbScheduler flb;
+  FlbStats stats;
+  Schedule s = flb.run_instrumented(g, 4, nullptr, &stats);
+  EXPECT_EQ(stats.ep_selections, 9u);       // all but the entry task
+  EXPECT_EQ(stats.non_ep_selections, 1u);
+  EXPECT_EQ(stats.ep_demotions, 0u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+// --- DSC accept/reject rule ------------------------------------------------------
+
+TEST(DscDetails, MergesWhenZeroingHelps) {
+  // Chain a -> b with expensive edge: merging lets b start at FT(a).
+  TaskGraphBuilder builder;
+  TaskId a = builder.add_task(1.0);
+  TaskId b = builder.add_task(1.0);
+  builder.add_edge(a, b, 5.0);
+  TaskGraph g = std::move(builder).build();
+  Clustering c = dsc_cluster(g);
+  EXPECT_EQ(c.num_clusters, 1u);
+  EXPECT_DOUBLE_EQ(c.start[b], 1.0);
+}
+
+TEST(DscDetails, RejectsMergeThatDelays) {
+  // Fork a -> {b, c} with cheap edges: after b merges with a, c gains
+  // nothing from joining the busy cluster (it would wait until 2) versus
+  // a fresh processor (starts at its arrival 1 + 0.1).
+  TaskGraphBuilder builder;
+  TaskId a = builder.add_task(1.0);
+  TaskId b = builder.add_task(1.0);
+  TaskId c = builder.add_task(1.0);
+  builder.add_edge(a, b, 0.1);
+  builder.add_edge(a, c, 0.1);
+  TaskGraph g = std::move(builder).build();
+  Clustering cl = dsc_cluster(g);
+  EXPECT_EQ(cl.num_clusters, 2u);
+  EXPECT_NE(cl.cluster_of[b], cl.cluster_of[c]);
+  // One child runs locally right after a; the other pays its message.
+  Cost starts[2] = {cl.start[b], cl.start[c]};
+  EXPECT_DOUBLE_EQ(std::min(starts[0], starts[1]), 1.0);
+  EXPECT_DOUBLE_EQ(std::max(starts[0], starts[1]), 1.1);
+}
+
+TEST(DscDetails, PriorityOrderIsDominantSequenceFirst) {
+  // Two independent chains, one heavy and one light: the heavy chain's
+  // tasks carry larger tlevel+blevel and are examined first, ending up in
+  // the first cluster.
+  TaskGraphBuilder builder;
+  TaskId h1 = builder.add_task(5.0);
+  TaskId h2 = builder.add_task(5.0);
+  TaskId l1 = builder.add_task(1.0);
+  TaskId l2 = builder.add_task(1.0);
+  builder.add_edge(h1, h2, 2.0);
+  builder.add_edge(l1, l2, 2.0);
+  TaskGraph g = std::move(builder).build();
+  Clustering c = dsc_cluster(g);
+  EXPECT_EQ(c.cluster_of[h1], 0u);
+  EXPECT_EQ(c.cluster_of[h2], 0u);
+}
+
+// --- LLB fallback destination ------------------------------------------------------
+
+TEST(LlbDetails, FallsBackWhenIdleProcessorHasNoCandidates) {
+  // Clustering that maps everything into one cluster: after the first
+  // task is scheduled the cluster is mapped to one processor, the other
+  // processor is idle and there are no unmapped tasks — LLB must fall back
+  // to the mapped processor instead of deadlocking on the idle one.
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 5.0;
+  TaskGraph g = chain_graph(6, p);
+  Clustering c = dsc_cluster(g);
+  ASSERT_EQ(c.num_clusters, 1u);
+  Schedule s = llb_map(g, c, 2);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+  for (TaskId t = 1; t < 6; ++t) EXPECT_EQ(s.proc(t), s.proc(0));
+  EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+}
+
+TEST(LlbDetails, UnmappedCandidateMapsWholeCluster) {
+  // Two independent 2-task clusters on 2 processors: when the second
+  // cluster's head is scheduled on the idle processor, its tail must
+  // follow it there.
+  TaskGraphBuilder builder;
+  TaskId a1 = builder.add_task(2.0);
+  TaskId a2 = builder.add_task(2.0);
+  TaskId b1 = builder.add_task(2.0);
+  TaskId b2 = builder.add_task(2.0);
+  builder.add_edge(a1, a2, 4.0);
+  builder.add_edge(b1, b2, 4.0);
+  TaskGraph g = std::move(builder).build();
+  Clustering c = dsc_cluster(g);
+  ASSERT_EQ(c.num_clusters, 2u);
+  Schedule s = llb_map(g, c, 2);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+  EXPECT_EQ(s.proc(a1), s.proc(a2));
+  EXPECT_EQ(s.proc(b1), s.proc(b2));
+  EXPECT_NE(s.proc(a1), s.proc(b1));
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+}
+
+// --- Annotated DOT export -----------------------------------------------------------
+
+TEST(DotDetails, ScheduleAnnotationColoursByProcessor) {
+  TaskGraph g = paper_example_graph();
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 2);
+  std::ostringstream os;
+  write_dot(os, g, s);
+  std::string dot = os.str();
+  EXPECT_NE(dot.find("proc=0"), std::string::npos);
+  EXPECT_NE(dot.find("proc=1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  // All 8 tasks and 10 edges present.
+  for (TaskId t = 0; t < 8; ++t)
+    EXPECT_NE(dot.find("t" + std::to_string(t) + " ["), std::string::npos);
+  EXPECT_NE(dot.find("t6 -> t7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flb

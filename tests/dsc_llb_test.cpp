@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "flb/algos/dsc.hpp"
+#include "flb/algos/llb.hpp"
+#include "flb/graph/properties.hpp"
+#include "flb/sched/metrics.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// Validates DSC's own unbounded-processor schedule: cluster members run
+// back-to-back without overlap, and every task starts no earlier than its
+// data arrives (intra-cluster messages free).
+void expect_clustering_feasible(const TaskGraph& g, const Clustering& c) {
+  ASSERT_EQ(c.cluster_of.size(), g.num_tasks());
+  ASSERT_EQ(c.members.size(), c.num_clusters);
+
+  // Dense cluster ids, every task in exactly one member list.
+  std::set<TaskId> seen;
+  for (ClusterId cl = 0; cl < c.num_clusters; ++cl) {
+    for (TaskId t : c.members[cl]) {
+      EXPECT_EQ(c.cluster_of[t], cl);
+      EXPECT_TRUE(seen.insert(t).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_tasks());
+
+  // Durations and non-overlap within each cluster.
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    EXPECT_NEAR(c.finish[t], c.start[t] + g.comp(t), 1e-9);
+  for (ClusterId cl = 0; cl < c.num_clusters; ++cl) {
+    for (std::size_t i = 1; i < c.members[cl].size(); ++i) {
+      TaskId prev = c.members[cl][i - 1], cur = c.members[cl][i];
+      EXPECT_GE(c.start[cur], c.finish[prev] - 1e-9)
+          << "cluster " << cl << " overlaps";
+    }
+  }
+
+  // Dependence feasibility with cluster-zeroed communication.
+  for (const Edge& e : g.edges()) {
+    Cost comm = c.cluster_of[e.from] == c.cluster_of[e.to] ? 0.0 : e.comm;
+    EXPECT_GE(c.start[e.to], c.finish[e.from] + comm - 1e-9)
+        << "edge " << e.from << "->" << e.to;
+  }
+}
+
+TEST(Dsc, FeasibleOnFuzzCorpus) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    expect_clustering_feasible(g, dsc_cluster(g));
+  }
+}
+
+TEST(Dsc, FeasibleOnWorkloads) {
+  for (const std::string& name : workload_names()) {
+    WorkloadParams params;
+    params.seed = 17;
+    params.ccr = 5.0;
+    TaskGraph g = make_workload(name, 300, params);
+    expect_clustering_feasible(g, dsc_cluster(g));
+  }
+}
+
+TEST(Dsc, ChainCollapsesToOneCluster) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 2.0;
+  TaskGraph g = chain_graph(12, p);
+  Clustering c = dsc_cluster(g);
+  EXPECT_EQ(c.num_clusters, 1u);
+  EXPECT_DOUBLE_EQ(c.schedule_length(), 12.0);  // all comm zeroed
+}
+
+TEST(Dsc, IndependentTasksStaySeparate) {
+  TaskGraph g = independent_graph(9);
+  Clustering c = dsc_cluster(g);
+  EXPECT_EQ(c.num_clusters, 9u);
+}
+
+TEST(Dsc, NeverWorseThanNoClustering) {
+  // Scheduling each task at its unclustered earliest time yields the
+  // comm-inclusive critical path; DSC must not exceed it.
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    Clustering c = dsc_cluster(g);
+    EXPECT_LE(c.schedule_length(), critical_path(g) + 1e-9) << g.name();
+  }
+}
+
+TEST(Dsc, ReducesForkJoinLength) {
+  // High communication: clustering the heavy path pays off.
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 4.0;
+  TaskGraph g = fork_join_graph(2, 4, p);
+  Clustering c = dsc_cluster(g);
+  EXPECT_LT(c.schedule_length(), critical_path(g) - 1e-9);
+}
+
+TEST(Dsc, EmptyGraph) {
+  TaskGraphBuilder b;
+  TaskGraph g = std::move(b).build();
+  Clustering c = dsc_cluster(g);
+  EXPECT_EQ(c.num_clusters, 0u);
+  EXPECT_DOUBLE_EQ(c.schedule_length(), 0.0);
+}
+
+// --- LLB -----------------------------------------------------------------
+
+TEST(Llb, KeepsClustersTogether) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    Clustering c = dsc_cluster(g);
+    for (ProcId procs : {2u, 4u}) {
+      Schedule s = llb_map(g, c, procs);
+      ASSERT_TRUE(is_valid_schedule(g, s))
+          << g.name() << ": " << test::violations_to_string(g, s);
+      // Co-location: every cluster lives on exactly one processor.
+      for (ClusterId cl = 0; cl < c.num_clusters; ++cl) {
+        for (std::size_t k = 1; k < c.members[cl].size(); ++k)
+          EXPECT_EQ(s.proc(c.members[cl][k]), s.proc(c.members[cl][0]))
+              << g.name() << " cluster " << cl;
+      }
+    }
+  }
+}
+
+TEST(Llb, SingleProcessorPacksSequentially) {
+  TaskGraph g = test::fuzz_graph(5);
+  Clustering c = dsc_cluster(g);
+  Schedule s = llb_map(g, c, 1);
+  EXPECT_TRUE(is_valid_schedule(g, s));
+  EXPECT_NEAR(s.makespan(), g.total_comp(), 1e-9);
+}
+
+TEST(Llb, RejectsMismatchedClustering) {
+  TaskGraph g = test::small_diamond();
+  Clustering c = dsc_cluster(chain_graph(10));
+  EXPECT_THROW((void)llb_map(g, c, 2), Error);
+}
+
+TEST(Llb, MoreClustersThanProcsStillValid) {
+  TaskGraph g = independent_graph(40);  // 40 singleton clusters
+  Clustering c = dsc_cluster(g);
+  Schedule s = llb_map(g, c, 4);
+  EXPECT_TRUE(is_valid_schedule(g, s));
+  // Pure load balancing of independent unit-free tasks: speedup near 4.
+  EXPECT_GE(speedup(g, s), 3.0);
+}
+
+// --- DSC-LLB end to end -----------------------------------------------------
+
+TEST(DscLlb, ValidOnWorkloads) {
+  for (const std::string& name : workload_names()) {
+    WorkloadParams params;
+    params.seed = 19;
+    TaskGraph g = make_workload(name, 300, params);
+    DscLlbScheduler dsc_llb;
+    for (ProcId procs : {1u, 4u, 16u}) {
+      Schedule s = dsc_llb.run(g, procs);
+      ASSERT_TRUE(is_valid_schedule(g, s))
+          << name << " P=" << procs << ": "
+          << test::violations_to_string(g, s);
+      EXPECT_GE(s.makespan(), makespan_lower_bound(g, procs) - 1e-9);
+    }
+  }
+}
+
+TEST(DscLlb, DeterministicAcrossRuns) {
+  TaskGraph g = make_workload("Stencil", 300, {});
+  DscLlbScheduler d;
+  Schedule a = d.run(g, 4);
+  Schedule b = d.run(g, 4);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(a.proc(t), b.proc(t));
+    EXPECT_DOUBLE_EQ(a.start(t), b.start(t));
+  }
+}
+
+TEST(DscLlb, NameIsPaperName) {
+  EXPECT_EQ(DscLlbScheduler().name(), "DSC-LLB");
+}
+
+}  // namespace
+}  // namespace flb

@@ -1,0 +1,204 @@
+#include "flb/algos/duplication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/properties.hpp"
+#include "flb/sched/metrics.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+std::string dup_violations(const TaskGraph& g, const DupSchedule& s) {
+  std::string out;
+  for (const Violation& v : validate_dup_schedule(g, s)) {
+    out += to_string(v);
+    out += '\n';
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+// --- DupSchedule container -----------------------------------------------------
+
+TEST(DupSchedule, PlaceAndQueryInstances) {
+  DupSchedule s(2, 3);
+  s.place(0, 0, 0.0, 1.0);
+  s.place(0, 1, 2.0, 3.0);  // duplicate on the other processor
+  EXPECT_TRUE(s.has_instance(0));
+  EXPECT_EQ(s.instances(0).size(), 2u);
+  EXPECT_EQ(s.num_instances(), 2u);
+  EXPECT_DOUBLE_EQ(s.earliest_finish(0), 1.0);
+  ASSERT_NE(s.instance_on(0, 1), nullptr);
+  EXPECT_DOUBLE_EQ(s.instance_on(0, 1)->start, 2.0);
+  EXPECT_EQ(s.instance_on(0, 0)->proc, 0u);
+  EXPECT_EQ(s.instance_on(1, 0), nullptr);
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+TEST(DupSchedule, RejectsSecondInstanceOnSameProc) {
+  DupSchedule s(2, 2);
+  s.place(0, 0, 0.0, 1.0);
+  EXPECT_THROW(s.place(0, 0, 5.0, 6.0), Error);
+}
+
+TEST(DupSchedule, RejectsOverlap) {
+  DupSchedule s(1, 3);
+  s.place(0, 0, 0.0, 2.0);
+  EXPECT_THROW(s.place(1, 0, 1.0, 3.0), Error);
+  s.place(1, 0, 2.0, 3.0);  // touching is fine
+}
+
+TEST(DupSchedule, EarliestGapFindsHoles) {
+  DupSchedule s(1, 4);
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 5.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.earliest_gap(0, 0.0, 3.0), 2.0);   // hole [2, 5)
+  EXPECT_DOUBLE_EQ(s.earliest_gap(0, 0.0, 4.0), 7.0);   // too big -> tail
+  EXPECT_DOUBLE_EQ(s.earliest_gap(0, 3.0, 1.0), 3.0);   // inside the hole
+  EXPECT_DOUBLE_EQ(s.earliest_gap(0, 6.0, 1.0), 7.0);
+}
+
+TEST(DupSchedule, DataReadyUsesBestInstance) {
+  TaskGraph g = test::small_diamond();
+  DupSchedule s(2, 4);
+  s.place(0, 0, 0.0, 1.0);   // a on p0
+  s.place(0, 1, 0.0, 1.0);   // a duplicated on p1
+  // b's data (edge comm 2) is free on both processors now.
+  EXPECT_DOUBLE_EQ(s.data_ready(g, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.data_ready(g, 1, 1), 1.0);
+}
+
+// --- Duplication validator ----------------------------------------------------
+
+TEST(DupValidator, AcceptsLegalDuplication) {
+  TaskGraph g = test::small_diamond();
+  DupSchedule s(2, 4);
+  s.place(0, 0, 0.0, 1.0);
+  s.place(0, 1, 0.0, 1.0);  // duplicate of a feeds c locally
+  s.place(1, 0, 1.0, 4.0);  // b on p0, local a
+  s.place(2, 1, 1.0, 3.0);  // c on p1, local duplicate of a
+  s.place(3, 0, 6.0, 7.0);  // d on p0: b local (4), c remote 3+3=6
+  EXPECT_TRUE(is_valid_dup_schedule(g, s)) << dup_violations(g, s);
+}
+
+TEST(DupValidator, CatchesMissingInstance) {
+  TaskGraph g = test::small_diamond();
+  DupSchedule s(2, 4);
+  s.place(0, 0, 0.0, 1.0);
+  auto v = validate_dup_schedule(g, s);
+  EXPECT_GE(v.size(), 3u);
+}
+
+TEST(DupValidator, CatchesPrematureStart) {
+  TaskGraph g = test::small_diamond();
+  DupSchedule s(2, 4);
+  s.place(0, 0, 0.0, 1.0);
+  s.place(1, 1, 1.0, 4.0);  // b on p1 needs a's data at 1+2=3: too early
+  s.place(2, 0, 1.0, 3.0);
+  s.place(3, 0, 7.0, 8.0);
+  bool found = false;
+  for (const auto& violation : validate_dup_schedule(g, s))
+    if (violation.kind == Violation::Kind::kPrecedence && violation.task == 1)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DupValidator, DuplicationRelaxesPrecedence) {
+  // The same premature b becomes legal once a is duplicated onto p1.
+  TaskGraph g = test::small_diamond();
+  DupSchedule s(2, 4);
+  s.place(0, 0, 0.0, 1.0);
+  s.place(0, 1, 0.0, 1.0);
+  s.place(1, 1, 1.0, 4.0);  // now fed by the local duplicate
+  s.place(2, 0, 1.0, 3.0);
+  s.place(3, 1, 6.0, 7.0);  // b local (4), c remote 3+3=6
+  EXPECT_TRUE(is_valid_dup_schedule(g, s)) << dup_violations(g, s);
+}
+
+// --- DupScheduler ----------------------------------------------------------------
+
+TEST(DupScheduler, ValidOnFuzzCorpus) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (ProcId procs : {2u, 4u}) {
+      DupScheduler dup;
+      DupSchedule s = dup.run(g, procs);
+      ASSERT_TRUE(is_valid_dup_schedule(g, s))
+          << g.name() << " P=" << procs << "\n" << dup_violations(g, s);
+      EXPECT_GE(s.makespan(), computation_critical_path(g) - 1e-9);
+    }
+  }
+}
+
+TEST(DupScheduler, ValidOnWorkloads) {
+  for (const std::string& name : workload_names()) {
+    WorkloadParams params;
+    params.seed = 11;
+    params.ccr = 5.0;
+    TaskGraph g = make_workload(name, 250, params);
+    DupScheduler dup;
+    DupSchedule s = dup.run(g, 4);
+    ASSERT_TRUE(is_valid_dup_schedule(g, s))
+        << name << "\n" << dup_violations(g, s);
+  }
+}
+
+TEST(DupScheduler, DuplicatesEntryOfExpensiveFork) {
+  // One entry task fans out to 4 children over expensive edges: without
+  // duplication only one child gets the data for free; with duplication
+  // every processor re-executes the cheap entry task.
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 10.0;
+  TaskGraph g = out_tree_graph(2, 4, p);  // root + 4 leaves, comm 10
+  DupScheduler dup;
+  DupSchedule s = dup.run(g, 4);
+  ASSERT_TRUE(is_valid_dup_schedule(g, s)) << dup_violations(g, s);
+  EXPECT_GT(s.num_instances(), g.num_tasks());  // real duplication happened
+  // Everything local: root(1) + leaf(1) per processor.
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+  // The no-duplication alternative is far worse: serialize (5 units) or
+  // pay a 10-unit message (12 units end to end).
+  FlbScheduler flb;
+  EXPECT_GE(flb.run(g, 4).makespan(), 4.9);
+}
+
+TEST(DupScheduler, BeatsOrMatchesFlbOnCommunicationHeavyTrees) {
+  for (std::size_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    params.ccr = 8.0;
+    TaskGraph g = out_tree_graph(4, 3, params);
+    DupScheduler dup;
+    FlbScheduler flb;
+    Cost dup_len = dup.run(g, 4).makespan();
+    Cost flb_len = flb.run(g, 4).makespan();
+    EXPECT_LE(dup_len, flb_len + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(DupScheduler, NoDuplicationWhenCommunicationIsFree) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 0.0;  // zero-cost messages: duplication can never help
+  TaskGraph g = fork_join_graph(3, 4, p);
+  DupScheduler dup;
+  DupSchedule s = dup.run(g, 4);
+  ASSERT_TRUE(is_valid_dup_schedule(g, s));
+  EXPECT_EQ(s.num_instances(), static_cast<std::size_t>(g.num_tasks()));
+}
+
+TEST(DupScheduler, SingleProcNeverDuplicates) {
+  TaskGraph g = test::fuzz_graph(4);
+  DupScheduler dup;
+  DupSchedule s = dup.run(g, 1);
+  ASSERT_TRUE(is_valid_dup_schedule(g, s));
+  EXPECT_EQ(s.num_instances(), static_cast<std::size_t>(g.num_tasks()));
+  EXPECT_NEAR(s.makespan(), g.total_comp(), 1e-9);
+}
+
+}  // namespace
+}  // namespace flb

@@ -1,0 +1,132 @@
+#include "flb/algos/etf.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flb/graph/properties.hpp"
+#include "flb/sched/metrics.hpp"
+#include "flb/sched/tentative.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// Naive reference ETF: recomputes every quantity from scratch with the
+// shared tentative helpers each iteration — O(W * P * in-degree) per step.
+// The production EtfScheduler must match it placement for placement.
+Schedule reference_etf(const TaskGraph& g, ProcId procs) {
+  Schedule s(procs, g.num_tasks());
+  std::vector<Cost> bl = bottom_levels(g);
+  while (!s.complete()) {
+    TaskId best_t = kInvalidTask;
+    ProcId best_p = 0;
+    Cost best_est = kInfiniteTime;
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (!is_ready(g, s, t)) continue;
+      for (ProcId p = 0; p < procs; ++p) {
+        Cost est = est_start(g, s, t, p);
+        bool better = est < best_est;
+        if (!better && est == best_est && best_t != kInvalidTask) {
+          better = bl[t] > bl[best_t] ||
+                   (bl[t] == bl[best_t] &&
+                    (t < best_t || (t == best_t && p < best_p)));
+        }
+        if (better) {
+          best_est = est;
+          best_t = t;
+          best_p = p;
+        }
+      }
+    }
+    s.assign(best_t, best_p, best_est, best_est + g.comp(best_t));
+  }
+  return s;
+}
+
+TEST(Etf, MatchesNaiveReferenceOnFuzzCorpus) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (ProcId procs : {2u, 4u}) {
+      EtfScheduler etf;
+      Schedule fast = etf.run(g, procs);
+      Schedule ref = reference_etf(g, procs);
+      for (TaskId t = 0; t < g.num_tasks(); ++t) {
+        ASSERT_EQ(fast.proc(t), ref.proc(t))
+            << g.name() << " P=" << procs << " task " << t;
+        ASSERT_DOUBLE_EQ(fast.start(t), ref.start(t))
+            << g.name() << " P=" << procs << " task " << t;
+      }
+    }
+  }
+}
+
+TEST(Etf, ValidOnWorkloads) {
+  for (const std::string& name : workload_names()) {
+    WorkloadParams params;
+    params.seed = 9;
+    TaskGraph g = make_workload(name, 300, params);
+    EtfScheduler etf;
+    Schedule s = etf.run(g, 4);
+    ASSERT_TRUE(is_valid_schedule(g, s))
+        << name << ": " << test::violations_to_string(g, s);
+    EXPECT_GE(s.makespan(), makespan_lower_bound(g, 4) - 1e-9);
+  }
+}
+
+TEST(Etf, SingleProcessorPacksSequentially) {
+  TaskGraph g = test::fuzz_graph(1);
+  EtfScheduler etf;
+  Schedule s = etf.run(g, 1);
+  EXPECT_TRUE(is_valid_schedule(g, s));
+  EXPECT_NEAR(s.makespan(), g.total_comp(), 1e-9);
+}
+
+TEST(Etf, SchedulesEarliestStartingTaskEachIteration) {
+  // Re-run the selection property directly: each assignment's start equals
+  // the global minimum over (ready task, processor) at that moment.
+  for (std::size_t i = 0; i < 10; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    EtfScheduler etf;
+    Schedule full = etf.run(g, 3);
+    // Replay in start order, checking optimality against a growing partial
+    // schedule.
+    std::vector<TaskId> order(g.num_tasks());
+    for (TaskId t = 0; t < g.num_tasks(); ++t) order[t] = t;
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return full.start(a) < full.start(b);
+    });
+    // Cannot always reconstruct ETF's exact iteration sequence from start
+    // times alone (equal starts), so only check the first decision plus
+    // validity, and the stronger per-step check lives in Theorem 3's FLB
+    // test where instrumentation exists.
+    Schedule empty(3, g.num_tasks());
+    Cost best = kInfiniteTime;
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (!is_ready(g, empty, t)) continue;
+      best = std::min(best, best_proc_exhaustive(g, empty, t).second);
+    }
+    EXPECT_DOUBLE_EQ(full.start(order.front()), best);
+  }
+}
+
+TEST(Etf, DeterministicAcrossRuns) {
+  TaskGraph g = make_workload("LU", 200, {});
+  EtfScheduler etf;
+  Schedule a = etf.run(g, 4);
+  Schedule b = etf.run(g, 4);
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    EXPECT_EQ(a.proc(t), b.proc(t));
+}
+
+TEST(Etf, RejectsZeroProcessors) {
+  EtfScheduler etf;
+  TaskGraph g = test::small_diamond();
+  EXPECT_THROW((void)etf.run(g, 0), Error);
+}
+
+}  // namespace
+}  // namespace flb

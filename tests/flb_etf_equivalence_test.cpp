@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flb/algos/etf.hpp"
+#include "flb/core/flb.hpp"
+#include "flb/sched/tentative.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// The paper's headline equivalence (Section 4, Theorem 3): FLB uses the
+// same task-selection criterion as ETF — at every iteration it schedules a
+// ready task that can start the earliest, at the earliest start achievable
+// for it. The algorithms may still pick *different* equally-early pairs
+// (their tie-breaking differs, Section 6.2), so schedules need not be
+// identical; what must hold is that each one's per-iteration start time is
+// the global minimum for its own partial schedule. FLB's side is verified
+// directly in flb_test (Theorem3ChosenPairIsGlobalArgmin); here we verify
+// ETF's side and the practical consequences the paper reports.
+
+// ETF replayed step by step: every decision's start time is the global
+// minimum EST of its own partial schedule.
+TEST(FlbEtfEquivalence, EtfAlsoSchedulesGlobalEarliestStart) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    const ProcId procs = 3;
+    EtfScheduler etf;
+    Schedule s = etf.run(g, procs);
+
+    // Replay ETF's decisions in iteration order. ETF schedules tasks in
+    // non-decreasing start-time order (the global min EST never decreases:
+    // PRTs only grow and ready-task arrival times are fixed once ready),
+    // so sorting by (start, assignment order) reconstructs a valid
+    // iteration order; for equal starts the relative order does not affect
+    // the assertion because both achieve the same minimum.
+    std::vector<TaskId> order(g.num_tasks());
+    for (TaskId t = 0; t < g.num_tasks(); ++t) order[t] = t;
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return s.start(a) < s.start(b);
+    });
+
+    Schedule replay(procs, g.num_tasks());
+    for (TaskId t : order) {
+      if (!is_ready(g, replay, t)) {
+        // Equal-start reordering placed a successor before its predecessor
+        // in our reconstruction; skip the strict check for this step but
+        // keep the replay consistent by scheduling anyway.
+        replay.assign(t, s.proc(t), s.start(t), s.finish(t));
+        continue;
+      }
+      Cost best = kInfiniteTime;
+      for (TaskId r = 0; r < g.num_tasks(); ++r) {
+        if (!is_ready(g, replay, r)) continue;
+        best = std::min(best, best_proc_exhaustive(g, replay, r).second);
+      }
+      ASSERT_NEAR(s.start(t), best, 1e-9)
+          << g.name() << ": ETF scheduled t" << t << " at " << s.start(t)
+          << " but some ready task could start at " << best;
+      replay.assign(t, s.proc(t), s.start(t), s.finish(t));
+    }
+  }
+}
+
+// Start times of the two algorithms' iteration sequences coincide: the
+// i-th earliest start chosen by FLB equals the i-th earliest chosen by
+// ETF... this is NOT implied by the criterion (different tie-breaks fork
+// different futures), so the paper only claims comparable performance.
+// We check the practical consequence: on the evaluation workloads the
+// makespans stay within a modest band of each other.
+TEST(FlbEtfEquivalence, MakespansStayClose) {
+  for (const std::string& name : workload_names()) {
+    for (double ccr : {0.2, 5.0}) {
+      WorkloadParams params;
+      params.ccr = ccr;
+      params.seed = 47;
+      TaskGraph g = make_workload(name, 400, params);
+      Cost flb_len = FlbScheduler().run(g, 8).makespan();
+      Cost etf_len = EtfScheduler().run(g, 8).makespan();
+      // Paper Fig. 4: differences up to ~12% in either direction; allow a
+      // generous band to keep the test robust across instances.
+      EXPECT_LT(flb_len, 1.5 * etf_len) << name << " ccr " << ccr;
+      EXPECT_LT(etf_len, 1.5 * flb_len) << name << " ccr " << ccr;
+    }
+  }
+}
+
+// On a graph with no ties at all (strictly distinct random weights rarely
+// tie), FLB and ETF make literally identical decisions. Build a tiny graph
+// with forced distinct ESTs and compare complete schedules.
+TEST(FlbEtfEquivalence, IdenticalSchedulesWithoutTies) {
+  // A chain of diamonds with distinct weights: every EST is unique.
+  TaskGraphBuilder b;
+  TaskId a = b.add_task(1.0);
+  TaskId c1 = b.add_task(2.0);
+  TaskId c2 = b.add_task(3.5);
+  TaskId d = b.add_task(1.5);
+  TaskId e1 = b.add_task(2.25);
+  TaskId e2 = b.add_task(0.75);
+  TaskId f = b.add_task(1.0);
+  b.add_edge(a, c1, 1.0);
+  b.add_edge(a, c2, 2.5);
+  b.add_edge(c1, d, 0.5);
+  b.add_edge(c2, d, 1.25);
+  b.add_edge(d, e1, 3.0);
+  b.add_edge(d, e2, 0.25);
+  b.add_edge(e1, f, 1.0);
+  b.add_edge(e2, f, 2.0);
+  TaskGraph g = std::move(b).build();
+
+  Schedule flb = FlbScheduler().run(g, 2);
+  Schedule etf = EtfScheduler().run(g, 2);
+  ASSERT_TRUE(is_valid_schedule(g, flb));
+  ASSERT_TRUE(is_valid_schedule(g, etf));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(flb.start(t), etf.start(t)) << "task " << t;
+  }
+}
+
+}  // namespace
+}  // namespace flb

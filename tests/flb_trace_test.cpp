@@ -1,0 +1,111 @@
+#include "flb/core/trace.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+
+namespace flb {
+namespace {
+
+// The execution trace of the paper's Table 1, reproduced cell by cell.
+TEST(FlbTrace, Table1Reproduction) {
+  TaskGraph g = paper_example_graph();
+  std::vector<FlbTraceRow> rows = trace_flb(g, 2);
+  ASSERT_EQ(rows.size(), 8u);
+
+  using Cells = std::vector<std::string>;
+
+  // Iteration 1: only t0 is ready (non-EP), scheduled on p0 at [0, 2).
+  EXPECT_EQ(rows[0].ep_cells[0], Cells{});
+  EXPECT_EQ(rows[0].ep_cells[1], Cells{});
+  EXPECT_EQ(rows[0].non_ep_cells, Cells{"t0[0]"});
+  EXPECT_EQ(rows[0].decision, "t0 -> p0, [0 - 2]");
+
+  // Iteration 2: t3, t1, t2 EP on p0 in bottom-level order.
+  EXPECT_EQ(rows[1].ep_cells[0],
+            (Cells{"t3[2; 12/3]", "t1[2; 11/3]", "t2[2; 9/6]"}));
+  EXPECT_EQ(rows[1].ep_cells[1], Cells{});
+  EXPECT_EQ(rows[1].non_ep_cells, Cells{});
+  EXPECT_EQ(rows[1].decision, "t3 -> p0, [2 - 5]");
+
+  // Iteration 3: t1 demoted to non-EP; t2 still EP on p0.
+  EXPECT_EQ(rows[2].ep_cells[0], Cells{"t2[2; 9/6]"});
+  EXPECT_EQ(rows[2].non_ep_cells, Cells{"t1[3]"});
+  EXPECT_EQ(rows[2].decision, "t1 -> p1, [3 - 5]");
+
+  // Iteration 4: t5 joins p0's EP list, t4 enables p1.
+  EXPECT_EQ(rows[3].ep_cells[0], (Cells{"t2[2; 9/6]", "t5[6; 8/6]"}));
+  EXPECT_EQ(rows[3].ep_cells[1], Cells{"t4[5; 6/7]"});
+  EXPECT_EQ(rows[3].non_ep_cells, Cells{});
+  EXPECT_EQ(rows[3].decision, "t2 -> p0, [5 - 7]");
+
+  // Iteration 5: t5 demoted, t6 becomes EP on p0; t4 scheduled on p1.
+  EXPECT_EQ(rows[4].ep_cells[0], Cells{"t6[7; 6/8]"});
+  EXPECT_EQ(rows[4].ep_cells[1], Cells{"t4[5; 6/7]"});
+  EXPECT_EQ(rows[4].non_ep_cells, Cells{"t5[6]"});
+  EXPECT_EQ(rows[4].decision, "t4 -> p1, [5 - 8]");
+
+  // Iteration 6: EST tie (7) between EP t6 and non-EP t5: non-EP preferred.
+  EXPECT_EQ(rows[5].ep_cells[0], Cells{"t6[7; 6/8]"});
+  EXPECT_EQ(rows[5].ep_cells[1], Cells{});
+  EXPECT_EQ(rows[5].non_ep_cells, Cells{"t5[6]"});
+  EXPECT_EQ(rows[5].decision, "t5 -> p0, [7 - 10]");
+
+  // Iteration 7: t6 demoted (PRT(p0) = 10 > LMT = 8), goes to p1.
+  EXPECT_EQ(rows[6].ep_cells[0], Cells{});
+  EXPECT_EQ(rows[6].ep_cells[1], Cells{});
+  EXPECT_EQ(rows[6].non_ep_cells, Cells{"t6[8]"});
+  EXPECT_EQ(rows[6].decision, "t6 -> p1, [8 - 10]");
+
+  // Iteration 8: t7 EP on p0, starts at 12.
+  EXPECT_EQ(rows[7].ep_cells[0], Cells{"t7[12; 2/13]"});
+  EXPECT_EQ(rows[7].ep_cells[1], Cells{});
+  EXPECT_EQ(rows[7].non_ep_cells, Cells{});
+  EXPECT_EQ(rows[7].decision, "t7 -> p0, [12 - 14]");
+}
+
+TEST(FlbTrace, RawDecisionFieldsMatchStrings) {
+  TaskGraph g = paper_example_graph();
+  std::vector<FlbTraceRow> rows = trace_flb(g, 2);
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_EQ(rows[0].task, 0u);
+  EXPECT_EQ(rows[0].proc, 0u);
+  EXPECT_FALSE(rows[0].ep_type);
+  EXPECT_EQ(rows[1].task, 3u);
+  EXPECT_TRUE(rows[1].ep_type);
+  EXPECT_DOUBLE_EQ(rows[7].start, 12.0);
+  EXPECT_DOUBLE_EQ(rows[7].finish, 14.0);
+}
+
+TEST(FlbTrace, WriteTraceRendersAllRows) {
+  TaskGraph g = paper_example_graph();
+  std::vector<FlbTraceRow> rows = trace_flb(g, 2);
+  std::ostringstream os;
+  write_trace(os, rows, 2);
+  std::string out = os.str();
+  EXPECT_NE(out.find("EP tasks on p0"), std::string::npos);
+  EXPECT_NE(out.find("non-EP tasks"), std::string::npos);
+  EXPECT_NE(out.find("t3[2; 12/3]"), std::string::npos);
+  EXPECT_NE(out.find("t7 -> p0, [12 - 14]"), std::string::npos);
+}
+
+TEST(FlbTrace, TraceMatchesUninstrumentedRun) {
+  WorkloadParams params;
+  params.seed = 5;
+  TaskGraph g = make_workload("Stencil", 200, params);
+  std::vector<FlbTraceRow> rows = trace_flb(g, 4);
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 4);
+  ASSERT_EQ(rows.size(), g.num_tasks());
+  for (const FlbTraceRow& row : rows) {
+    EXPECT_EQ(s.proc(row.task), row.proc);
+    EXPECT_DOUBLE_EQ(s.start(row.task), row.start);
+    EXPECT_DOUBLE_EQ(s.finish(row.task), row.finish);
+  }
+}
+
+}  // namespace
+}  // namespace flb

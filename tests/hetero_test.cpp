@@ -1,0 +1,220 @@
+// Tests for the heterogeneous machine model, HEFT and CPOP, plus the
+// hetero validator.
+
+#include <gtest/gtest.h>
+
+#include "flb/algos/heft.hpp"
+#include "flb/graph/properties.hpp"
+#include "flb/sched/hetero.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+std::string hetero_violations(const TaskGraph& g, const HeteroMachine& m,
+                              const Schedule& s) {
+  std::string out;
+  for (const Violation& v : validate_hetero_schedule(g, m, s)) {
+    out += to_string(v);
+    out += '\n';
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+// --- Machine model ------------------------------------------------------------
+
+TEST(HeteroMachine, ExecTimeScalesWithSpeed) {
+  HeteroMachine m({1.0, 2.0, 0.5});
+  EXPECT_EQ(m.num_procs(), 3u);
+  EXPECT_DOUBLE_EQ(m.exec_time(4.0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.exec_time(4.0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.exec_time(4.0, 2), 8.0);
+  EXPECT_FALSE(m.is_uniform());
+  // mean inverse speed = (1 + 0.5 + 2) / 3.
+  EXPECT_NEAR(m.mean_exec_time(3.0), 3.0 * 3.5 / 3.0, 1e-12);
+}
+
+TEST(HeteroMachine, UniformFactory) {
+  HeteroMachine m = HeteroMachine::uniform(4);
+  EXPECT_TRUE(m.is_uniform());
+  EXPECT_DOUBLE_EQ(m.exec_time(2.5, 3), 2.5);
+  EXPECT_DOUBLE_EQ(m.mean_exec_time(2.5), 2.5);
+}
+
+TEST(HeteroMachine, RejectsBadSpeeds) {
+  EXPECT_THROW(HeteroMachine({}), Error);
+  EXPECT_THROW(HeteroMachine({1.0, 0.0}), Error);
+  EXPECT_THROW(HeteroMachine({-1.0}), Error);
+}
+
+// --- Hetero validator -----------------------------------------------------------
+
+TEST(HeteroValidator, ChecksSpeedScaledDurations) {
+  TaskGraph g = test::small_diamond();
+  HeteroMachine m({1.0, 2.0});
+  Schedule s(2, 4);
+  s.assign(0, 1, 0.0, 0.5);  // comp 1 on speed 2 -> duration 0.5
+  s.assign(1, 1, 2.5, 4.0);  // comp 3 -> 1.5 (data from a local at 0.5 +
+                             // message... a on p1, so b local: 0.5; but
+                             // 2.5 is safely late)
+  s.assign(2, 0, 1.5, 3.5);  // comp 2 on speed 1, a remote: 0.5 + 1 = 1.5
+  s.assign(3, 0, 7.0, 8.0);  // comp 1; b remote 4+1=5, c local 3.5
+  EXPECT_TRUE(is_valid_hetero_schedule(g, m, s))
+      << hetero_violations(g, m, s);
+
+  // The same placements are NOT valid on a uniform machine (durations).
+  EXPECT_FALSE(is_valid_schedule(g, s));
+}
+
+TEST(HeteroValidator, CatchesWrongDuration) {
+  TaskGraph g = test::small_diamond();
+  HeteroMachine m({2.0});
+  Schedule s(1, 4);
+  s.assign(0, 0, 0.0, 1.0);  // should be 0.5 on speed 2
+  auto v = validate_hetero_schedule(g, m, s);
+  bool found = false;
+  for (const auto& violation : v)
+    if (violation.kind == Violation::Kind::kWrongDuration &&
+        violation.task == 0)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(HeteroValidator, UniformMachineAgreesWithHomogeneousValidator) {
+  TaskGraph g = test::fuzz_graph(1);
+  HeteroMachine m = HeteroMachine::uniform(3);
+  Schedule s = heft(g, m);
+  EXPECT_EQ(is_valid_schedule(g, s), is_valid_hetero_schedule(g, m, s));
+}
+
+// --- Ranks ----------------------------------------------------------------------
+
+TEST(UpwardRanks, UniformMachineEqualsBottomLevels) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    HeteroMachine m = HeteroMachine::uniform(4);
+    auto rank = upward_ranks(g, m);
+    auto bl = bottom_levels(g);
+    for (TaskId t = 0; t < g.num_tasks(); ++t)
+      ASSERT_NEAR(rank[t], bl[t], 1e-9) << g.name() << " t" << t;
+  }
+}
+
+TEST(DownwardRanks, UniformMachineEqualsTopLevels) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    HeteroMachine m = HeteroMachine::uniform(4);
+    auto rank = downward_ranks(g, m);
+    auto tl = top_levels(g);
+    for (TaskId t = 0; t < g.num_tasks(); ++t)
+      ASSERT_NEAR(rank[t], tl[t], 1e-9);
+  }
+}
+
+TEST(UpwardRanks, ScaleWithMachineSpeed) {
+  TaskGraph g = test::small_diamond();
+  // All processors twice as fast: computation halves, communication stays.
+  auto slow = upward_ranks(g, HeteroMachine({1.0, 1.0}));
+  auto fast = upward_ranks(g, HeteroMachine({2.0, 2.0}));
+  // rank(d) = comp(d)/speed: exactly halves.
+  EXPECT_DOUBLE_EQ(fast[3], slow[3] / 2.0);
+  EXPECT_LT(fast[0], slow[0]);
+}
+
+// --- HEFT -----------------------------------------------------------------------
+
+TEST(Heft, ValidOnFuzzCorpusAcrossMachines) {
+  const std::vector<std::vector<double>> machines = {
+      {1.0, 1.0, 1.0},
+      {2.0, 1.0, 0.5},
+      {4.0, 0.25},
+  };
+  for (std::size_t i = 0; i < 14; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (const auto& speeds : machines) {
+      HeteroMachine m(speeds);
+      Schedule s = heft(g, m);
+      ASSERT_TRUE(is_valid_hetero_schedule(g, m, s))
+          << g.name() << "\n" << hetero_violations(g, m, s);
+    }
+  }
+}
+
+TEST(Heft, PrefersFastProcessorWhenFree) {
+  // A single task must land on the fastest processor.
+  TaskGraphBuilder b;
+  b.add_task(6.0);
+  TaskGraph g = std::move(b).build();
+  HeteroMachine m({1.0, 3.0, 2.0});
+  Schedule s = heft(g, m);
+  EXPECT_EQ(s.proc(0), 1u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 2.0);
+}
+
+TEST(Heft, FasterMachineNeverHurtsMuch) {
+  // Speeding every processor up by 2x should roughly halve the makespan.
+  WorkloadParams params;
+  params.seed = 3;
+  TaskGraph g = make_workload("LU", 300, params);
+  Schedule base = heft(g, HeteroMachine({1, 1, 1, 1}));
+  Schedule fast = heft(g, HeteroMachine({2, 2, 2, 2}));
+  EXPECT_LT(fast.makespan(), base.makespan());
+}
+
+TEST(Heft, UniformMachineCompetitiveWithLibraryAlgorithms) {
+  WorkloadParams params;
+  params.seed = 7;
+  params.ccr = 1.0;
+  TaskGraph g = make_workload("Stencil", 300, params);
+  HeteroMachine m = HeteroMachine::uniform(8);
+  Cost heft_len = heft(g, m).makespan();
+  Cost mcp_len = make_scheduler("MCP", 1)->run(g, 8).makespan();
+  EXPECT_LT(heft_len, 1.3 * mcp_len);
+  EXPECT_GT(heft_len, 0.5 * mcp_len);
+}
+
+// --- CPOP -----------------------------------------------------------------------
+
+TEST(Cpop, ValidOnFuzzCorpusAcrossMachines) {
+  const std::vector<std::vector<double>> machines = {
+      {1.0, 1.0, 1.0},
+      {2.0, 1.0, 0.5},
+  };
+  for (std::size_t i = 0; i < 14; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (const auto& speeds : machines) {
+      HeteroMachine m(speeds);
+      Schedule s = cpop(g, m);
+      ASSERT_TRUE(is_valid_hetero_schedule(g, m, s))
+          << g.name() << "\n" << hetero_violations(g, m, s);
+    }
+  }
+}
+
+TEST(Cpop, CriticalPathSharesOneProcessor) {
+  // On a pure chain every task is on the critical path: CPOP must place
+  // the whole chain on the single fastest processor.
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 1.0;
+  TaskGraph g = chain_graph(12, p);
+  HeteroMachine m({1.0, 5.0, 2.0});
+  Schedule s = cpop(g, m);
+  ASSERT_TRUE(is_valid_hetero_schedule(g, m, s));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) EXPECT_EQ(s.proc(t), 1u);
+  EXPECT_DOUBLE_EQ(s.makespan(), 12.0 / 5.0);
+}
+
+TEST(Cpop, HandlesSingleProcessor) {
+  TaskGraph g = test::fuzz_graph(4);
+  HeteroMachine m({2.0});
+  Schedule s = cpop(g, m);
+  ASSERT_TRUE(is_valid_hetero_schedule(g, m, s));
+  EXPECT_NEAR(s.makespan(), g.total_comp() / 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flb

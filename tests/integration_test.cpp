@@ -1,0 +1,139 @@
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "flb/graph/properties.hpp"
+#include "flb/sched/gantt.hpp"
+#include "flb/sched/metrics.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+TEST(Registry, ListsPaperAlgorithms) {
+  auto names = scheduler_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "MCP");
+  EXPECT_EQ(names[1], "ETF");
+  EXPECT_EQ(names[2], "DSC-LLB");
+  EXPECT_EQ(names[3], "FCP");
+  EXPECT_EQ(names[4], "FLB");
+}
+
+TEST(Registry, ConstructsEveryAlgorithmWithMatchingName) {
+  for (const std::string& name : scheduler_names()) {
+    auto sched = make_scheduler(name);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_EQ(sched->name(), name);
+  }
+}
+
+TEST(Registry, RejectsUnknownName) {
+  EXPECT_THROW(make_scheduler("CPOP"), Error);
+  EXPECT_THROW(make_scheduler(""), Error);
+}
+
+// The big cross-product: every algorithm x every workload x several P and
+// CCR values must produce a feasible schedule whose makespan is bounded
+// below by the universal lower bound and above by fully-sequential
+// execution plus total communication.
+class EveryAlgorithmSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, int, double>> {};
+
+TEST_P(EveryAlgorithmSweep, FeasibleAndBounded) {
+  auto [algo, workload, procs, ccr] = GetParam();
+  WorkloadParams params;
+  params.ccr = ccr;
+  params.seed = 23;
+  TaskGraph g = make_workload(workload, 250, params);
+  auto sched = make_scheduler(algo, 1);
+  Schedule s = sched->run(g, static_cast<ProcId>(procs));
+  ASSERT_TRUE(is_valid_schedule(g, s))
+      << algo << " on " << workload << " P=" << procs << "\n"
+      << test::violations_to_string(g, s);
+  EXPECT_GE(s.makespan(),
+            makespan_lower_bound(g, static_cast<ProcId>(procs)) - 1e-9);
+  EXPECT_LE(s.makespan(), g.total_comp() + g.total_comm() + 1e-9);
+  EXPECT_LE(speedup(g, s), static_cast<Cost>(procs) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, EveryAlgorithmSweep,
+    ::testing::Combine(::testing::ValuesIn(scheduler_names()),
+                       ::testing::ValuesIn(workload_names()),
+                       ::testing::Values(2, 8),
+                       ::testing::Values(0.2, 5.0)),
+    [](const auto& info) {
+      std::string a = std::get<0>(info.param);
+      for (char& ch : a)
+        if (ch == '-') ch = '_';
+      return a + "_" + std::get<1>(info.param) + "_P" +
+             std::to_string(std::get<2>(info.param)) + "_CCR" +
+             (std::get<3>(info.param) < 1 ? "02" : "50");
+    });
+
+// All algorithms pack a single processor without idle time.
+TEST(Integration, AllAlgorithmsSequentialOnOneProc) {
+  WorkloadParams params;
+  params.seed = 31;
+  TaskGraph g = make_workload("LU", 250, params);
+  for (const std::string& name : scheduler_names()) {
+    Schedule s = make_scheduler(name)->run(g, 1);
+    EXPECT_NEAR(s.makespan(), g.total_comp(), 1e-6) << name;
+  }
+}
+
+// Sanity of relative quality at paper scale (small instance): the one-step
+// earliest-start algorithms should not be dramatically worse than MCP.
+TEST(Integration, OneStepAlgorithmsWithinFactorTwoOfMcp) {
+  WorkloadParams params;
+  params.seed = 37;
+  params.ccr = 1.0;
+  TaskGraph g = make_workload("Stencil", 400, params);
+  std::map<std::string, Cost> makespans;
+  for (const std::string& name : scheduler_names())
+    makespans[name] = make_scheduler(name)->run(g, 8).makespan();
+  for (const std::string& name : {"ETF", "FCP", "FLB"})
+    EXPECT_LE(makespans[name], 2.0 * makespans["MCP"]) << name;
+}
+
+// Gantt and listing renderers accept any complete schedule.
+TEST(Integration, GanttRendersEverySchedulerOutput) {
+  TaskGraph g = test::fuzz_graph(6);
+  for (const std::string& name : scheduler_names()) {
+    Schedule s = make_scheduler(name)->run(g, 3);
+    std::string gantt = to_gantt(g, s, 60);
+    EXPECT_NE(gantt.find("P0 |"), std::string::npos) << name;
+    EXPECT_NE(gantt.find("P2 |"), std::string::npos) << name;
+    std::ostringstream listing;
+    write_schedule_listing(listing, s);
+    EXPECT_NE(listing.str().find("-> p"), std::string::npos) << name;
+  }
+}
+
+// Increasing P may never break feasibility, and with generous P the
+// makespan should approach (not beat) the computation critical path bound.
+TEST(Integration, ScalingTowardsCriticalPath) {
+  WorkloadParams params;
+  params.seed = 41;
+  params.ccr = 0.2;
+  TaskGraph g = make_workload("FFT", 300, params);
+  Cost cp = computation_critical_path(g);
+  for (const std::string& name : scheduler_names()) {
+    Schedule s = make_scheduler(name)->run(g, 64);
+    EXPECT_GE(s.makespan(), cp - 1e-9) << name;
+    // Low CCR and many processors: should be within a small factor.
+    EXPECT_LE(s.makespan(), 5.0 * cp) << name;
+  }
+}
+
+}  // namespace
+}  // namespace flb

@@ -1,0 +1,222 @@
+// Tests for schedule diagnostics (binding classification, critical chain,
+// utilization) and the series-parallel workload family.
+
+#include <gtest/gtest.h>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/properties.hpp"
+#include "flb/sched/schedule_analysis.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// --- Binding classification ------------------------------------------------------
+
+TEST(Bindings, PaperExampleHandChecked) {
+  TaskGraph g = paper_example_graph();
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 2);
+  auto b = classify_bindings(g, s);
+
+  // t0 starts at 0 with no constraints.
+  EXPECT_EQ(b[0].binding, Binding::kEntry);
+  // t3 on p0 right after t0 (local parent finishing at its start).
+  EXPECT_EQ(b[3].binding, Binding::kLocalData);
+  EXPECT_EQ(b[3].blocker, 0u);
+  // t1 on p1 at 3 = arrival of t0's message (remote).
+  EXPECT_EQ(b[1].binding, Binding::kRemoteData);
+  EXPECT_EQ(b[1].blocker, 0u);
+  // t2 on p0 at 5: message from t0 arrived at 6? No - t2's LMT is 6 but it
+  // runs on t0's processor, so the message is free; it waits for t3 to
+  // clear the processor (processor-bound).
+  EXPECT_EQ(b[2].binding, Binding::kProcessor);
+  EXPECT_EQ(b[2].blocker, 3u);
+  // t7 on p0 at 12 = arrival of t5's... t5 is local (finish 10); the
+  // binding message is t6's, remote, arriving at 10 + 2 = 12.
+  EXPECT_EQ(b[7].binding, Binding::kRemoteData);
+  EXPECT_EQ(b[7].blocker, 6u);
+}
+
+TEST(Bindings, SlackDetectedForDeliberatelyLateStart) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 5.0, 8.0);   // could start at 1 -> slack
+  s.assign(2, 1, 2.0, 4.0);
+  s.assign(3, 0, 9.0, 10.0);  // b local(8), c remote 4+3=7 -> bound 8: slack
+  ASSERT_TRUE(is_valid_schedule(g, s));
+  auto b = classify_bindings(g, s);
+  EXPECT_EQ(b[1].binding, Binding::kSlack);
+  EXPECT_EQ(b[3].binding, Binding::kSlack);
+  EXPECT_EQ(b[2].binding, Binding::kRemoteData);
+}
+
+TEST(Bindings, EveryTaskClassifiedAcrossAlgorithms) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (const std::string& name : {"FLB", "ETF", "MCP-I"}) {
+      Schedule s = make_scheduler(name, 1)->run(g, 3);
+      auto b = classify_bindings(g, s);
+      ASSERT_EQ(b.size(), g.num_tasks());
+      for (TaskId t = 0; t < g.num_tasks(); ++t) {
+        if (b[t].binding == Binding::kEntry ||
+            b[t].binding == Binding::kSlack) {
+          EXPECT_EQ(b[t].blocker, kInvalidTask);
+        } else {
+          ASSERT_NE(b[t].blocker, kInvalidTask) << name << " t" << t;
+          // Blockers impose the start: blocker finishes (plus message) at
+          // the task's start, within tolerance.
+          EXPECT_LE(s.finish(b[t].blocker), s.start(t) + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Bindings, RejectsIncompleteSchedule) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  EXPECT_THROW((void)classify_bindings(g, s), Error);
+}
+
+// --- Critical chain ---------------------------------------------------------------
+
+TEST(CriticalChain, PaperExampleChain) {
+  TaskGraph g = paper_example_graph();
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 2);
+  auto chain = critical_chain(g, s);
+  // Makespan task is t7 (finish 14); its blocker is t6 (message arriving
+  // at 12), t6's start 8 = PRT(p1) after t4 (processor)... t6 starts at 8
+  // on p1 after t4 finishing 8: processor or data? t6's data: t2 remote
+  // (7+1=8) vs t4 processor (8): data side preferred on ties -> t2.
+  ASSERT_GE(chain.size(), 3u);
+  EXPECT_EQ(chain.back(), 7u);
+  EXPECT_EQ(chain[chain.size() - 2], 6u);
+  // The chain starts at an entry-bound task.
+  auto b = classify_bindings(g, s);
+  EXPECT_EQ(b[chain.front()].binding, Binding::kEntry);
+  // Chain is ordered by start time.
+  for (std::size_t i = 1; i < chain.size(); ++i)
+    EXPECT_LE(s.start(chain[i - 1]), s.start(chain[i]) + 1e-9);
+}
+
+TEST(CriticalChain, ChainGraphIsWholeChain) {
+  WorkloadParams p;
+  p.random_weights = false;
+  TaskGraph g = chain_graph(8, p);
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 2);
+  auto chain = critical_chain(g, s);
+  EXPECT_EQ(chain.size(), 8u);
+  for (TaskId t = 0; t < 8; ++t) EXPECT_EQ(chain[t], t);
+}
+
+TEST(CriticalChain, EndsAtMakespanTask) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    Schedule s = make_scheduler("MCP", 1)->run(g, 3);
+    auto chain = critical_chain(g, s);
+    ASSERT_FALSE(chain.empty());
+    EXPECT_NEAR(s.finish(chain.back()), s.makespan(), 1e-9);
+  }
+}
+
+// --- Utilization -------------------------------------------------------------------
+
+TEST(Utilization, FractionsSumToOneAndBusyMatches) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    FlbScheduler flb;
+    Schedule s = flb.run(g, 3);
+    UtilizationReport r = analyze_utilization(g, s);
+    Cost busy_total = 0.0;
+    for (Cost b : r.busy_per_proc) busy_total += b;
+    EXPECT_NEAR(busy_total, g.total_comp(), 1e-9);
+    double fractions = r.processor_bound + r.local_data_bound +
+                       r.remote_data_bound + r.slack_bound;
+    // All non-entry tasks fall into exactly one class.
+    EXPECT_NEAR(fractions, 1.0, 1e-9);
+    EXPECT_GT(r.mean_utilization, 0.0);
+    EXPECT_LE(r.mean_utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(Utilization, SingleProcessorIsFullyBusy) {
+  TaskGraph g = test::fuzz_graph(3);
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 1);
+  UtilizationReport r = analyze_utilization(g, s);
+  EXPECT_NEAR(r.mean_utilization, 1.0, 1e-9);
+  EXPECT_NEAR(r.remote_data_bound, 0.0, 1e-12);
+}
+
+TEST(Utilization, BindingNamesAreStable) {
+  EXPECT_STREQ(to_string(Binding::kEntry), "entry");
+  EXPECT_STREQ(to_string(Binding::kProcessor), "processor");
+  EXPECT_STREQ(to_string(Binding::kLocalData), "local-data");
+  EXPECT_STREQ(to_string(Binding::kRemoteData), "remote-data");
+  EXPECT_STREQ(to_string(Binding::kSlack), "slack");
+}
+
+// --- Series-parallel generator ------------------------------------------------------
+
+TEST(SeriesParallel, HitsTargetAndStaysSeriesParallel) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadParams params;
+    params.seed = seed;
+    TaskGraph g = series_parallel_graph(60, 0.5, params);
+    EXPECT_EQ(g.num_tasks(), 60u);
+    // Single source (0) and sink (1) by construction.
+    EXPECT_TRUE(g.is_entry(0));
+    EXPECT_TRUE(g.is_exit(1));
+    EXPECT_EQ(g.entry_tasks().size(), 1u);
+    EXPECT_EQ(g.exit_tasks().size(), 1u);
+  }
+}
+
+TEST(SeriesParallel, PureSeriesIsAChain) {
+  WorkloadParams params;
+  params.seed = 2;
+  TaskGraph g = series_parallel_graph(10, 0.0, params);
+  EXPECT_EQ(g.num_tasks(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(level_decomposition(g).size(), 10u);
+}
+
+TEST(SeriesParallel, PureParallelIsWideFanOutIn) {
+  WorkloadParams params;
+  params.seed = 3;
+  TaskGraph g = series_parallel_graph(12, 1.0, params);
+  // All operations add parallel middles between 0 and 1... parallel ops
+  // can also pick the newly added edges; whatever the shape, depth stays
+  // small and source/sink degrees grow.
+  EXPECT_EQ(g.num_tasks(), 12u);
+  EXPECT_GE(g.out_degree(0), 2u);
+  EXPECT_GE(g.in_degree(1), 2u);
+}
+
+TEST(SeriesParallel, SchedulableByAllAlgorithms) {
+  WorkloadParams params;
+  params.seed = 4;
+  params.ccr = 2.0;
+  TaskGraph g = series_parallel_graph(120, 0.5, params);
+  for (const std::string& name : extended_scheduler_names()) {
+    Schedule s = make_scheduler(name, 1)->run(g, 4);
+    EXPECT_TRUE(is_valid_schedule(g, s)) << name;
+  }
+}
+
+TEST(SeriesParallel, RejectsBadParameters) {
+  EXPECT_THROW((void)series_parallel_graph(1), Error);
+  EXPECT_THROW((void)series_parallel_graph(10, 1.5), Error);
+}
+
+}  // namespace
+}  // namespace flb

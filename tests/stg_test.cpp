@@ -1,0 +1,116 @@
+#include "flb/graph/stg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flb/graph/properties.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+
+namespace flb {
+namespace {
+
+// A small STG file: 4 real tasks plus dummy source (0) and sink (5).
+//
+//        0 (dummy)
+//       / \
+//      1   2
+//      |  / |
+//      3-+  4        (3 depends on 1 and 2; 4 depends on 2)
+//       \   /
+//        5 (dummy)
+const char* kSmallStg = R"(# a comment line
+4
+0 0 0
+1 3 1 0
+2 5 1 0
+3 2 2 1 2
+4 4 1 2
+5 0 2 3 4
+)";
+
+TEST(Stg, ParsesTasksAndEdges) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 1.0;
+  TaskGraph g = stg_from_text(kSmallStg, p);
+  ASSERT_EQ(g.num_tasks(), 6u);
+  EXPECT_EQ(g.num_edges(), 7u);
+  EXPECT_DOUBLE_EQ(g.comp(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.comp(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.comp(2), 5.0);
+  EXPECT_DOUBLE_EQ(g.comp(4), 4.0);
+  EXPECT_TRUE(g.is_entry(0));
+  EXPECT_TRUE(g.is_exit(5));
+  // 3's predecessors are 1 and 2.
+  auto preds = g.predecessors(3);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].node, 1u);
+  EXPECT_EQ(preds[1].node, 2u);
+}
+
+TEST(Stg, DeterministicCommCostsMatchCcrTimesAvgComp) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 2.0;
+  TaskGraph g = stg_from_text(kSmallStg, p);
+  // avg comp = (0+3+5+2+4+0)/6 = 14/6; every edge = 2 * 14/6.
+  for (const Edge& e : g.edges())
+    EXPECT_NEAR(e.comm, 2.0 * 14.0 / 6.0, 1e-12);
+}
+
+TEST(Stg, RandomCommCostsAreSeeded) {
+  WorkloadParams a, b, c;
+  a.seed = b.seed = 5;
+  c.seed = 6;
+  TaskGraph ga = stg_from_text(kSmallStg, a);
+  TaskGraph gb = stg_from_text(kSmallStg, b);
+  TaskGraph gc = stg_from_text(kSmallStg, c);
+  auto ea = ga.edges(), eb = gb.edges(), ec = gc.edges();
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].comm != eb[i].comm) all_equal_ab = false;
+    if (ea[i].comm != ec[i].comm) all_equal_ac = false;
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(Stg, SchedulableByEveryAlgorithm) {
+  WorkloadParams p;
+  p.seed = 3;
+  p.ccr = 1.0;
+  TaskGraph g = stg_from_text(kSmallStg, p);
+  for (const std::string& name : extended_scheduler_names()) {
+    Schedule s = make_scheduler(name, 1)->run(g, 2);
+    EXPECT_TRUE(is_valid_schedule(g, s)) << name;
+  }
+}
+
+TEST(Stg, RejectsMalformedInput) {
+  EXPECT_THROW(stg_from_text(""), Error);
+  EXPECT_THROW(stg_from_text("0\n"), Error);
+  // Truncated: says 4 tasks but provides fewer lines.
+  EXPECT_THROW(stg_from_text("4\n0 0 0\n1 3 1 0\n"), Error);
+  // Out-of-order ids.
+  EXPECT_THROW(stg_from_text("1\n0 0 0\n2 1 1 0\n1 0 1 0\n"), Error);
+  // Forward predecessor reference.
+  EXPECT_THROW(stg_from_text("1\n0 0 1 2\n1 1 1 0\n2 0 1 1\n"), Error);
+  // Fewer predecessors than announced.
+  EXPECT_THROW(stg_from_text("1\n0 0 0\n1 1 2 0\n2 0 1 1\n"), Error);
+}
+
+TEST(Stg, ZeroCostDummiesDoNotBreakLevels) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 0.5;
+  TaskGraph g = stg_from_text(kSmallStg, p);
+  auto bl = bottom_levels(g);
+  // Sink has zero computation: bottom level 0.
+  EXPECT_DOUBLE_EQ(bl[5], 0.0);
+  EXPECT_GT(bl[0], 0.0);
+  EXPECT_GT(critical_path(g), 0.0);
+}
+
+}  // namespace
+}  // namespace flb

@@ -1,0 +1,163 @@
+#include "flb/sched/tentative.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "flb/core/flb.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// Partial schedule of small_diamond: a on p0 [0,1), c on p1 [2,4).
+// Ready task d?? No — d needs b. Ready task: b.
+struct Fixture {
+  TaskGraph g = test::small_diamond();
+  Schedule s{2, 4};
+  Fixture() {
+    s.assign(0, 0, 0.0, 1.0);  // a
+  }
+};
+
+TEST(Tentative, EntryTaskHasZeroLmtAndNoEp) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  EXPECT_DOUBLE_EQ(last_message_time(g, s, 0), 0.0);
+  EXPECT_EQ(enabling_proc(g, s, 0), kInvalidProc);
+  EXPECT_DOUBLE_EQ(effective_message_time(g, s, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(est_start(g, s, 0, 1), 0.0);
+}
+
+TEST(Tentative, SinglePredecessorQuantities) {
+  Fixture f;
+  // b's only pred a finished at 1 on p0, comm 2.
+  EXPECT_DOUBLE_EQ(last_message_time(f.g, f.s, 1), 3.0);
+  EXPECT_EQ(enabling_proc(f.g, f.s, 1), 0u);
+  // On p0 the message is free -> EMT excludes it entirely.
+  EXPECT_DOUBLE_EQ(effective_message_time(f.g, f.s, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(effective_message_time(f.g, f.s, 1, 1), 3.0);
+  // EST on p0: max(0, PRT=1) = 1; on p1: max(3, 0) = 3.
+  EXPECT_DOUBLE_EQ(est_start(f.g, f.s, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(est_start(f.g, f.s, 1, 1), 3.0);
+}
+
+TEST(Tentative, MultiPredecessorQuantities) {
+  Fixture f;
+  f.s.assign(1, 0, 1.0, 4.0);  // b on p0
+  f.s.assign(2, 1, 2.0, 4.0);  // c on p1
+  // d: preds b (p0, FT 4, comm 1 -> 5) and c (p1, FT 4, comm 3 -> 7).
+  EXPECT_DOUBLE_EQ(last_message_time(f.g, f.s, 3), 7.0);
+  EXPECT_EQ(enabling_proc(f.g, f.s, 3), 1u);
+  // EMT on p1 excludes c's message: only b's 5 remains.
+  EXPECT_DOUBLE_EQ(effective_message_time(f.g, f.s, 3, 1), 5.0);
+  // EMT on p0 excludes b's message: only c's 7 remains.
+  EXPECT_DOUBLE_EQ(effective_message_time(f.g, f.s, 3, 0), 7.0);
+  // EST: p0 -> max(7, PRT=4) = 7; p1 -> max(5, 4) = 5.
+  EXPECT_DOUBLE_EQ(est_start(f.g, f.s, 3, 0), 7.0);
+  EXPECT_DOUBLE_EQ(est_start(f.g, f.s, 3, 1), 5.0);
+  auto [p, est] = best_proc_exhaustive(f.g, f.s, 3);
+  EXPECT_EQ(p, 1u);
+  EXPECT_DOUBLE_EQ(est, 5.0);
+}
+
+TEST(Tentative, IsReadyTracksPredecessors) {
+  Fixture f;
+  EXPECT_FALSE(is_ready(f.g, f.s, 0));  // already scheduled
+  EXPECT_TRUE(is_ready(f.g, f.s, 1));
+  EXPECT_TRUE(is_ready(f.g, f.s, 2));
+  EXPECT_FALSE(is_ready(f.g, f.s, 3));  // b, c unscheduled
+}
+
+TEST(Tentative, BestProcPrefersLowerIdOnTies) {
+  TaskGraph g = independent_graph(2);
+  Schedule s(3, 2);
+  auto [p, est] = best_proc_exhaustive(g, s, 0);
+  EXPECT_EQ(p, 0u);
+  EXPECT_DOUBLE_EQ(est, 0.0);
+}
+
+// --- Paper appendix properties, fuzz-checked at every FLB iteration ----------
+
+// Lemma 1: a non-EP-type ready task cannot start before its LMT on any
+// processor. Corollary 2: its EST on every processor is exactly
+// max(LMT, PRT).
+TEST(PaperLemmas, Lemma1AndCorollary2OnFuzzCorpus) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (ProcId procs : {2u, 4u}) {
+      FlbObserver obs = [&](const Schedule& s, const FlbStep& step) {
+        for (TaskId t : step.ready_tasks) {
+          ProcId ep = enabling_proc(g, s, t);
+          Cost lmt = last_message_time(g, s, t);
+          bool non_ep_type =
+              ep == kInvalidProc || lmt < s.proc_ready_time(ep);
+          if (!non_ep_type) continue;
+          for (ProcId p = 0; p < procs; ++p) {
+            Cost est = est_start(g, s, t, p);
+            ASSERT_LE(lmt, est + 1e-9);  // Lemma 1
+            ASSERT_NEAR(est, std::max(lmt, s.proc_ready_time(p)), 1e-9)
+                << "Corollary 2 violated for task " << t;  // Corollary 2
+          }
+        }
+      };
+      FlbScheduler flb;
+      (void)flb.run_instrumented(g, procs, &obs, nullptr);
+    }
+  }
+}
+
+// EP-type tasks start earliest on their enabling processor (Section 4.1's
+// informal claim, the other half of Theorem 3's case analysis).
+TEST(PaperLemmas, EpTypeTasksStartEarliestOnEnablingProc) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    FlbObserver obs = [&](const Schedule& s, const FlbStep& step) {
+      for (TaskId t : step.ready_tasks) {
+        ProcId ep = enabling_proc(g, s, t);
+        if (ep == kInvalidProc) continue;
+        Cost lmt = last_message_time(g, s, t);
+        if (lmt < s.proc_ready_time(ep)) continue;  // non-EP type
+        Cost est_ep = est_start(g, s, t, ep);
+        auto [best_p, best] = best_proc_exhaustive(g, s, t);
+        (void)best_p;
+        ASSERT_NEAR(est_ep, best, 1e-9)
+            << "EP task " << t << " should start earliest on its EP";
+      }
+    };
+    FlbScheduler flb;
+    (void)flb.run_instrumented(g, 3, &obs, nullptr);
+  }
+}
+
+// The FCP/FLB two-processor rule (proved in the ICS'99 companion paper and
+// restated in Section 4.1): for ANY ready task, the minimum EST over all
+// processors is attained on the enabling processor or on the processor
+// becoming idle the earliest.
+TEST(PaperLemmas, TwoProcessorRuleOnFuzzCorpus) {
+  for (std::size_t i = 0; i < 16; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    for (ProcId procs : {2u, 5u}) {
+      FlbObserver obs = [&](const Schedule& s, const FlbStep& step) {
+        ProcId idle = 0;
+        for (ProcId p = 1; p < procs; ++p)
+          if (s.proc_ready_time(p) < s.proc_ready_time(idle)) idle = p;
+        for (TaskId t : step.ready_tasks) {
+          auto [best_p, best] = best_proc_exhaustive(g, s, t);
+          (void)best_p;
+          Cost candidate = est_start(g, s, t, idle);
+          ProcId ep = enabling_proc(g, s, t);
+          if (ep != kInvalidProc)
+            candidate = std::min(candidate, est_start(g, s, t, ep));
+          ASSERT_NEAR(candidate, best, 1e-9)
+              << "two-processor rule violated for task " << t;
+        }
+      };
+      FlbScheduler flb;
+      (void)flb.run_instrumented(g, procs, &obs, nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flb

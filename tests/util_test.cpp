@@ -1,0 +1,200 @@
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flb/util/cli.hpp"
+#include "flb/util/error.hpp"
+#include "flb/util/stopwatch.hpp"
+#include "flb/util/table.hpp"
+
+namespace flb {
+namespace {
+
+// --- Table ------------------------------------------------------------------
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), Error);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  t.add_row({"4", "5", "6"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"longer-cell", "1"});
+  t.add_row({"s", "22"});
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+  // All rendered lines have equal length (alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  std::ostringstream os;
+  t.print_csv(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(FormatFixed, ProducesExactDecimals) {
+  EXPECT_EQ(format_fixed(1.5, 2), "1.50");
+  EXPECT_EQ(format_fixed(-0.125, 3), "-0.125");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatCompact, IntegersStayIntegral) {
+  EXPECT_EQ(format_compact(5.0), "5");
+  EXPECT_EQ(format_compact(-12.0), "-12");
+  EXPECT_EQ(format_compact(0.0), "0");
+}
+
+TEST(FormatCompact, TrimsTrailingZeros) {
+  EXPECT_EQ(format_compact(1.25), "1.25");
+  EXPECT_EQ(format_compact(1.5), "1.5");
+  EXPECT_EQ(format_compact(0.1), "0.1");
+}
+
+// --- CliArgs ----------------------------------------------------------------
+
+CliArgs parse(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesSpaceSeparatedOption) {
+  auto args = parse({"prog", "--procs", "8"});
+  EXPECT_TRUE(args.has("procs"));
+  EXPECT_EQ(args.get_int("procs", 0), 8);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto args = parse({"prog", "--ccr=5.0"});
+  EXPECT_DOUBLE_EQ(args.get_double("ccr", 0.0), 5.0);
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  auto args = parse({"prog"});
+  EXPECT_FALSE(args.has("x"));
+  EXPECT_EQ(args.get("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, BooleanFlagBeforeAnotherOption) {
+  auto args = parse({"prog", "--verbose", "--procs", "4"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "missing"), "");
+  EXPECT_EQ(args.get_int("procs", 0), 4);
+}
+
+TEST(Cli, CollectsPositionals) {
+  auto args = parse({"prog", "one", "--k", "v", "two"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, IntListParsing) {
+  auto args = parse({"prog", "--procs", "2,4,8,16"});
+  EXPECT_EQ(args.get_int_list("procs", {}),
+            (std::vector<std::int64_t>{2, 4, 8, 16}));
+}
+
+TEST(Cli, DoubleListParsing) {
+  auto args = parse({"prog", "--ccr=0.2,5.0"});
+  auto v = args.get_double_list("ccr", {});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.2);
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+}
+
+TEST(Cli, ListFallbackWhenAbsent) {
+  auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int_list("p", {1, 2}),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, RejectsNonNumeric) {
+  auto args = parse({"prog", "--n", "abc"});
+  EXPECT_THROW((void)args.get_int("n", 0), Error);
+  EXPECT_THROW((void)args.get_double("n", 0.0), Error);
+}
+
+TEST(Cli, RejectsMalformedList) {
+  auto args = parse({"prog", "--procs", "2,x,8"});
+  EXPECT_THROW((void)args.get_int_list("procs", {}), Error);
+}
+
+// --- Stopwatch ---------------------------------------------------------------
+
+TEST(Stopwatch, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  double a = sw.seconds();
+  double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  // millis and seconds measure the same clock (successive reads, so allow
+  // the time between the two calls as slack).
+  double ms = sw.millis();
+  double s = sw.seconds();
+  EXPECT_LE(b * 1e3, ms);
+  EXPECT_LE(ms, s * 1e3);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  double before = sw.seconds();
+  sw.restart();
+  EXPECT_LE(sw.seconds(), before + 1.0);  // restarted clock is near zero
+}
+
+// --- Error macros -------------------------------------------------------------
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    FLB_REQUIRE(false, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsLogicError) {
+  EXPECT_THROW(FLB_ASSERT(1 == 2), std::logic_error);
+}
+
+TEST(Error, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(FLB_REQUIRE(true, "unused"));
+  EXPECT_NO_THROW(FLB_ASSERT(true));
+}
+
+}  // namespace
+}  // namespace flb

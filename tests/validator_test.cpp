@@ -1,0 +1,162 @@
+#include "flb/sched/validator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flb/core/flb.hpp"
+#include "flb/util/error.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+// A hand-built feasible schedule of small_diamond on two processors:
+//   p0: a[0,1)  b[3,6)  d[7,8)
+//   p1: c[2,4)
+// b needs a's data at 1+2=3 (remote); c at 1+1=2 (remote);
+// d on p0 needs b at 6 (local) and c at 4+3=7 (remote) -> starts at 7.
+Schedule feasible_diamond() {
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(2, 1, 2.0, 4.0);
+  s.assign(1, 0, 3.0, 6.0);
+  s.assign(3, 0, 7.0, 8.0);
+  return s;
+}
+
+TEST(Validator, AcceptsFeasibleSchedule) {
+  TaskGraph g = test::small_diamond();
+  Schedule s = feasible_diamond();
+  EXPECT_TRUE(is_valid_schedule(g, s)) << test::violations_to_string(g, s);
+}
+
+TEST(Validator, DetectsUnscheduledTask) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  auto v = validate_schedule(g, s);
+  ASSERT_FALSE(v.empty());
+  int unscheduled = 0;
+  for (const auto& violation : v)
+    if (violation.kind == Violation::Kind::kUnscheduledTask) ++unscheduled;
+  EXPECT_EQ(unscheduled, 3);
+}
+
+TEST(Validator, DetectsWrongDuration) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 2.5);  // comp(a) = 1, so finish should be 1.0
+  auto v = validate_schedule(g, s);
+  bool found = false;
+  for (const auto& violation : v)
+    if (violation.kind == Violation::Kind::kWrongDuration &&
+        violation.task == 0)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Validator, DetectsPrecedenceViolationRemote) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  // b on p1 needs a's message at 1 + 2 = 3; starting at 2 is infeasible.
+  s.assign(1, 1, 2.0, 5.0);
+  s.assign(2, 0, 1.0, 3.0);
+  s.assign(3, 0, 8.0, 9.0);
+  auto v = validate_schedule(g, s);
+  bool found = false;
+  for (const auto& violation : v)
+    if (violation.kind == Violation::Kind::kPrecedence && violation.task == 1)
+      found = true;
+  EXPECT_TRUE(found) << test::violations_to_string(g, s);
+}
+
+TEST(Validator, SameProcessorNeedsNoCommDelay) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(1, 4);
+  // Everything back-to-back on one processor: all comm free.
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 1.0, 4.0);
+  s.assign(2, 0, 4.0, 6.0);
+  s.assign(3, 0, 6.0, 7.0);
+  EXPECT_TRUE(is_valid_schedule(g, s)) << test::violations_to_string(g, s);
+}
+
+TEST(Validator, ToleranceAbsorbsRoundoff) {
+  TaskGraph g = test::small_diamond();
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(2, 1, 2.0 - 1e-12, 4.0 - 1e-12);  // a hair early: within tolerance
+  s.assign(1, 0, 3.0, 6.0);
+  s.assign(3, 0, 7.0, 8.0);
+  EXPECT_TRUE(is_valid_schedule(g, s));
+  // With a zero tolerance the same schedule is rejected.
+  EXPECT_FALSE(is_valid_schedule(g, s, 0.0));
+}
+
+TEST(Validator, ViolationToStringNamesKind) {
+  Violation v{Violation::Kind::kPrecedence, 3, "details here"};
+  std::string s = to_string(v);
+  EXPECT_NE(s.find("precedence"), std::string::npos);
+  EXPECT_NE(s.find("details here"), std::string::npos);
+}
+
+// Mutation-based check: take a known-good FLB schedule and pull one task
+// strictly before its latest data-arrival time; the validator must object
+// (with precedence, or with an overlap caught even earlier).
+TEST(Validator, MutationFuzzing) {
+  for (std::size_t i = 0; i < 12; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    FlbScheduler flb;
+    Schedule good = flb.run(g, 3);
+    ASSERT_TRUE(is_valid_schedule(g, good));
+
+    // Pick a victim whose data cannot possibly be there before some
+    // positive arrival time.
+    TaskId victim = kInvalidTask;
+    Cost required = 0.0;
+    for (TaskId t = 0; t < g.num_tasks() && victim == kInvalidTask; ++t) {
+      if (g.is_entry(t)) continue;
+      Cost req = 0.0;
+      for (const Adj& a : g.predecessors(t)) {
+        Cost c = good.proc(a.node) == good.proc(t) ? 0.0 : a.comm;
+        req = std::max(req, good.finish(a.node) + c);
+      }
+      if (req > 0.1) {
+        victim = t;
+        required = req;
+      }
+    }
+    if (victim == kInvalidTask) continue;
+
+    Schedule bad(3, g.num_tasks());
+    // Assign in per-processor start order; shift only the victim to half
+    // its required arrival time, guaranteeing a precedence violation.
+    std::vector<TaskId> order(g.num_tasks());
+    for (TaskId t = 0; t < g.num_tasks(); ++t) order[t] = t;
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return good.start(a) < good.start(b);
+    });
+    bool construction_failed = false;
+    for (TaskId t : order) {
+      Cost st = good.start(t);
+      if (t == victim) st = required / 2.0;
+      try {
+        bad.assign(t, good.proc(t), st, st + g.comp(t));
+      } catch (const Error&) {
+        construction_failed = true;  // overlap caught at construction
+        break;
+      }
+    }
+    if (!construction_failed) {
+      EXPECT_FALSE(is_valid_schedule(g, bad))
+          << "task " << victim << " starts before its data arrives ("
+          << g.name() << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flb

@@ -1,0 +1,109 @@
+#include "flb/graph/width.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flb/graph/properties.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+TEST(Reachability, DirectAndTransitiveEdges) {
+  TaskGraph g = test::small_diamond();
+  Reachability r(g);
+  EXPECT_TRUE(r.reaches(0, 1));
+  EXPECT_TRUE(r.reaches(0, 3));  // transitive a -> d
+  EXPECT_TRUE(r.reaches(1, 3));
+  EXPECT_FALSE(r.reaches(3, 0));
+  EXPECT_FALSE(r.reaches(1, 2));
+  EXPECT_FALSE(r.reaches(0, 0));  // non-empty paths only
+  EXPECT_TRUE(r.comparable(0, 3));
+  EXPECT_FALSE(r.comparable(1, 2));
+}
+
+TEST(ExactWidth, DegenerateShapes) {
+  EXPECT_EQ(exact_width(chain_graph(10)), 1u);
+  EXPECT_EQ(exact_width(independent_graph(17)), 17u);
+  TaskGraphBuilder b;
+  TaskGraph empty = std::move(b).build();
+  EXPECT_EQ(exact_width(empty), 0u);
+}
+
+TEST(ExactWidth, DiamondIsTwo) {
+  EXPECT_EQ(exact_width(test::small_diamond()), 2u);
+}
+
+TEST(ExactWidth, PaperExampleIsThree) {
+  EXPECT_EQ(exact_width(paper_example_graph()), 3u);
+}
+
+TEST(ExactWidth, ForkJoinWidthIsParallelSection) {
+  WorkloadParams p;
+  p.random_weights = false;
+  EXPECT_EQ(exact_width(fork_join_graph(3, 6, p)), 6u);
+}
+
+TEST(ExactWidth, OutTreeWidthIsLeafCount) {
+  WorkloadParams p;
+  p.random_weights = false;
+  EXPECT_EQ(exact_width(out_tree_graph(3, 3, p)), 9u);  // 3^2 leaves
+  EXPECT_EQ(exact_width(in_tree_graph(3, 3, p)), 9u);
+}
+
+TEST(ExactWidth, StencilWidthIsSpatialExtent) {
+  WorkloadParams p;
+  p.random_weights = false;
+  // Every pair of cells in one time step is incomparable; cells of
+  // different steps are connected through the middle dependence.
+  EXPECT_EQ(exact_width(stencil_graph(9, 6, p)), 9u);
+}
+
+TEST(ExactWidth, DiamondLatticeWidthIsAntiDiagonal) {
+  WorkloadParams p;
+  p.random_weights = false;
+  EXPECT_EQ(exact_width(diamond_graph(5, p)), 5u);
+}
+
+TEST(ExactWidth, AtLeastMaxLevelWidth) {
+  for (std::size_t i = 0; i < 20; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    EXPECT_GE(exact_width(g), max_level_width(g)) << g.name();
+  }
+}
+
+TEST(ExactWidth, MatchesBruteForceOnFuzzCorpus) {
+  for (std::size_t i = 0; i < 40; ++i) {
+    WorkloadParams params;
+    params.seed = 500 + i;
+    TaskGraph g = random_dag(6 + i % 11, 0.25, params);
+    EXPECT_EQ(exact_width(g), brute_force_width(g)) << "seed " << params.seed;
+  }
+}
+
+TEST(ExactWidth, MatchesBruteForceOnSparseAndDense) {
+  for (std::size_t i = 0; i < 12; ++i) {
+    WorkloadParams params;
+    params.seed = 900 + i;
+    double prob = (i % 2 == 0) ? 0.05 : 0.6;
+    TaskGraph g = random_dag(12, prob, params);
+    EXPECT_EQ(exact_width(g), brute_force_width(g));
+  }
+}
+
+TEST(BruteForceWidth, RejectsLargeGraphs) {
+  EXPECT_THROW(brute_force_width(independent_graph(21)), Error);
+}
+
+TEST(ExactWidth, BoundsReadySetIntuition) {
+  // The width of LU is the size of the first update wave: n-1.
+  WorkloadParams p;
+  p.random_weights = false;
+  TaskGraph g = lu_graph(8, p);
+  EXPECT_EQ(exact_width(g), 7u);
+}
+
+}  // namespace
+}  // namespace flb
