@@ -1,0 +1,83 @@
+// Fault-tolerance sweep: kill one processor at increasing fractions of the
+// nominal makespan and measure how gracefully each algorithm's schedule can
+// be repaired online (machine_sim fault injection + repair_schedule). The
+// later the failure, the more of the schedule has already executed and the
+// less work must migrate — a repair-friendly schedule degrades smoothly
+// toward 1.0. Reported: mean repaired / nominal makespan per algorithm and
+// failure time, plus the mean repair latency in milliseconds.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "flb/sched/repair.hpp"
+#include "flb/sim/machine_sim.hpp"
+#include "flb/sim/faults.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::bench;
+  Config cfg = parse_config(argc, argv);
+  CliArgs args(argc, argv);
+  const auto procs = static_cast<ProcId>(args.get_int("at-procs", 8));
+  const auto victim = static_cast<ProcId>(args.get_int("victim", 1));
+  std::vector<double> fractions =
+      args.get_double_list("when", {0.1, 0.25, 0.5, 0.75});
+  FLB_REQUIRE(victim < procs, "--victim must name a processor below --at-procs");
+
+  std::cout << "Fault-tolerance sweep at P = " << procs << " (V ~ "
+            << cfg.tasks << ", " << cfg.seeds
+            << " seeds; processor " << victim
+            << " fails at the given fraction of the nominal makespan; "
+            << "repaired / nominal makespan, averaged over "
+            << "LU/Laplace/Stencil and CCR {0.2, 5})\n\n";
+
+  std::vector<std::string> headers{"algorithm"};
+  for (double f : fractions)
+    headers.push_back("t=" + format_compact(f * 100) + "%");
+  headers.push_back("repair ms");
+  Table table(headers);
+
+  std::map<std::string, std::map<double, std::vector<double>>> ratio;
+  std::map<std::string, std::vector<double>> latency;
+  for (const std::string& workload : cfg.workloads) {
+    for (double ccr : cfg.ccrs) {
+      for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+        WorkloadParams params;
+        params.ccr = ccr;
+        params.seed = seed;
+        TaskGraph g = make_workload(workload, cfg.tasks, params);
+        for (const std::string& algo : scheduler_names()) {
+          auto sched = make_scheduler(algo, seed);
+          Schedule nominal = sched->run(g, procs);
+          for (double f : fractions) {
+            FaultPlan plan =
+                FaultPlan::single_failure(victim, f * nominal.makespan());
+            SimOptions opts;
+            opts.faults = &plan;
+            SimResult partial = simulate(g, nominal, opts);
+            RepairResult repair = repair_schedule(g, nominal, partial, plan);
+            RobustnessMetrics m = robustness_metrics(nominal, partial, repair);
+            ratio[algo][f].push_back(m.degradation_ratio);
+            latency[algo].push_back(m.repair_millis);
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::string& algo : scheduler_names()) {
+    std::vector<std::string> row{algo};
+    for (double f : fractions)
+      row.push_back(format_fixed(mean(ratio[algo][f]), 3));
+    row.push_back(format_fixed(mean(latency[algo]), 3));
+    table.add_row(row);
+  }
+  emit(table, cfg);
+
+  std::cout << "\n(ratios approach (P-1)/P-ish early — the survivors absorb "
+               "the dead processor's share — and 1.0 late, when almost "
+               "everything already executed; repair latency is the online "
+               "re-scheduling cost, FLB's O((V+E) log P) machinery on the "
+               "unfinished suffix)\n";
+  return 0;
+}

@@ -32,27 +32,37 @@ using ProcKey = std::pair<Cost, ProcId>;
 class Engine {
  public:
   Engine(const TaskGraph& g, ProcId num_procs, const FlbOptions& opts)
+      : Engine(g, Schedule(num_procs, g.num_tasks()),
+               std::vector<bool>(num_procs, true), 0.0, opts) {}
+
+  /// Resume variant: `prefix` holds already-executed placements that are
+  /// kept verbatim; only processors with alive[p] receive new tasks, and no
+  /// new task starts before `release`.
+  Engine(const TaskGraph& g, Schedule prefix, std::vector<bool> alive,
+         Cost release, const FlbOptions& opts)
       : g_(g),
-        num_procs_(num_procs),
-        sched_(num_procs, g.num_tasks()),
+        num_procs_(prefix.num_procs()),
+        sched_(std::move(prefix)),
+        alive_(std::move(alive)),
+        release_(release),
         info_(g.num_tasks()),
         unscheduled_preds_(g.num_tasks()),
         non_ep_(g.num_tasks()),
-        emt_ep_(g.num_tasks(), num_procs),
-        lmt_ep_(g.num_tasks(), num_procs),
-        active_procs_(num_procs),
-        all_procs_(num_procs) {
+        emt_ep_(g.num_tasks(), num_procs_),
+        lmt_ep_(g.num_tasks(), num_procs_),
+        active_procs_(num_procs_),
+        all_procs_(num_procs_) {
     init_tie_priorities(opts);
     init_lists();
   }
 
   Schedule run(const FlbObserver* observer, FlbStats* stats) {
-    const TaskId n = g_.num_tasks();
-    for (TaskId step = 0; step < n; ++step) {
+    const TaskId remaining = g_.num_tasks() - sched_.num_scheduled();
+    for (TaskId step = 0; step < remaining; ++step) {
       schedule_one(observer);
     }
     FLB_ASSERT(sched_.complete());
-    stats_.iterations = n;
+    stats_.iterations = remaining;
     if (stats) *stats = stats_;
     return std::move(sched_);
   }
@@ -79,18 +89,24 @@ class Engine {
     return {primary, -tie_[t], t};
   }
 
+  // Processor ready time as seen by the engine: never before the release
+  // instant (the failure time when resuming; 0 on a fresh run).
+  Cost prt(ProcId p) const {
+    return std::max(sched_.proc_ready_time(p), release_);
+  }
+
   void init_lists() {
     for (TaskId t = 0; t < g_.num_tasks(); ++t) {
-      unscheduled_preds_[t] = g_.in_degree(t);
-      if (unscheduled_preds_[t] == 0) {
-        // Entry tasks have no enabling processor: always non-EP, LMT = 0.
-        info_[t] = {0.0, 0.0, kInvalidProc};
-        non_ep_.push(t, task_key(0.0, t));
-        ++ready_count_;
-      }
+      if (sched_.is_scheduled(t)) continue;  // prefix placement, kept as-is
+      std::size_t pending = 0;
+      for (const Adj& in : g_.predecessors(t))
+        if (!sched_.is_scheduled(in.node)) ++pending;
+      unscheduled_preds_[t] = pending;
+      if (pending == 0) classify_ready(t);
     }
     stats_.max_ready = std::max(stats_.max_ready, ready_count_);
-    for (ProcId p = 0; p < num_procs_; ++p) all_procs_.push(p, {0.0, p});
+    for (ProcId p = 0; p < num_procs_; ++p)
+      if (alive_[p]) all_procs_.push(p, {prt(p), p});
   }
 
   // The paper's ScheduleTask followed by the three update procedures.
@@ -115,7 +131,7 @@ class Engine {
     if (have_non_ep) {
       t2 = static_cast<TaskId>(non_ep_.top());
       p2 = static_cast<ProcId>(all_procs_.top());
-      est2 = std::max(info_[t2].lmt, sched_.proc_ready_time(p2));
+      est2 = std::max(info_[t2].lmt, prt(p2));
     }
 
     FLB_ASSERT(have_ep || have_non_ep);
@@ -151,10 +167,10 @@ class Engine {
   // longer satisfy the EP condition and move to the non-EP list. Tested in
   // ascending LMT order, so the scan stops at the first survivor.
   void update_task_lists(ProcId p) {
-    const Cost prt = sched_.proc_ready_time(p);
+    const Cost ready = prt(p);
     while (!lmt_ep_.empty(p)) {
       TaskId t = static_cast<TaskId>(lmt_ep_.top(p));
-      if (info_[t].lmt >= prt) break;
+      if (info_[t].lmt >= ready) break;
       lmt_ep_.pop(p);
       emt_ep_.erase(t);
       non_ep_.push(t, task_key(info_[t].lmt, t));
@@ -166,7 +182,7 @@ class Engine {
   // in the active processor list (keyed by the min EST of the EP tasks p
   // enables — max(EMT of the head task, PRT), computed in O(1)).
   void update_proc_lists(ProcId p) {
-    all_procs_.push_or_update(p, {sched_.proc_ready_time(p), p});
+    all_procs_.push_or_update(p, {prt(p), p});
     if (emt_ep_.empty(p)) {
       if (active_procs_.contains(p)) active_procs_.erase(p);
     } else {
@@ -176,7 +192,7 @@ class Engine {
 
   void refresh_active_priority(ProcId p) {
     TaskId head = static_cast<TaskId>(emt_ep_.top(p));
-    Cost est = std::max(info_[head].emt_ep, sched_.proc_ready_time(p));
+    Cost est = std::max(info_[head].emt_ep, prt(p));
     active_procs_.push_or_update(p, {est, p});
   }
 
@@ -188,37 +204,50 @@ class Engine {
       TaskId t = out.node;
       FLB_ASSERT(unscheduled_preds_[t] > 0);
       if (--unscheduled_preds_[t] != 0) continue;
+      classify_ready(t);
+    }
+  }
 
-      Cost lmt = 0.0;
-      ProcId ep = kInvalidProc;
-      for (const Adj& in : g_.predecessors(t)) {
-        Cost arrival = sched_.finish(in.node) + in.comm;
-        if (arrival > lmt || ep == kInvalidProc) {
-          lmt = arrival;
-          ep = sched_.proc(in.node);
-        }
+  // Classify one newly ready task as EP / non-EP and enqueue it. Entry
+  // tasks have no enabling processor (LMT = 0, always non-EP); a task whose
+  // enabling processor is dead (resume after a failure) is likewise filed
+  // non-EP keyed by LMT — starting at LMT is feasible on every processor
+  // because LMT already pays full communication for all predecessors.
+  void classify_ready(TaskId t) {
+    Cost lmt = 0.0;
+    ProcId ep = kInvalidProc;
+    for (const Adj& in : g_.predecessors(t)) {
+      Cost arrival = sched_.finish(in.node) + in.comm;
+      if (arrival > lmt || ep == kInvalidProc) {
+        lmt = arrival;
+        ep = sched_.proc(in.node);
       }
-      // EMT on the enabling processor. Messages from predecessors already
-      // on ep cost zero but their finish times still participate in the
-      // max, matching the paper's worked example (Table 1); this never
-      // changes EST = max(EMT, PRT) — a local predecessor's FT is always
-      // <= PRT — but it fixes the EMT list order the paper uses.
-      Cost emt = 0.0;
-      for (const Adj& in : g_.predecessors(t)) {
-        Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
-        emt = std::max(emt, sched_.finish(in.node) + c);
-      }
-      info_[t] = {lmt, emt, ep};
-      ++ready_count_;
+    }
+    ++ready_count_;
+    if (ep == kInvalidProc || !alive_[ep]) {
+      info_[t] = {lmt, lmt, kInvalidProc};
+      non_ep_.push(t, task_key(lmt, t));
+      return;
+    }
+    // EMT on the enabling processor. Messages from predecessors already
+    // on ep cost zero but their finish times still participate in the
+    // max, matching the paper's worked example (Table 1); this never
+    // changes EST = max(EMT, PRT) — a local predecessor's FT is always
+    // <= PRT — but it fixes the EMT list order the paper uses.
+    Cost emt = 0.0;
+    for (const Adj& in : g_.predecessors(t)) {
+      Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
+      emt = std::max(emt, sched_.finish(in.node) + c);
+    }
+    info_[t] = {lmt, emt, ep};
 
-      if (lmt < sched_.proc_ready_time(ep)) {
-        non_ep_.push(t, task_key(lmt, t));
-      } else {
-        emt_ep_.push(ep, t, task_key(emt, t));
-        lmt_ep_.push(ep, t, task_key(lmt, t));
-        refresh_active_priority(ep);
-        ++stats_.tasks_classified_ep;
-      }
+    if (lmt < prt(ep)) {
+      non_ep_.push(t, task_key(lmt, t));
+    } else {
+      emt_ep_.push(ep, t, task_key(emt, t));
+      lmt_ep_.push(ep, t, task_key(lmt, t));
+      refresh_active_priority(ep);
+      ++stats_.tasks_classified_ep;
     }
   }
 
@@ -257,6 +286,8 @@ class Engine {
   const TaskGraph& g_;
   ProcId num_procs_;
   Schedule sched_;
+  std::vector<bool> alive_;
+  Cost release_ = 0.0;
   std::vector<Cost> tie_;
   std::vector<FlbScheduler::ReadyInfo> info_;
   std::vector<std::size_t> unscheduled_preds_;
@@ -279,6 +310,21 @@ Schedule FlbScheduler::run_instrumented(const TaskGraph& g, ProcId num_procs,
   FLB_REQUIRE(num_procs >= 1, "FLB: at least one processor required");
   Engine engine(g, num_procs, options_);
   return engine.run(observer, stats);
+}
+
+Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
+                              const std::vector<bool>& alive,
+                              Cost release_time) {
+  FLB_REQUIRE(prefix.num_tasks() == g.num_tasks(),
+              "FLB resume: prefix was sized for a different graph");
+  FLB_REQUIRE(alive.size() == prefix.num_procs(),
+              "FLB resume: alive mask must cover every processor");
+  FLB_REQUIRE(std::find(alive.begin(), alive.end(), true) != alive.end(),
+              "FLB resume: at least one surviving processor required");
+  FLB_REQUIRE(release_time >= 0.0,
+              "FLB resume: release time must be non-negative");
+  Engine engine(g, prefix, alive, release_time, options_);
+  return engine.run(nullptr, nullptr);
 }
 
 }  // namespace flb

@@ -1,5 +1,6 @@
 #include "flb/graph/serialize.hpp"
 
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -87,6 +88,9 @@ TaskGraph read_text(std::istream& is) {
     FLB_REQUIRE(static_cast<bool>(ls >> key >> id >> comp) && key == "t",
                 "read_text: malformed task line '" + line + "'");
     FLB_REQUIRE(id == i, "read_text: task ids must be 0..V-1 in order");
+    FLB_REQUIRE(std::isfinite(comp),
+                "read_text: non-finite computation cost on line '" + line +
+                    "'");
     b.add_task(comp);
   }
   for (std::size_t i = 0; i < num_edges; ++i) {
@@ -100,6 +104,9 @@ TaskGraph read_text(std::istream& is) {
                 "read_text: malformed edge line '" + line + "'");
     FLB_REQUIRE(from < num_tasks && to < num_tasks,
                 "read_text: edge endpoint out of range");
+    FLB_REQUIRE(std::isfinite(comm),
+                "read_text: non-finite communication cost on line '" + line +
+                    "'");
     b.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to), comm);
   }
   return std::move(b).build();

@@ -1,5 +1,6 @@
 #include "flb/graph/stg.hpp"
 
+#include <cmath>
 #include <istream>
 #include <sstream>
 #include <vector>
@@ -53,6 +54,8 @@ TaskGraph read_stg(std::istream& is, const WorkloadParams& params) {
     FLB_REQUIRE(id == i, "read_stg: task ids must be 0.." +
                              std::to_string(total - 1) + " in order, got " +
                              std::to_string(id));
+    FLB_REQUIRE(std::isfinite(cost), "read_stg: non-finite processing time "
+                                     "on task line '" + line + "'");
     FLB_REQUIRE(cost >= 0.0, "read_stg: negative processing time");
     rows[i].cost = cost;
     total_cost += cost;

@@ -1,6 +1,7 @@
 #include "flb/graph/task_graph.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "flb/util/error.hpp"
@@ -42,6 +43,7 @@ void TaskGraphBuilder::reserve(std::size_t n, std::size_t m) {
 }
 
 TaskId TaskGraphBuilder::add_task(Cost comp) {
+  FLB_REQUIRE(std::isfinite(comp), "add_task: computation cost must be finite");
   FLB_REQUIRE(comp >= 0.0, "add_task: computation cost must be non-negative");
   comp_.push_back(comp);
   return static_cast<TaskId>(comp_.size() - 1);
@@ -49,6 +51,7 @@ TaskId TaskGraphBuilder::add_task(Cost comp) {
 
 TaskId TaskGraphBuilder::add_tasks(std::size_t count, Cost comp) {
   FLB_REQUIRE(count > 0, "add_tasks: count must be positive");
+  FLB_REQUIRE(std::isfinite(comp), "add_tasks: computation cost must be finite");
   FLB_REQUIRE(comp >= 0.0, "add_tasks: computation cost must be non-negative");
   TaskId first = static_cast<TaskId>(comp_.size());
   comp_.insert(comp_.end(), count, comp);
@@ -59,6 +62,7 @@ void TaskGraphBuilder::add_edge(TaskId from, TaskId to, Cost comm) {
   FLB_REQUIRE(from < comp_.size(), "add_edge: source task id out of range");
   FLB_REQUIRE(to < comp_.size(), "add_edge: target task id out of range");
   FLB_REQUIRE(from != to, "add_edge: self-loops are not allowed");
+  FLB_REQUIRE(std::isfinite(comm), "add_edge: communication cost must be finite");
   FLB_REQUIRE(comm >= 0.0, "add_edge: communication cost must be non-negative");
   edges_.push_back({from, to, comm});
 }

@@ -93,6 +93,20 @@ class FlbScheduler final : public Scheduler {
                                           const FlbObserver* observer,
                                           FlbStats* stats);
 
+  /// The incremental FLB step, exposed for online schedule repair: continue
+  /// from a partial schedule. Every task already placed in `prefix` is kept
+  /// verbatim (it models the executed past, so its times may come from an
+  /// observed run rather than this scheduler); the remaining tasks are
+  /// placed by the same two-candidate rule as run(), restricted to
+  /// processors with alive[p] == true and starting no earlier than
+  /// `release_time`. A ready task whose enabling processor is dead is
+  /// classified non-EP — it pays full communication wherever it lands,
+  /// which keeps every placement feasible. `alive` must have
+  /// prefix.num_procs() entries, at least one of them true.
+  [[nodiscard]] Schedule resume(const TaskGraph& g, const Schedule& prefix,
+                                const std::vector<bool>& alive,
+                                Cost release_time = 0.0);
+
   /// Per-ready-task quantities FLB maintains; exposed read-only to the
   /// observer path via FlbStep and to tests through this accessor type.
   struct ReadyInfo {

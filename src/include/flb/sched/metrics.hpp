@@ -1,12 +1,15 @@
 #pragma once
 
+#include <cstddef>
+
 #include "flb/graph/task_graph.hpp"
 #include "flb/sched/schedule.hpp"
 
 /// \file metrics.hpp
 /// Schedule-quality metrics used throughout the paper's evaluation
 /// (Section 6): schedule length, speedup, normalized schedule length (NSL),
-/// efficiency, and lower bounds used as sanity baselines in tests.
+/// efficiency, lower bounds used as sanity baselines in tests, and the
+/// robustness metrics of the fault-tolerance subsystem (repair.hpp).
 
 namespace flb {
 
@@ -34,5 +37,27 @@ Cost busy_time(const TaskGraph& g, const Schedule& s, ProcId p);
 /// max(computation-only critical path, T_seq / P). No schedule, by any
 /// algorithm, can beat this; used as a test oracle.
 Cost makespan_lower_bound(const TaskGraph& g, ProcId num_procs);
+
+struct SimResult;    // sim/machine_sim.hpp
+struct RepairResult; // sched/repair.hpp
+
+/// How gracefully one (schedule, fault, repair) episode degraded.
+struct RobustnessMetrics {
+  Cost nominal_makespan = 0.0;   ///< the undisturbed analytic makespan
+  Cost repaired_makespan = 0.0;  ///< makespan of the continuation schedule
+  Cost degradation_ratio = 0.0;  ///< repaired / nominal (>= 0; ~1 is ideal)
+  Cost work_lost = 0.0;          ///< computation discarded by fail-stop kills
+  Cost dead_proc_idle = 0.0;     ///< capacity lost to dead processors
+  std::size_t migrated_tasks = 0;  ///< tasks the repair had to re-place
+  std::size_t retries = 0;         ///< message retransmissions observed
+  double repair_millis = 0.0;      ///< repair latency (wall clock)
+};
+
+/// Summarize one fault episode: `nominal` is the undisturbed schedule,
+/// `faulty` the partial execution observed under the fault plan, and
+/// `repair` the continuation built by repair_schedule().
+RobustnessMetrics robustness_metrics(const Schedule& nominal,
+                                     const SimResult& faulty,
+                                     const RepairResult& repair);
 
 }  // namespace flb

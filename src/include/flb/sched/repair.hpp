@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/task_graph.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
+
+/// \file repair.hpp
+/// Online schedule repair after fail-stop processor failures.
+///
+/// A compile-time schedule is built for P reliable processors; when one
+/// dies mid-execution the remaining work must be re-mapped onto the
+/// survivors. repair_schedule() consumes the partial execution observed by
+/// the fault-injecting simulator and produces a *continuation schedule*:
+/// every task that finished keeps its observed placement (the past cannot
+/// be changed), and everything else — including the work the dead
+/// processor lost — is placed on surviving processors, no earlier than the
+/// failure instant.
+///
+/// Two strategies:
+///  * kFlbResume re-runs the paper's two-candidate FLB step
+///    (FlbScheduler::resume) over the survivors, seeded with the executed
+///    prefix — the quality path.
+///  * kGreedy appends remaining tasks in topological order, each on the
+///    processor minimizing its earliest start — the graceful-degradation
+///    path, used automatically when fewer than two processors survive.
+///
+/// Data produced by tasks that finished on a dead processor is assumed to
+/// be recoverable (in flight or replicated); consumers pay the normal
+/// remote communication cost for it. See docs/fault_model.md.
+
+namespace flb {
+
+/// How the continuation schedule is computed.
+enum class RepairStrategy {
+  kAuto,       ///< kFlbResume with >= 2 survivors, else kGreedy
+  kFlbResume,  ///< the incremental FLB step over the survivors
+  kGreedy,     ///< topological min-EST append (degraded mode)
+};
+
+/// Options for repair_schedule().
+struct RepairOptions {
+  RepairStrategy strategy = RepairStrategy::kAuto;
+  FlbOptions flb;  ///< options for the resumed FLB engine (tie-break, seed)
+};
+
+/// Outcome of one repair.
+struct RepairResult {
+  Schedule schedule;             ///< full continuation (prefix + new work)
+  RepairStrategy used =
+      RepairStrategy::kFlbResume;  ///< strategy actually applied
+  std::size_t migrated_tasks = 0;  ///< tasks (re)placed by the repair
+  ProcId survivors = 0;            ///< processors still alive
+  Cost release_time = 0.0;  ///< earliest instant migrated work may start
+  double repair_millis = 0.0;  ///< wall-clock cost of computing the repair
+};
+
+/// Build a continuation schedule for `g` after executing `nominal` under
+/// `plan` produced the partial run `partial` (see simulate()). Tasks with a
+/// defined finish in `partial` are fixed; the rest are placed on processors
+/// the plan never kills, starting at or after the latest failure time.
+/// Throws flb::Error if the plan kills every processor or drops messages
+/// (dropped data cannot be repaired by re-mapping alone).
+RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
+                             const SimResult& partial, const FaultPlan& plan,
+                             const RepairOptions& options = {});
+
+}  // namespace flb

@@ -17,6 +17,7 @@ namespace flb {
 struct Violation {
   enum class Kind {
     kUnscheduledTask,    ///< a task was never assigned
+    kNonFiniteTime,      ///< ST(t) or FT(t) is NaN or infinite
     kWrongDuration,      ///< FT(t) != ST(t) + comp(t)
     kNegativeStart,      ///< ST(t) < 0
     kProcessorOverlap,   ///< two tasks overlap on one processor
@@ -29,7 +30,8 @@ struct Violation {
 
 /// Check `s` against `g`. Returns all violations found (empty == feasible).
 /// Constraints (paper Section 2):
-///  * every task is scheduled exactly once with FT = ST + comp;
+///  * every task is scheduled exactly once with finite ST and FT and
+///    FT = ST + comp;
 ///  * tasks on one processor do not overlap in time;
 ///  * a task starts no earlier than FT(pred) for same-processor
 ///    predecessors and FT(pred) + comm for remote ones.

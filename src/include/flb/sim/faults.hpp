@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "flb/util/types.hpp"
+
+/// \file faults.hpp
+/// Deterministic fault injection for the machine simulator.
+///
+/// The paper's machine (Section 2) is perfectly reliable: processors never
+/// fail, messages always arrive, and runtimes equal their compile-time
+/// estimates. A FaultPlan relaxes all three assumptions at once:
+///
+///  * **Fail-stop processor failures.** A processor listed in `failures`
+///    dies at its failure time: the task it is executing is killed (its
+///    work is lost), unstarted tasks on it never run, and it stays dead for
+///    the rest of the simulation. Messages emitted by tasks that *finished*
+///    before the failure are considered in flight and still delivered.
+///  * **Message loss with bounded retry.** Every remote transfer attempt is
+///    lost independently with `loss_probability`; a lost attempt is
+///    retransmitted after a timeout that grows by `backoff` per retry, up
+///    to `max_retries` retransmissions. A message whose final attempt is
+///    also lost is dropped permanently — its consumer (and everything
+///    behind it in that processor's dispatch order) never runs.
+///  * **Message delay.** Independently of loss, a message is delayed with
+///    `delay_probability`, multiplying its transfer time by `delay_factor`.
+///  * **Runtime perturbation.** Each task's computation cost is scaled by a
+///    factor drawn uniformly from [1 - runtime_spread, 1 + runtime_spread],
+///    modelling compile-time estimates that drift at runtime.
+///
+/// All randomness is derived from `seed` plus the task id / edge slot being
+/// perturbed, never from event order, so a plan yields bit-identical
+/// outcomes across runs, network models and repair strategies.
+
+namespace flb {
+
+/// One fail-stop processor failure.
+struct ProcFailure {
+  ProcId proc = kInvalidProc;
+  Cost time = 0.0;  ///< the processor is dead from this instant on
+};
+
+/// Per-message loss/delay model with bounded retry.
+struct MessageFaults {
+  double loss_probability = 0.0;   ///< per transmission attempt
+  double delay_probability = 0.0;  ///< per message (applied once)
+  double delay_factor = 2.0;       ///< transfer-time multiplier when delayed
+  std::size_t max_retries = 3;     ///< retransmissions after the first attempt
+  Cost retry_timeout = 1.0;        ///< wait before the first retransmission
+  double backoff = 2.0;            ///< timeout multiplier per further retry
+};
+
+/// A complete, seeded description of everything that goes wrong during one
+/// simulated execution. Default-constructed plans inject no faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<ProcFailure> failures;
+  MessageFaults message;
+  double runtime_spread = 0.0;  ///< comp scaled by uniform [1-s, 1+s], s < 1
+
+  /// Convenience: a plan whose only fault is killing `proc` at `time`.
+  [[nodiscard]] static FaultPlan single_failure(ProcId proc, Cost time);
+
+  /// True iff the plan injects nothing (the simulator takes the fast path).
+  [[nodiscard]] bool trivial() const;
+
+  /// The instant `p` dies, or kInfiniteTime if the plan never kills it.
+  [[nodiscard]] Cost death_time(ProcId p) const;
+
+  /// Throws flb::Error unless probabilities are in [0,1], runtime_spread in
+  /// [0,1), retry_timeout > 0, backoff >= 1, and every failure names a
+  /// processor below `num_procs` with a non-negative, finite time.
+  void validate(ProcId num_procs) const;
+};
+
+/// The fate of one remote message under a plan, resolved deterministically
+/// from (plan.seed, edge slot): total extra latency accumulated by lost
+/// attempts, the number of retransmissions, whether the transfer itself is
+/// slowed by delay_factor, and whether the message was dropped for good
+/// after the retry budget ran out.
+struct MessageOutcome {
+  Cost retry_delay = 0.0;     ///< timeout latency before the winning attempt
+  std::size_t retries = 0;    ///< retransmissions performed
+  bool delayed = false;       ///< transfer time multiplied by delay_factor
+  bool dropped = false;       ///< true: the message never arrives
+};
+
+/// Resolve the outcome of the message travelling along the edge with global
+/// slot index `edge_slot` (the CSR successor index used by the simulator).
+MessageOutcome resolve_message(const FaultPlan& plan, std::size_t edge_slot);
+
+/// The deterministic runtime-perturbation factor for task `t` (1.0 when the
+/// plan has runtime_spread == 0).
+Cost runtime_factor(const FaultPlan& plan, TaskId t);
+
+}  // namespace flb

@@ -5,6 +5,7 @@
 
 #include "flb/graph/task_graph.hpp"
 #include "flb/sched/schedule.hpp"
+#include "flb/sim/faults.hpp"
 
 /// \file machine_sim.hpp
 /// Discrete-event simulation of a distributed-memory machine *executing* a
@@ -23,6 +24,11 @@
 ///    performed without contention" assumption (Section 2) and quantify
 ///    how much of each algorithm's advantage survives when messages
 ///    serialize at the NICs — the bench_sim_contention ablation.
+///  * A seeded FaultPlan (faults.hpp) additionally relaxes *reliability*:
+///    fail-stop processor deaths, message loss/delay with bounded retry and
+///    exponential backoff, and runtime perturbation. Partial executions it
+///    produces feed the online repair path (sched/repair.hpp) — the
+///    bench_fault_tolerance ablation.
 ///
 /// Dispatch discipline: each processor runs its tasks in the order the
 /// schedule placed them, each task starting as soon as the processor is
@@ -46,20 +52,39 @@ struct SimOptions {
   /// Multiplies every communication cost (1.0 = the graph's costs). Allows
   /// what-if sweeps without regenerating graphs.
   Cost latency_factor = 1.0;
+  /// Optional fault injection (see faults.hpp). Not owned; must outlive the
+  /// simulate() call. With a non-trivial plan the execution may be partial:
+  /// check SimResult::complete() before trusting the makespan, or hand the
+  /// result to repair_schedule() to build a continuation.
+  const FaultPlan* faults = nullptr;
 };
 
-/// Simulation outcome.
+/// Simulation outcome. With fault injection, tasks that never ran keep
+/// start/finish == kUndefinedTime and are listed in `unfinished`.
 struct SimResult {
   std::vector<Cost> start;   ///< actual start per task
   std::vector<Cost> finish;  ///< actual finish per task
-  Cost makespan = 0.0;       ///< latest finish
+  Cost makespan = 0.0;       ///< latest finish among completed tasks
   std::size_t messages = 0;  ///< remote messages delivered
   Cost network_busy = 0.0;   ///< summed transfer time (scaled costs)
+
+  // Fault accounting (all zero / empty without a fault plan).
+  std::size_t retries = 0;           ///< message retransmissions performed
+  std::size_t dropped_messages = 0;  ///< messages lost beyond the retry budget
+  Cost work_lost = 0.0;        ///< computation discarded by fail-stop kills
+  Cost dead_proc_idle = 0.0;   ///< summed (makespan - death time), clamped
+  std::vector<TaskId> unfinished;  ///< tasks that never completed, ascending
+
+  /// True iff every task ran to completion.
+  [[nodiscard]] bool complete() const { return unfinished.empty(); }
 };
 
 /// Execute `s` (a complete schedule of `g`) on the simulated machine.
-/// Throws flb::Error if the schedule is incomplete or its dispatch order
-/// deadlocks (impossible for schedules accepted by validate_schedule).
+/// Throws flb::Error if the schedule is incomplete or — absent fault
+/// injection — its dispatch order deadlocks (impossible for schedules
+/// accepted by validate_schedule). With a fault plan, starvation is a
+/// legitimate outcome and is reported through SimResult::unfinished
+/// instead of an exception.
 SimResult simulate(const TaskGraph& g, const Schedule& s,
                    const SimOptions& options = {});
 

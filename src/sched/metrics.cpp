@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "flb/graph/properties.hpp"
+#include "flb/sched/repair.hpp"
+#include "flb/sim/machine_sim.hpp"
 #include "flb/util/error.hpp"
 
 namespace flb {
@@ -47,6 +49,23 @@ Cost makespan_lower_bound(const TaskGraph& g, ProcId num_procs) {
   FLB_REQUIRE(num_procs >= 1, "makespan_lower_bound: P must be positive");
   Cost avg = g.total_comp() / static_cast<Cost>(num_procs);
   return std::max(computation_critical_path(g), avg);
+}
+
+RobustnessMetrics robustness_metrics(const Schedule& nominal,
+                                     const SimResult& faulty,
+                                     const RepairResult& repair) {
+  RobustnessMetrics m;
+  m.nominal_makespan = nominal.makespan();
+  m.repaired_makespan = repair.schedule.makespan();
+  m.degradation_ratio = m.nominal_makespan > 0.0
+                            ? m.repaired_makespan / m.nominal_makespan
+                            : 0.0;
+  m.work_lost = faulty.work_lost;
+  m.dead_proc_idle = faulty.dead_proc_idle;
+  m.migrated_tasks = repair.migrated_tasks;
+  m.retries = faulty.retries;
+  m.repair_millis = repair.repair_millis;
+  return m;
 }
 
 }  // namespace flb

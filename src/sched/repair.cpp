@@ -1,0 +1,100 @@
+#include "flb/sched/repair.hpp"
+
+#include <algorithm>
+
+#include "flb/graph/properties.hpp"
+#include "flb/util/error.hpp"
+#include "flb/util/stopwatch.hpp"
+
+namespace flb {
+
+namespace {
+
+// Degraded mode: place the remaining tasks in topological order, each on
+// the surviving processor that lets it start the earliest (ties toward the
+// smaller id). O(V·P + E·P) — acceptable for a fallback that usually runs
+// with one survivor.
+void greedy_continuation(const TaskGraph& g, Schedule& s,
+                         const std::vector<bool>& alive, Cost release) {
+  for (TaskId t : topological_order(g)) {
+    if (s.is_scheduled(t)) continue;
+    ProcId best = kInvalidProc;
+    Cost best_est = kInfiniteTime;
+    for (ProcId p = 0; p < s.num_procs(); ++p) {
+      if (!alive[p]) continue;
+      Cost est = std::max(s.proc_ready_time(p), release);
+      for (const Adj& in : g.predecessors(t)) {
+        Cost c = s.proc(in.node) == p ? 0.0 : in.comm;
+        est = std::max(est, s.finish(in.node) + c);
+      }
+      if (est < best_est) {
+        best_est = est;
+        best = p;
+      }
+    }
+    FLB_ASSERT(best != kInvalidProc);
+    s.assign(t, best, best_est, best_est + g.comp(t));
+  }
+}
+
+}  // namespace
+
+RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
+                             const SimResult& partial, const FaultPlan& plan,
+                             const RepairOptions& options) {
+  const TaskId n = g.num_tasks();
+  FLB_REQUIRE(nominal.num_tasks() == n,
+              "repair_schedule: schedule was built for a different graph");
+  FLB_REQUIRE(partial.start.size() == n && partial.finish.size() == n,
+              "repair_schedule: partial run does not match the graph");
+  FLB_REQUIRE(partial.dropped_messages == 0,
+              "repair_schedule: the partial run dropped messages; lost data "
+              "cannot be recovered by re-mapping tasks");
+  plan.validate(nominal.num_procs());
+
+  Stopwatch sw;
+  RepairResult out{Schedule(nominal.num_procs(), n)};
+
+  std::vector<bool> alive(nominal.num_procs(), true);
+  Cost release = 0.0;
+  for (const ProcFailure& f : plan.failures) {
+    alive[f.proc] = false;
+    release = std::max(release, f.time);
+  }
+  ProcId survivors = 0;
+  for (bool a : alive)
+    if (a) ++survivors;
+  FLB_REQUIRE(survivors >= 1,
+              "repair_schedule: the fault plan kills every processor");
+
+  // The executed prefix: everything that actually finished keeps its
+  // observed placement — including tasks that completed on a processor
+  // before it died.
+  for (TaskId t = 0; t < n; ++t)
+    if (partial.finish[t] != kUndefinedTime)
+      out.schedule.assign(t, nominal.proc(t), partial.start[t],
+                          partial.finish[t]);
+  out.migrated_tasks = n - out.schedule.num_scheduled();
+  out.survivors = survivors;
+  out.release_time = release;
+
+  RepairStrategy strategy = options.strategy;
+  if (strategy == RepairStrategy::kAuto)
+    strategy = survivors >= 2 ? RepairStrategy::kFlbResume
+                              : RepairStrategy::kGreedy;
+  out.used = strategy;
+
+  if (out.migrated_tasks > 0) {
+    if (strategy == RepairStrategy::kFlbResume) {
+      FlbScheduler flb(options.flb);
+      out.schedule = flb.resume(g, out.schedule, alive, release);
+    } else {
+      greedy_continuation(g, out.schedule, alive, release);
+    }
+  }
+  FLB_ASSERT(out.schedule.complete());
+  out.repair_millis = sw.millis();
+  return out;
+}
+
+}  // namespace flb

@@ -15,6 +15,12 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
     out.push_back({kind, t, std::move(detail)});
   };
 
+  // Tasks whose times are NaN or infinite are reported once here and then
+  // excluded from the interval checks below: every comparison against a NaN
+  // is false (a silent pass), and NaN starts would break the strict weak
+  // ordering the overlap sweep sorts by.
+  std::vector<char> finite(n, 1);
+
   // Per-task checks.
   for (TaskId t = 0; t < n; ++t) {
     if (!s.is_scheduled(t)) {
@@ -23,6 +29,14 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
       continue;
     }
     const Placement& pl = s.placement(t);
+    if (!std::isfinite(pl.start) || !std::isfinite(pl.finish)) {
+      std::ostringstream os;
+      os << "task " << t << " has non-finite times: start " << pl.start
+         << ", finish " << pl.finish;
+      report(Violation::Kind::kNonFiniteTime, t, os.str());
+      finite[t] = 0;
+      continue;
+    }
     if (pl.start < -tolerance) {
       std::ostringstream os;
       os << "task " << t << " starts at negative time " << pl.start;
@@ -44,7 +58,9 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
   // one. We deliberately re-sort rather than trust the Schedule's order.
   for (ProcId p = 0; p < s.num_procs(); ++p) {
     auto span = s.tasks_on(p);
-    std::vector<TaskId> tasks(span.begin(), span.end());
+    std::vector<TaskId> tasks;
+    for (TaskId t : span)
+      if (finite[t]) tasks.push_back(t);
     std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
       return s.start(a) < s.start(b);
     });
@@ -69,9 +85,10 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
 
   // Precedence + communication: ST(t) >= FT(pred) (+ comm if remote).
   for (TaskId t = 0; t < n; ++t) {
-    if (!s.is_scheduled(t)) continue;
+    if (!s.is_scheduled(t) || !finite[t]) continue;
     for (const Adj& a : g.predecessors(t)) {
-      if (!s.is_scheduled(a.node)) continue;  // already reported above
+      // Unscheduled / non-finite predecessors were already reported above.
+      if (!s.is_scheduled(a.node) || !finite[a.node]) continue;
       Cost arrival = s.finish(a.node) +
                      (s.proc(a.node) == s.proc(t) ? 0.0 : a.comm);
       if (s.start(t) < arrival - tolerance) {
@@ -98,6 +115,7 @@ std::string to_string(const Violation& v) {
   const char* kind = "";
   switch (v.kind) {
     case Violation::Kind::kUnscheduledTask: kind = "unscheduled-task"; break;
+    case Violation::Kind::kNonFiniteTime: kind = "non-finite-time"; break;
     case Violation::Kind::kWrongDuration: kind = "wrong-duration"; break;
     case Violation::Kind::kNegativeStart: kind = "negative-start"; break;
     case Violation::Kind::kProcessorOverlap: kind = "processor-overlap"; break;

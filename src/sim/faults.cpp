@@ -1,0 +1,106 @@
+#include "flb/sim/faults.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "flb/util/error.hpp"
+#include "flb/util/rng.hpp"
+
+namespace flb {
+
+namespace {
+
+// Decorrelate the per-task and per-edge fault streams from each other and
+// from the plan seed. splitmix-style finalizer over a domain tag + index.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t domain,
+                  std::uint64_t index) {
+  std::uint64_t z = seed ^ (domain * 0x9e3779b97f4a7c15ULL) ^
+                    (index + 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kTaskDomain = 1;
+constexpr std::uint64_t kEdgeDomain = 2;
+
+}  // namespace
+
+FaultPlan FaultPlan::single_failure(ProcId proc, Cost time) {
+  FaultPlan plan;
+  plan.failures.push_back({proc, time});
+  return plan;
+}
+
+bool FaultPlan::trivial() const {
+  return failures.empty() && message.loss_probability == 0.0 &&
+         message.delay_probability == 0.0 && runtime_spread == 0.0;
+}
+
+Cost FaultPlan::death_time(ProcId p) const {
+  Cost earliest = kInfiniteTime;
+  for (const ProcFailure& f : failures)
+    if (f.proc == p && f.time < earliest) earliest = f.time;
+  return earliest;
+}
+
+void FaultPlan::validate(ProcId num_procs) const {
+  FLB_REQUIRE(message.loss_probability >= 0.0 &&
+                  message.loss_probability <= 1.0,
+              "FaultPlan: loss probability must be in [0, 1]");
+  FLB_REQUIRE(message.delay_probability >= 0.0 &&
+                  message.delay_probability <= 1.0,
+              "FaultPlan: delay probability must be in [0, 1]");
+  FLB_REQUIRE(message.delay_factor >= 1.0 &&
+                  std::isfinite(message.delay_factor),
+              "FaultPlan: delay factor must be finite and >= 1");
+  FLB_REQUIRE(message.retry_timeout > 0.0 &&
+                  std::isfinite(message.retry_timeout),
+              "FaultPlan: retry timeout must be finite and positive");
+  FLB_REQUIRE(message.backoff >= 1.0 && std::isfinite(message.backoff),
+              "FaultPlan: backoff must be finite and >= 1");
+  FLB_REQUIRE(runtime_spread >= 0.0 && runtime_spread < 1.0,
+              "FaultPlan: runtime spread must be in [0, 1)");
+  for (const ProcFailure& f : failures) {
+    FLB_REQUIRE(f.proc < num_procs,
+                "FaultPlan: failure names processor " +
+                    std::to_string(f.proc) + " but the machine has " +
+                    std::to_string(num_procs));
+    FLB_REQUIRE(f.time >= 0.0 && std::isfinite(f.time),
+                "FaultPlan: failure time must be finite and non-negative");
+  }
+}
+
+MessageOutcome resolve_message(const FaultPlan& plan, std::size_t edge_slot) {
+  MessageOutcome out;
+  const MessageFaults& m = plan.message;
+  if (m.loss_probability == 0.0 && m.delay_probability == 0.0) return out;
+  Rng rng(mix(plan.seed, kEdgeDomain, edge_slot));
+
+  if (m.delay_probability > 0.0)
+    out.delayed = rng.bernoulli(m.delay_probability);
+
+  if (m.loss_probability > 0.0) {
+    Cost timeout = m.retry_timeout;
+    std::size_t attempt = 0;
+    while (rng.bernoulli(m.loss_probability)) {
+      if (attempt == m.max_retries) {
+        out.dropped = true;
+        return out;
+      }
+      out.retry_delay += timeout;
+      timeout *= m.backoff;
+      ++attempt;
+      ++out.retries;
+    }
+  }
+  return out;
+}
+
+Cost runtime_factor(const FaultPlan& plan, TaskId t) {
+  if (plan.runtime_spread == 0.0) return 1.0;
+  Rng rng(mix(plan.seed, kTaskDomain, t));
+  return rng.uniform(1.0 - plan.runtime_spread, 1.0 + plan.runtime_spread);
+}
+
+}  // namespace flb

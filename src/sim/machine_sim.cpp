@@ -12,14 +12,19 @@ namespace flb {
 
 namespace {
 
-/// Completion event: (time, sequence) so simultaneous completions resolve
-/// in creation order, keeping the simulation deterministic.
+/// Simulation event: (time, kind, sequence) so simultaneous events resolve
+/// deterministically. Completions at time T are processed before a failure
+/// at T — a task finishing exactly when its processor dies survives, and
+/// its output messages are considered in flight.
 struct Event {
+  enum Kind { kCompletion = 0, kFailure = 1 };
   Cost time;
+  int kind;
   std::size_t seq;
-  TaskId task;
+  TaskId task;  ///< completing task, or the failing processor for kFailure
   bool operator>(const Event& other) const {
-    return std::tie(time, seq) > std::tie(other.time, other.seq);
+    return std::tie(time, kind, seq) >
+           std::tie(other.time, other.kind, other.seq);
   }
 };
 
@@ -31,6 +36,9 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   FLB_REQUIRE(s.complete(), "simulate: schedule is incomplete");
   FLB_REQUIRE(options.latency_factor >= 0.0,
               "simulate: latency factor must be non-negative");
+  const FaultPlan* plan = options.faults;
+  if (plan != nullptr && plan->trivial()) plan = nullptr;
+  if (plan != nullptr) plan->validate(s.num_procs());
 
   SimResult result;
   result.start.assign(n, kUndefinedTime);
@@ -41,9 +49,11 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<Cost> proc_free(procs, 0.0);
   std::vector<Cost> send_free(procs, 0.0);
   std::vector<Cost> recv_free(procs, 0.0);
+  std::vector<bool> dead(procs, false);
 
   // arrival[e] for remote edges, indexed like g's successor CSR; local
-  // edges are handled through `finished`.
+  // edges are handled through `finished`. A dropped message leaves its slot
+  // at kUndefinedTime forever and marks the consumer starved.
   std::vector<Cost> arrival(g.num_edges(), kUndefinedTime);
   std::vector<std::size_t> edge_offset(n + 1, 0);
   for (TaskId t = 0; t < n; ++t)
@@ -51,8 +61,15 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
 
   std::vector<bool> finished(n, false);
   std::vector<bool> dispatched(n, false);
+  std::vector<bool> killed(n, false);   // dispatched, then lost to a failure
+  std::vector<bool> starved(n, false);  // an input message was dropped
   std::vector<std::size_t> pending_preds(n);
   for (TaskId t = 0; t < n; ++t) pending_preds[t] = g.in_degree(t);
+
+  // Effective computation times (perturbed when the plan says so).
+  auto comp_of = [&](TaskId t) -> Cost {
+    return plan ? g.comp(t) * runtime_factor(*plan, t) : g.comp(t);
+  };
 
   // Position of each (pred -> t) edge inside pred's successor list, so the
   // consumer can find its arrival slot.
@@ -68,16 +85,24 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::size_t seq = 0;
   TaskId completed = 0;
 
+  if (plan != nullptr)
+    for (const ProcFailure& f : plan->failures)
+      events.push({f.time, Event::kFailure, seq++, f.proc});
+
   // Try to dispatch the head task of processor p. All arrival times are
   // known once every predecessor has finished, so the completion event can
-  // be scheduled immediately even if the start lies in the future.
+  // be scheduled immediately even if the start lies in the future. A dead
+  // processor never dispatches; a starved head task blocks its processor
+  // for good (dispatch is in schedule order).
   auto try_dispatch = [&](ProcId p) {
+    if (dead[p]) return;
     while (dispatch_idx[p] < s.tasks_on(p).size()) {
       TaskId t = s.tasks_on(p)[dispatch_idx[p]];
       if (dispatched[t]) {
         ++dispatch_idx[p];
         continue;
       }
+      if (starved[t]) return;            // its message will never come
       if (pending_preds[t] > 0) return;  // retried when the last pred ends
       Cost start = proc_free[p];
       for (const Adj& a : g.predecessors(t)) {
@@ -91,9 +116,9 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       }
       dispatched[t] = true;
       result.start[t] = start;
-      result.finish[t] = start + g.comp(t);
+      result.finish[t] = start + comp_of(t);
       proc_free[p] = result.finish[t];
-      events.push({result.finish[t], seq++, t});
+      events.push({result.finish[t], Event::kCompletion, seq++, t});
       ++dispatch_idx[p];
     }
   };
@@ -103,18 +128,50 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   while (!events.empty()) {
     Event ev = events.top();
     events.pop();
+
+    if (ev.kind == Event::kFailure) {
+      const ProcId p = static_cast<ProcId>(ev.task);
+      if (dead[p]) continue;  // duplicate failure entry
+      dead[p] = true;
+      // Kill every dispatched-but-unfinished task on p. Dispatch runs
+      // ahead of simulated time, so this covers both the task physically
+      // executing at ev.time (its partial work is lost) and tasks whose
+      // planned start lies beyond the failure.
+      for (TaskId t : s.tasks_on(p)) {
+        if (!dispatched[t] || finished[t] || killed[t]) continue;
+        killed[t] = true;
+        if (result.start[t] < ev.time)
+          result.work_lost += ev.time - result.start[t];
+        result.start[t] = kUndefinedTime;
+        result.finish[t] = kUndefinedTime;
+      }
+      continue;
+    }
+
     TaskId t = ev.task;
+    if (killed[t]) continue;  // stale completion of a task lost to a failure
     finished[t] = true;
     ++completed;
     const ProcId p = s.proc(t);
 
     // Emit messages to remote successors; ports are allocated now, in
-    // global completion order.
+    // global completion order. Under a fault plan each remote message
+    // resolves its loss/delay fate deterministically from its edge slot.
     std::size_t slot = edge_offset[t];
     for (const Adj& a : g.successors(t)) {
       if (s.proc(a.node) != p) {
         Cost cost = a.comm * options.latency_factor;
-        Cost send_start = ev.time;
+        MessageOutcome fate;
+        if (plan != nullptr) fate = resolve_message(*plan, slot);
+        result.retries += fate.retries;
+        if (fate.dropped) {
+          ++result.dropped_messages;
+          starved[a.node] = true;
+          ++slot;
+          continue;
+        }
+        if (fate.delayed) cost *= plan->message.delay_factor;
+        Cost send_start = ev.time + fate.retry_delay;
         if (options.network != SimNetwork::kContentionFree) {
           send_start = std::max(send_start, send_free[p]);
           send_free[p] = send_start + cost;
@@ -141,11 +198,22 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     }
   }
 
-  FLB_REQUIRE(completed == n,
-              "simulate: dispatch deadlock — the schedule's per-processor "
-              "order is inconsistent with the task dependences");
+  if (plan == nullptr) {
+    FLB_REQUIRE(completed == n,
+                "simulate: dispatch deadlock — the schedule's per-processor "
+                "order is inconsistent with the task dependences");
+  } else {
+    for (TaskId t = 0; t < n; ++t)
+      if (!finished[t]) result.unfinished.push_back(t);
+  }
 
-  for (Cost f : result.finish) result.makespan = std::max(result.makespan, f);
+  for (Cost f : result.finish)
+    if (f != kUndefinedTime) result.makespan = std::max(result.makespan, f);
+  if (plan != nullptr)
+    for (ProcId p = 0; p < procs; ++p)
+      if (dead[p])
+        result.dead_proc_idle +=
+            std::max(0.0, result.makespan - plan->death_time(p));
   return result;
 }
 

@@ -84,6 +84,32 @@ TEST(Validator, SameProcessorNeedsNoCommDelay) {
   EXPECT_TRUE(is_valid_schedule(g, s)) << test::violations_to_string(g, s);
 }
 
+// Regression: the validator used to pass schedules with infinite times
+// silently, because every tolerance comparison against a non-finite value
+// is false. (Schedule::assign itself rejects NaN, so +inf is the
+// constructible poison value.)
+TEST(Validator, DetectsNonFiniteTimes) {
+  TaskGraph g = test::small_diamond();
+  Schedule s = feasible_diamond();
+  Schedule bad(2, 4);
+  for (TaskId t = 0; t < 4; ++t) {
+    if (t == 2)
+      bad.assign(t, s.proc(t), kInfiniteTime, kInfiniteTime);
+    else
+      bad.assign(t, s.proc(t), s.start(t), s.finish(t));
+  }
+  auto v = validate_schedule(g, bad);
+  ASSERT_FALSE(v.empty()) << "infinite times must not validate";
+  bool found = false;
+  for (const auto& violation : v)
+    if (violation.kind == Violation::Kind::kNonFiniteTime &&
+        violation.task == 2)
+      found = true;
+  EXPECT_TRUE(found) << test::violations_to_string(g, bad);
+  EXPECT_NE(to_string(v.front()).find("non-finite-time"), std::string::npos);
+  EXPECT_FALSE(is_valid_schedule(g, bad));
+}
+
 TEST(Validator, ToleranceAbsorbsRoundoff) {
   TaskGraph g = test::small_diamond();
   Schedule s(2, 4);
