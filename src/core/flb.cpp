@@ -39,7 +39,8 @@ class Engine {
   /// kept verbatim; only processors with alive[p] receive new tasks, and no
   /// new task starts before `release`.
   Engine(const TaskGraph& g, Schedule prefix, std::vector<bool> alive,
-         Cost release, const FlbOptions& opts)
+         Cost release, const FlbOptions& opts,
+         const FlbResumeContext* degraded = nullptr)
       : g_(g),
         num_procs_(prefix.num_procs()),
         sched_(std::move(prefix)),
@@ -52,6 +53,11 @@ class Engine {
         lmt_ep_(g.num_tasks(), num_procs_),
         active_procs_(num_procs_),
         all_procs_(num_procs_) {
+    if (degraded != nullptr) {
+      speeds_ = degraded->speeds;
+      work_ = degraded->work;
+      extra_ = degraded->extra_time;
+    }
     init_tie_priorities(opts);
     init_lists();
   }
@@ -93,6 +99,17 @@ class Engine {
   // instant (the failure time when resuming; 0 on a fresh run).
   Cost prt(ProcId p) const {
     return std::max(sched_.proc_ready_time(p), release_);
+  }
+
+  // Wall-time cost of running t on p: (possibly overridden) work scaled by
+  // p's speed, plus any additive extra. Degenerates to comp(t) on a fresh
+  // run.
+  Cost duration(TaskId t, ProcId p) const {
+    Cost work = g_.comp(t);
+    if (!work_.empty() && work_[t] != kUndefinedTime) work = work_[t];
+    if (!speeds_.empty()) work /= speeds_[p];
+    if (!extra_.empty()) work += extra_[t];
+    return work;
   }
 
   void init_lists() {
@@ -145,7 +162,7 @@ class Engine {
 
     if (observer) notify(*observer, t, p, est, choose_ep);
 
-    sched_.assign(t, p, est, est + g_.comp(t));
+    sched_.assign(t, p, est, est + duration(t, p));
     --ready_count_;
     if (choose_ep) {
       ++stats_.ep_selections;
@@ -288,6 +305,9 @@ class Engine {
   Schedule sched_;
   std::vector<bool> alive_;
   Cost release_ = 0.0;
+  std::vector<double> speeds_;  // empty = homogeneous unit speed
+  std::vector<Cost> work_;      // empty = graph costs; kUndefinedTime = no override
+  std::vector<Cost> extra_;     // empty = no additive wall time
   std::vector<Cost> tie_;
   std::vector<FlbScheduler::ReadyInfo> info_;
   std::vector<std::size_t> unscheduled_preds_;
@@ -324,6 +344,31 @@ Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
   FLB_REQUIRE(release_time >= 0.0,
               "FLB resume: release time must be non-negative");
   Engine engine(g, prefix, alive, release_time, options_);
+  return engine.run(nullptr, nullptr);
+}
+
+Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
+                              const FlbResumeContext& ctx) {
+  FLB_REQUIRE(prefix.num_tasks() == g.num_tasks(),
+              "FLB resume: prefix was sized for a different graph");
+  FLB_REQUIRE(ctx.alive.size() == prefix.num_procs(),
+              "FLB resume: alive mask must cover every processor");
+  FLB_REQUIRE(
+      std::find(ctx.alive.begin(), ctx.alive.end(), true) != ctx.alive.end(),
+      "FLB resume: at least one surviving processor required");
+  FLB_REQUIRE(ctx.release >= 0.0,
+              "FLB resume: release time must be non-negative");
+  FLB_REQUIRE(ctx.speeds.empty() || ctx.speeds.size() == prefix.num_procs(),
+              "FLB resume: speeds must cover every processor");
+  for (std::size_t p = 0; p < ctx.speeds.size(); ++p)
+    FLB_REQUIRE(ctx.speeds[p] > 0.0 && ctx.speeds[p] <= 1.0,
+                "FLB resume: speed factors must be in (0, 1]");
+  FLB_REQUIRE(ctx.work.empty() || ctx.work.size() == g.num_tasks(),
+              "FLB resume: work override must cover every task");
+  FLB_REQUIRE(ctx.extra_time.empty() ||
+                  ctx.extra_time.size() == g.num_tasks(),
+              "FLB resume: extra time must cover every task");
+  Engine engine(g, prefix, ctx.alive, ctx.release, options_, &ctx);
   return engine.run(nullptr, nullptr);
 }
 

@@ -77,6 +77,30 @@ struct FlbStep {
 /// before the step's assignment.
 using FlbObserver = std::function<void(const Schedule&, const FlbStep&)>;
 
+/// Everything FlbScheduler::resume needs to know about the degraded machine
+/// it is continuing on. The plain alive/release resume is the special case
+/// with unit speeds and untouched work.
+struct FlbResumeContext {
+  /// Which processors may receive new tasks; must have num_procs entries,
+  /// at least one true.
+  std::vector<bool> alive;
+  /// No new task starts before this instant (the failure / repair horizon).
+  Cost release = 0.0;
+  /// Per-processor speed factors in (0, 1] (empty = all 1.0). A task placed
+  /// on p takes work / speeds[p] wall time — the related-machines model of
+  /// sched/hetero — so EST-minimizing selection naturally drains work away
+  /// from throttled processors whose ready times balloon.
+  std::vector<double> speeds;
+  /// Per-task work override (empty = use the graph's costs). Entries other
+  /// than kUndefinedTime replace comp(t) — used to resume checkpointed
+  /// tasks with only their unprotected remainder.
+  std::vector<Cost> work;
+  /// Per-task additive wall time (empty = none) — e.g. expected checkpoint
+  /// overhead of the re-executed remainder. Added to the duration after
+  /// speed scaling.
+  std::vector<Cost> extra_time;
+};
+
 /// The FLB scheduler.
 class FlbScheduler final : public Scheduler {
  public:
@@ -106,6 +130,15 @@ class FlbScheduler final : public Scheduler {
   [[nodiscard]] Schedule resume(const TaskGraph& g, const Schedule& prefix,
                                 const std::vector<bool>& alive,
                                 Cost release_time = 0.0);
+
+  /// As resume() above, but on a degraded machine: per-processor speeds,
+  /// per-task work overrides and additive wall time (see FlbResumeContext).
+  /// The EP/non-EP two-candidate selection is unchanged — a task's EST does
+  /// not depend on its own duration — only finish times stretch, which is
+  /// exactly how the related-machines EST/PRT coupling re-balances load
+  /// away from slow processors.
+  [[nodiscard]] Schedule resume(const TaskGraph& g, const Schedule& prefix,
+                                const FlbResumeContext& ctx);
 
   /// Per-ready-task quantities FLB maintains; exposed read-only to the
   /// observer path via FlbStep and to tests through this accessor type.

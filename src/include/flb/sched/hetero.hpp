@@ -66,4 +66,15 @@ bool is_valid_hetero_schedule(const TaskGraph& g,
                               const HeteroMachine& machine, const Schedule& s,
                               double tolerance = 1e-9);
 
+struct FaultPlan;  // sim/faults.hpp
+
+/// The degraded related-machines view of a faulty cluster: every processor
+/// keeps speed 1.0 except those throttled by the plan's (resolved) slowdown
+/// faults, whose speed is the product of their slowdown factors. Fail-stop
+/// deaths do not change speeds — liveness is tracked separately by the
+/// repair path. This is the bridge the ISSUE's tentpole asks for: a
+/// degraded-but-alive processor becomes a slower related machine that
+/// speed-scaled EST/PRT re-balancing can drain work away from.
+HeteroMachine degraded_machine(const FaultPlan& plan, ProcId num_procs);
+
 }  // namespace flb

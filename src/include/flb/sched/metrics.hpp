@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "flb/graph/task_graph.hpp"
 #include "flb/sched/schedule.hpp"
@@ -40,24 +42,50 @@ Cost makespan_lower_bound(const TaskGraph& g, ProcId num_procs);
 
 struct SimResult;    // sim/machine_sim.hpp
 struct RepairResult; // sched/repair.hpp
+struct FaultPlan;    // sim/faults.hpp
+
+/// How one declared failure domain fared during an episode: how many of its
+/// members were killed or throttled, and how much unprotected work kills on
+/// its members discarded. Overlapping domains double-count by design — each
+/// domain reports its own blast radius.
+struct DomainImpact {
+  std::string name;         ///< the FailureDomain's name
+  ProcId members = 0;       ///< domain size
+  ProcId killed = 0;        ///< members that died (any cause)
+  ProcId throttled = 0;     ///< surviving members with final speed < 1
+  Cost work_lost = 0.0;     ///< unprotected work lost on the members
+};
 
 /// How gracefully one (schedule, fault, repair) episode degraded.
 struct RobustnessMetrics {
   Cost nominal_makespan = 0.0;   ///< the undisturbed analytic makespan
   Cost repaired_makespan = 0.0;  ///< makespan of the continuation schedule
   Cost degradation_ratio = 0.0;  ///< repaired / nominal (>= 0; ~1 is ideal)
-  Cost work_lost = 0.0;          ///< computation discarded by fail-stop kills
+  Cost work_lost = 0.0;          ///< unprotected computation kills discarded
+  Cost work_saved = 0.0;         ///< checkpointed work the kills spared
+  Cost checkpoint_overhead = 0.0;  ///< wall time spent writing checkpoints
   Cost dead_proc_idle = 0.0;     ///< capacity lost to dead processors
   std::size_t migrated_tasks = 0;  ///< tasks the repair had to re-place
+  std::size_t reexecuted_tasks = 0;  ///< finished tasks rolled back & redone
+  ProcId degraded_procs = 0;       ///< alive-but-throttled processors
   std::size_t retries = 0;         ///< message retransmissions observed
   double repair_millis = 0.0;      ///< repair latency (wall clock)
+  std::vector<DomainImpact> domains;  ///< per-domain degradation (with plan)
 };
 
 /// Summarize one fault episode: `nominal` is the undisturbed schedule,
 /// `faulty` the partial execution observed under the fault plan, and
-/// `repair` the continuation built by repair_schedule().
+/// `repair` the continuation built by repair_schedule(). `domains` is left
+/// empty — use the overload below for the per-domain breakdown.
 RobustnessMetrics robustness_metrics(const Schedule& nominal,
                                      const SimResult& faulty,
                                      const RepairResult& repair);
+
+/// As above, additionally resolving `plan` to attribute deaths, throttling
+/// and lost work to each declared failure domain.
+RobustnessMetrics robustness_metrics(const Schedule& nominal,
+                                     const SimResult& faulty,
+                                     const RepairResult& repair,
+                                     const FaultPlan& plan);
 
 }  // namespace flb

@@ -10,28 +10,41 @@
 #include "flb/sim/machine_sim.hpp"
 
 /// \file repair.hpp
-/// Online schedule repair after fail-stop processor failures.
+/// Online schedule repair after fail-stop failures, slowdown faults and
+/// dropped messages.
 ///
-/// A compile-time schedule is built for P reliable processors; when one
-/// dies mid-execution the remaining work must be re-mapped onto the
-/// survivors. repair_schedule() consumes the partial execution observed by
-/// the fault-injecting simulator and produces a *continuation schedule*:
-/// every task that finished keeps its observed placement (the past cannot
-/// be changed), and everything else — including the work the dead
-/// processor lost — is placed on surviving processors, no earlier than the
-/// failure instant.
+/// A compile-time schedule is built for P reliable processors; when the
+/// machine degrades mid-execution the remaining work must be re-mapped onto
+/// what is left. repair_schedule() consumes the partial execution observed
+/// by the fault-injecting simulator and produces a *continuation schedule*:
+/// every task of the executed past keeps its observed placement, and
+/// everything else — work the dead processors lost, work queued behind a
+/// throttled processor, producers of permanently dropped messages — is
+/// placed on surviving processors, no earlier than the repair's release
+/// instant.
+///
+/// Degraded-but-alive processors are treated as *related machines*
+/// (sched/hetero): a processor throttled to speed s executes remaining work
+/// at comp / s, so the EST/PRT coupling of the resumed FLB engine naturally
+/// drains queued work away from it. Tasks killed mid-execution resume from
+/// their last durable checkpoint: only the unprotected remainder is
+/// re-planned (RepairResult::checkpoint_work_saved accounts the difference).
 ///
 /// Two strategies:
 ///  * kFlbResume re-runs the paper's two-candidate FLB step
 ///    (FlbScheduler::resume) over the survivors, seeded with the executed
-///    prefix — the quality path.
+///    prefix and the degraded speeds — the quality path.
 ///  * kGreedy appends remaining tasks in topological order, each on the
 ///    processor minimizing its earliest start — the graceful-degradation
 ///    path, used automatically when fewer than two processors survive.
 ///
 /// Data produced by tasks that finished on a dead processor is assumed to
 /// be recoverable (in flight or replicated); consumers pay the normal
-/// remote communication cost for it. See docs/fault_model.md.
+/// remote communication cost for it. Data lost to a *dropped message* is
+/// not: by default such partial runs are refused, but with
+/// DroppedDataPolicy::kReexecuteProducers the producing task — and every
+/// transitive successor, whose inputs are now stale — is rolled back and
+/// re-executed on a survivor. See docs/fault_model.md.
 
 namespace flb {
 
@@ -42,10 +55,25 @@ enum class RepairStrategy {
   kGreedy,     ///< topological min-EST append (degraded mode)
 };
 
+/// What to do when the partial run permanently dropped a message.
+enum class DroppedDataPolicy {
+  kRefuse,              ///< throw flb::Error (PR 1 behavior)
+  kReexecuteProducers,  ///< roll back producer + transitive successors
+};
+
 /// Options for repair_schedule().
 struct RepairOptions {
   RepairStrategy strategy = RepairStrategy::kAuto;
   FlbOptions flb;  ///< options for the resumed FLB engine (tie-break, seed)
+  DroppedDataPolicy dropped_data = DroppedDataPolicy::kRefuse;
+  /// Repair horizon: the instant the repair is computed. Tasks that
+  /// *started* at or after the horizon are re-planned even if the partial
+  /// run finished them — this is how a slowdown-only episode (where nothing
+  /// dies and the run limps to completion) re-balances queued work off a
+  /// throttled processor: set the horizon to the slowdown onset and
+  /// everything not yet started by then is up for migration. The default
+  /// (kInfiniteTime) keeps every finished task fixed, the PR 1 semantics.
+  Cost horizon = kInfiniteTime;
 };
 
 /// Outcome of one repair.
@@ -55,16 +83,28 @@ struct RepairResult {
       RepairStrategy::kFlbResume;  ///< strategy actually applied
   std::size_t migrated_tasks = 0;  ///< tasks (re)placed by the repair
   ProcId survivors = 0;            ///< processors still alive
+  ProcId degraded_procs = 0;       ///< alive processors with speed < 1
+  std::size_t reexecuted_tasks = 0;  ///< finished tasks rolled back & redone
+  Cost checkpoint_work_saved = 0.0;  ///< killed work resumed from checkpoints
   Cost release_time = 0.0;  ///< earliest instant migrated work may start
   double repair_millis = 0.0;  ///< wall-clock cost of computing the repair
+  /// Expected wall duration per task in `schedule`, computed independently
+  /// of the placement engine: the observed duration for fixed tasks, the
+  /// speed-scaled checkpoint-adjusted remainder for migrated ones. Feeds
+  /// the durations-aware validate_schedule overload, and doubles as
+  /// SimOptions::work_override to replay the continuation (fault-free)
+  /// under any network model.
+  std::vector<Cost> durations;
 };
 
 /// Build a continuation schedule for `g` after executing `nominal` under
-/// `plan` produced the partial run `partial` (see simulate()). Tasks with a
-/// defined finish in `partial` are fixed; the rest are placed on processors
-/// the plan never kills, starting at or after the latest failure time.
-/// Throws flb::Error if the plan kills every processor or drops messages
-/// (dropped data cannot be repaired by re-mapping alone).
+/// `plan` produced the partial run `partial` (see simulate()). Fixed tasks
+/// keep their observed placement; the rest are placed on processors the
+/// (resolved) plan never kills, starting at or after the release instant —
+/// the latest death time, raised to the horizon when one is given and to
+/// the latest observed finish of any rolled-back task. Throws flb::Error if
+/// the plan is malformed, kills every processor, or dropped messages under
+/// DroppedDataPolicy::kRefuse.
 RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
                              const SimResult& partial, const FaultPlan& plan,
                              const RepairOptions& options = {});

@@ -41,8 +41,26 @@ std::vector<Violation> validate_schedule(const TaskGraph& g,
                                          const Schedule& s,
                                          double tolerance = 1e-9);
 
+/// As above, but with an explicit expected duration per task instead of the
+/// homogeneous FT = ST + comp rule. Used for continuation schedules built
+/// after a degraded-mode episode, where a task's wall time may legitimately
+/// differ from comp(t): slowdown-stretched executions, checkpoint-resumed
+/// remainders, checkpoint-write pauses, perturbed runtimes. An entry of
+/// kUndefinedTime skips the duration check for that task; every other
+/// constraint (exclusivity, precedence, finiteness) is enforced unchanged.
+/// `durations` must have one entry per task.
+std::vector<Violation> validate_schedule(const TaskGraph& g,
+                                         const Schedule& s,
+                                         const std::vector<Cost>& durations,
+                                         double tolerance = 1e-9);
+
 /// True iff validate_schedule finds no violations.
 bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
+                       double tolerance = 1e-9);
+
+/// True iff the durations-aware validate_schedule reports nothing.
+bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
+                       const std::vector<Cost>& durations,
                        double tolerance = 1e-9);
 
 /// Render one violation for diagnostics.

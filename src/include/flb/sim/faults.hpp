@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "flb/util/types.hpp"
@@ -11,13 +12,31 @@
 ///
 /// The paper's machine (Section 2) is perfectly reliable: processors never
 /// fail, messages always arrive, and runtimes equal their compile-time
-/// estimates. A FaultPlan relaxes all three assumptions at once:
+/// estimates. A FaultPlan relaxes all of these assumptions at once:
 ///
 ///  * **Fail-stop processor failures.** A processor listed in `failures`
 ///    dies at its failure time: the task it is executing is killed (its
-///    work is lost), unstarted tasks on it never run, and it stays dead for
-///    the rest of the simulation. Messages emitted by tasks that *finished*
-///    before the failure are considered in flight and still delivered.
+///    unprotected work is lost), unstarted tasks on it never run, and it
+///    stays dead for the rest of the simulation. Messages emitted by tasks
+///    that *finished* before the failure are considered in flight and still
+///    delivered.
+///  * **Failure domains and correlated bursts.** Real clusters rarely fail
+///    one machine at a time: a rack loses power, a switch partitions, and
+///    its members fail together. `domains` names groups of processors;
+///    `bursts` trigger correlated episodes on a domain — each member
+///    participates with `probability` and fails within `[time, time +
+///    window]`, and the burst may cascade to further domains. A burst with
+///    `slowdown_factor` in (0, 1] throttles its members instead of killing
+///    them.
+///  * **Slowdown faults.** A processor listed in `slowdowns` does not die;
+///    its speed is multiplied by `factor` from `time` on (thermal
+///    throttling, co-tenancy). Multiple slowdowns of one processor
+///    compound multiplicatively. Communication is unaffected.
+///  * **Periodic checkpointing.** With `checkpoint.interval > 0` every task
+///    writes a durable checkpoint after each `interval` units of work
+///    (costing `checkpoint.overhead` wall time per write); a killed task
+///    loses only the work past its last durable checkpoint, and
+///    repair_schedule() resumes it from there instead of from zero.
 ///  * **Message loss with bounded retry.** Every remote transfer attempt is
 ///    lost independently with `loss_probability`; a lost attempt is
 ///    retransmitted after a timeout that grows by `backoff` per retry, up
@@ -30,9 +49,11 @@
 ///    factor drawn uniformly from [1 - runtime_spread, 1 + runtime_spread],
 ///    modelling compile-time estimates that drift at runtime.
 ///
-/// All randomness is derived from `seed` plus the task id / edge slot being
-/// perturbed, never from event order, so a plan yields bit-identical
-/// outcomes across runs, network models and repair strategies.
+/// All randomness is derived from `seed` plus the task id / edge slot /
+/// (burst, member) pair being perturbed, never from event order, so a plan
+/// yields bit-identical outcomes across runs, network models and repair
+/// strategies. resolve_faults() expands domains and bursts into the
+/// concrete per-processor failure/slowdown lists the simulator executes.
 
 namespace flb {
 
@@ -40,6 +61,53 @@ namespace flb {
 struct ProcFailure {
   ProcId proc = kInvalidProc;
   Cost time = 0.0;  ///< the processor is dead from this instant on
+};
+
+/// One slowdown fault: the processor stays alive, but from `time` on its
+/// speed is multiplied by `factor` (so a task's remaining work proceeds at
+/// the reduced rate). Several slowdowns of one processor compound.
+struct SlowdownFault {
+  ProcId proc = kInvalidProc;
+  Cost time = 0.0;      ///< throttling starts at this instant
+  double factor = 1.0;  ///< speed multiplier in (0, 1]
+};
+
+/// A named group of processors that fails together (a rack, a switch, a
+/// power domain). Domains may overlap; membership order is significant only
+/// for the deterministic per-member randomness of bursts.
+struct FailureDomain {
+  std::string name;
+  std::vector<ProcId> members;
+};
+
+/// One correlated failure episode on a domain. Each member participates
+/// independently with `probability`; a participating member fails (or, with
+/// `slowdown_factor` in (0, 1], throttles) at a deterministic instant drawn
+/// uniformly from [time, time + window]. With `cascade_probability > 0` the
+/// burst spreads: every *other* declared domain is hit by a secondary burst
+/// (same window, probability and slowdown_factor, no further cascading)
+/// triggered at `time + window + cascade_delay`, independently with
+/// `cascade_probability` — seeded, bounded cascading along the domain list.
+struct DomainBurst {
+  std::string domain;             ///< must name a declared FailureDomain
+  Cost time = 0.0;                ///< burst trigger instant
+  Cost window = 0.0;              ///< member faults spread over [time, time+window]
+  double probability = 1.0;       ///< per-member participation probability
+  double slowdown_factor = 0.0;   ///< 0 = fail-stop kill; (0,1] = throttle
+  double cascade_probability = 0.0;  ///< per-other-domain spread probability
+  Cost cascade_delay = 0.0;       ///< secondary bursts trigger after the window
+};
+
+/// Periodic checkpointing policy. Disabled by default (interval 0): a
+/// killed task restarts from zero. With interval T > 0, a task writes a
+/// durable checkpoint after each T units of *work* (marks at T, 2T, ...
+/// strictly below its total work), pausing for `overhead` wall time per
+/// write; a checkpoint interrupted by a failure is not durable.
+struct CheckpointPolicy {
+  Cost interval = 0.0;  ///< work units between checkpoints; 0 disables
+  Cost overhead = 0.0;  ///< wall time per durable checkpoint write
+
+  [[nodiscard]] bool enabled() const { return interval > 0.0; }
 };
 
 /// Per-message loss/delay model with bounded retry.
@@ -57,6 +125,10 @@ struct MessageFaults {
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<ProcFailure> failures;
+  std::vector<SlowdownFault> slowdowns;
+  std::vector<FailureDomain> domains;
+  std::vector<DomainBurst> bursts;
+  CheckpointPolicy checkpoint;
   MessageFaults message;
   double runtime_spread = 0.0;  ///< comp scaled by uniform [1-s, 1+s], s < 1
 
@@ -66,14 +138,52 @@ struct FaultPlan {
   /// True iff the plan injects nothing (the simulator takes the fast path).
   [[nodiscard]] bool trivial() const;
 
-  /// The instant `p` dies, or kInfiniteTime if the plan never kills it.
+  /// The instant `p` dies according to the *directly listed* failures, or
+  /// kInfiniteTime. Burst-induced deaths are not included — use
+  /// resolve_faults() / ResolvedFaults::death_time for the full picture.
   [[nodiscard]] Cost death_time(ProcId p) const;
 
-  /// Throws flb::Error unless probabilities are in [0,1], runtime_spread in
-  /// [0,1), retry_timeout > 0, backoff >= 1, and every failure names a
-  /// processor below `num_procs` with a non-negative, finite time.
+  /// Point-of-use validation. Throws flb::Error naming the offending entry
+  /// unless: probabilities are in [0,1]; runtime_spread in [0,1);
+  /// retry_timeout > 0; backoff >= 1; every failure names a distinct
+  /// processor below `num_procs` with a finite, non-negative time; every
+  /// slowdown names a processor below `num_procs` with a finite,
+  /// non-negative time and a factor in (0,1]; domain names are unique and
+  /// non-empty with members below `num_procs`; every burst references a
+  /// declared domain with finite, non-negative time/window/cascade_delay
+  /// and a slowdown_factor of 0 or in (0,1]; and checkpoint interval and
+  /// overhead are finite and non-negative.
   void validate(ProcId num_procs) const;
 };
+
+/// The concrete fault set a plan expands to: directly listed failures and
+/// slowdowns plus every burst-induced one, resolved deterministically from
+/// the seed. Failures are deduplicated (earliest death per processor) and
+/// sorted by (time, proc); slowdowns are sorted by (time, proc).
+struct ResolvedFaults {
+  std::vector<ProcFailure> failures;
+  std::vector<SlowdownFault> slowdowns;
+
+  /// The instant `p` dies, or kInfiniteTime if nothing kills it.
+  [[nodiscard]] Cost death_time(ProcId p) const;
+};
+
+/// Expand domains and bursts into the concrete failure/slowdown lists.
+/// Pure function of the plan (call validate() first); bit-identical across
+/// runs and network models.
+ResolvedFaults resolve_faults(const FaultPlan& plan);
+
+/// The asymptotic speed of every processor once all slowdowns in
+/// `resolved` have struck: the per-processor product of slowdown factors
+/// (1.0 for untouched processors). Bridges the fault model into the
+/// related-machines view of sched/hetero for speed-aware repair.
+std::vector<double> final_speeds(const ResolvedFaults& resolved,
+                                 ProcId num_procs);
+
+/// Number of durable checkpoints a task with `work` units of computation
+/// writes during a full execution: marks at interval, 2*interval, ...
+/// strictly below `work`. Zero when checkpointing is disabled.
+std::size_t checkpoint_count(const CheckpointPolicy& ckpt, Cost work);
 
 /// The fate of one remote message under a plan, resolved deterministically
 /// from (plan.seed, edge slot): total extra latency accumulated by lost

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "flb/graph/task_graph.hpp"
@@ -25,7 +26,9 @@
 ///    how much of each algorithm's advantage survives when messages
 ///    serialize at the NICs — the bench_sim_contention ablation.
 ///  * A seeded FaultPlan (faults.hpp) additionally relaxes *reliability*:
-///    fail-stop processor deaths, message loss/delay with bounded retry and
+///    fail-stop processor deaths (independent or in correlated domain
+///    bursts), slowdown faults that throttle a processor's speed,
+///    periodic checkpointing, message loss/delay with bounded retry and
 ///    exponential backoff, and runtime perturbation. Partial executions it
 ///    produces feed the online repair path (sched/repair.hpp) — the
 ///    bench_fault_tolerance ablation.
@@ -36,6 +39,14 @@
 /// they re-emerge in the contention-free model). Message ports are
 /// allocated in global event-time order, which makes all three models
 /// deterministic.
+///
+/// Slowdown faults give each processor a piecewise-constant speed profile
+/// (speed 1.0 until the first slowdown, multiplied by each fault's factor
+/// from its onset on); a task's finish time integrates its remaining work
+/// through that profile. Checkpoint writes pause the computation for the
+/// policy's overhead; a fail-stop kill preserves the work up to the last
+/// checkpoint whose write completed (SimResult::checkpointed), and only
+/// the unprotected remainder counts as work_lost.
 
 namespace flb {
 
@@ -57,6 +68,12 @@ struct SimOptions {
   /// check SimResult::complete() before trusting the makespan, or hand the
   /// result to repair_schedule() to build a continuation.
   const FaultPlan* faults = nullptr;
+  /// Optional per-task effective-work override (not owned). Entries other
+  /// than kUndefinedTime replace the task's computation *including* any
+  /// runtime perturbation — used to replay a repaired continuation whose
+  /// migrated tasks resume from a checkpoint with only their remaining
+  /// work. Must have num_tasks entries when set.
+  const std::vector<Cost>* work_override = nullptr;
 };
 
 /// Simulation outcome. With fault injection, tasks that never ran keep
@@ -71,9 +88,25 @@ struct SimResult {
   // Fault accounting (all zero / empty without a fault plan).
   std::size_t retries = 0;           ///< message retransmissions performed
   std::size_t dropped_messages = 0;  ///< messages lost beyond the retry budget
-  Cost work_lost = 0.0;        ///< computation discarded by fail-stop kills
+  Cost work_lost = 0.0;        ///< unprotected computation discarded by kills
   Cost dead_proc_idle = 0.0;   ///< summed (makespan - death time), clamped
   std::vector<TaskId> unfinished;  ///< tasks that never completed, ascending
+  /// (producer, consumer) pairs of permanently dropped messages, in
+  /// delivery-attempt order — the input of re-execution repair.
+  std::vector<std::pair<TaskId, TaskId>> dropped_edges;
+
+  // Checkpoint accounting (zero / empty unless the plan checkpoints).
+  Cost work_saved = 0.0;            ///< checkpointed work preserved by kills
+  Cost checkpoint_overhead = 0.0;   ///< wall time spent on durable writes
+  std::size_t checkpoints_taken = 0;  ///< durable checkpoint writes
+  /// Per-task work protected by the last durable checkpoint of a *killed*
+  /// task (0 elsewhere); sized num_tasks under a fault plan, else empty.
+  std::vector<Cost> checkpointed;
+
+  /// Per-processor unprotected work lost to kills on that processor;
+  /// sized num_procs under a fault plan, else empty. Feeds the per-domain
+  /// degradation accounting of robustness_metrics().
+  std::vector<Cost> proc_work_lost;
 
   /// True iff every task ran to completion.
   [[nodiscard]] bool complete() const { return unfinished.empty(); }

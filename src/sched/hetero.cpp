@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "flb/sim/faults.hpp"
 #include "flb/util/error.hpp"
 
 namespace flb {
@@ -59,6 +60,11 @@ std::vector<Violation> validate_hetero_schedule(const TaskGraph& g,
 bool is_valid_hetero_schedule(const TaskGraph& g, const HeteroMachine& machine,
                               const Schedule& s, double tolerance) {
   return validate_hetero_schedule(g, machine, s, tolerance).empty();
+}
+
+HeteroMachine degraded_machine(const FaultPlan& plan, ProcId num_procs) {
+  plan.validate(num_procs);
+  return HeteroMachine(final_speeds(resolve_faults(plan), num_procs));
 }
 
 }  // namespace flb

@@ -61,10 +61,40 @@ RobustnessMetrics robustness_metrics(const Schedule& nominal,
                             ? m.repaired_makespan / m.nominal_makespan
                             : 0.0;
   m.work_lost = faulty.work_lost;
+  m.work_saved = faulty.work_saved;
+  m.checkpoint_overhead = faulty.checkpoint_overhead;
   m.dead_proc_idle = faulty.dead_proc_idle;
   m.migrated_tasks = repair.migrated_tasks;
+  m.reexecuted_tasks = repair.reexecuted_tasks;
+  m.degraded_procs = repair.degraded_procs;
   m.retries = faulty.retries;
   m.repair_millis = repair.repair_millis;
+  return m;
+}
+
+RobustnessMetrics robustness_metrics(const Schedule& nominal,
+                                     const SimResult& faulty,
+                                     const RepairResult& repair,
+                                     const FaultPlan& plan) {
+  RobustnessMetrics m = robustness_metrics(nominal, faulty, repair);
+  const ProcId procs = nominal.num_procs();
+  const ResolvedFaults resolved = resolve_faults(plan);
+  const std::vector<double> speeds = final_speeds(resolved, procs);
+  for (const FailureDomain& d : plan.domains) {
+    DomainImpact impact;
+    impact.name = d.name;
+    impact.members = static_cast<ProcId>(d.members.size());
+    for (ProcId p : d.members) {
+      if (resolved.death_time(p) != kInfiniteTime) {
+        ++impact.killed;
+      } else if (speeds[p] < 1.0) {
+        ++impact.throttled;
+      }
+      if (!faulty.proc_work_lost.empty())
+        impact.work_lost += faulty.proc_work_lost[p];
+    }
+    m.domains.push_back(std::move(impact));
+  }
   return m;
 }
 

@@ -1,6 +1,7 @@
 #include "flb/sched/repair.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "flb/graph/properties.hpp"
 #include "flb/util/error.hpp"
@@ -12,10 +13,14 @@ namespace {
 
 // Degraded mode: place the remaining tasks in topological order, each on
 // the surviving processor that lets it start the earliest (ties toward the
-// smaller id). O(V·P + E·P) — acceptable for a fallback that usually runs
-// with one survivor.
+// smaller id); its duration is the speed-scaled remainder plus any additive
+// extra. O(V·P + E·P) — acceptable for a fallback that usually runs with
+// one survivor.
 void greedy_continuation(const TaskGraph& g, Schedule& s,
-                         const std::vector<bool>& alive, Cost release) {
+                         const std::vector<bool>& alive, Cost release,
+                         const std::vector<double>& speeds,
+                         const std::vector<Cost>& work,
+                         const std::vector<Cost>& extra) {
   for (TaskId t : topological_order(g)) {
     if (s.is_scheduled(t)) continue;
     ProcId best = kInvalidProc;
@@ -33,7 +38,8 @@ void greedy_continuation(const TaskGraph& g, Schedule& s,
       }
     }
     FLB_ASSERT(best != kInvalidProc);
-    s.assign(t, best, best_est, best_est + g.comp(t));
+    s.assign(t, best, best_est,
+             best_est + work[t] / speeds[best] + extra[t]);
   }
 }
 
@@ -47,19 +53,28 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
               "repair_schedule: schedule was built for a different graph");
   FLB_REQUIRE(partial.start.size() == n && partial.finish.size() == n,
               "repair_schedule: partial run does not match the graph");
-  FLB_REQUIRE(partial.dropped_messages == 0,
+  FLB_REQUIRE(partial.dropped_messages == 0 ||
+                  options.dropped_data ==
+                      DroppedDataPolicy::kReexecuteProducers,
               "repair_schedule: the partial run dropped messages; lost data "
-              "cannot be recovered by re-mapping tasks");
+              "cannot be recovered by re-mapping tasks (use "
+              "DroppedDataPolicy::kReexecuteProducers)");
   plan.validate(nominal.num_procs());
+  const ResolvedFaults resolved = resolve_faults(plan);
 
   Stopwatch sw;
   RepairResult out{Schedule(nominal.num_procs(), n)};
 
   std::vector<bool> alive(nominal.num_procs(), true);
   Cost release = 0.0;
-  for (const ProcFailure& f : plan.failures) {
+  for (const ProcFailure& f : resolved.failures) {
     alive[f.proc] = false;
     release = std::max(release, f.time);
+  }
+  if (options.horizon != kInfiniteTime) {
+    FLB_REQUIRE(options.horizon >= 0.0,
+                "repair_schedule: horizon must be non-negative");
+    release = std::max(release, options.horizon);
   }
   ProcId survivors = 0;
   for (bool a : alive)
@@ -67,16 +82,74 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   FLB_REQUIRE(survivors >= 1,
               "repair_schedule: the fault plan kills every processor");
 
-  // The executed prefix: everything that actually finished keeps its
-  // observed placement — including tasks that completed on a processor
-  // before it died.
+  // The related-machines view of the degraded cluster: alive processors hit
+  // by slowdowns execute remaining work at their compounded factor.
+  const std::vector<double> speeds =
+      final_speeds(resolved, nominal.num_procs());
+  for (ProcId p = 0; p < nominal.num_procs(); ++p)
+    if (alive[p] && speeds[p] < 1.0) ++out.degraded_procs;
+  bool degraded = out.degraded_procs > 0;
+
+  // Roll back the producers of permanently dropped messages plus all their
+  // transitive successors — every task whose inputs are (directly or
+  // indirectly) stale re-executes on a survivor. The repair cannot happen
+  // before the losses were observed, so the release also covers the latest
+  // observed finish of any rolled-back task.
+  std::vector<char> rolled(n, 0);
+  if (!partial.dropped_edges.empty()) {
+    std::vector<TaskId> stack;
+    for (const auto& [producer, consumer] : partial.dropped_edges) {
+      (void)consumer;  // consumers are successors of the producer
+      if (!rolled[producer]) {
+        rolled[producer] = 1;
+        stack.push_back(producer);
+      }
+    }
+    while (!stack.empty()) {
+      TaskId t = stack.back();
+      stack.pop_back();
+      for (const Adj& a : g.successors(t))
+        if (!rolled[a.node]) {
+          rolled[a.node] = 1;
+          stack.push_back(a.node);
+        }
+    }
+    for (TaskId t = 0; t < n; ++t)
+      if (rolled[t] && partial.finish[t] != kUndefinedTime) {
+        ++out.reexecuted_tasks;
+        release = std::max(release, partial.finish[t]);
+      }
+  }
+
+  // The executed past: everything that finished before the horizon and is
+  // not rolled back keeps its observed placement — including tasks that
+  // completed on a processor before it died.
+  std::vector<char> fixed(n, 0);
   for (TaskId t = 0; t < n; ++t)
-    if (partial.finish[t] != kUndefinedTime)
+    if (partial.finish[t] != kUndefinedTime && !rolled[t] &&
+        partial.start[t] < options.horizon) {
+      fixed[t] = 1;
       out.schedule.assign(t, nominal.proc(t), partial.start[t],
                           partial.finish[t]);
+    }
   out.migrated_tasks = n - out.schedule.num_scheduled();
   out.survivors = survivors;
   out.release_time = release;
+
+  // Remaining work of every migrated task: its (deterministically
+  // perturbed) total minus what its last durable checkpoint protects, plus
+  // the wall time of the checkpoint writes the re-execution itself will
+  // perform.
+  std::vector<Cost> work(n, kUndefinedTime), extra(n, 0.0);
+  for (TaskId t = 0; t < n; ++t) {
+    if (fixed[t]) continue;
+    Cost saved = partial.checkpointed.empty() ? 0.0 : partial.checkpointed[t];
+    Cost remaining = g.comp(t) * runtime_factor(plan, t) - saved;
+    work[t] = remaining;
+    extra[t] = static_cast<Cost>(checkpoint_count(plan.checkpoint, remaining)) *
+               plan.checkpoint.overhead;
+    out.checkpoint_work_saved += saved;
+  }
 
   RepairStrategy strategy = options.strategy;
   if (strategy == RepairStrategy::kAuto)
@@ -87,12 +160,28 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   if (out.migrated_tasks > 0) {
     if (strategy == RepairStrategy::kFlbResume) {
       FlbScheduler flb(options.flb);
-      out.schedule = flb.resume(g, out.schedule, alive, release);
+      FlbResumeContext ctx;
+      ctx.alive = alive;
+      ctx.release = release;
+      if (degraded) ctx.speeds = speeds;
+      ctx.work = work;
+      ctx.extra_time = extra;
+      out.schedule = flb.resume(g, out.schedule, ctx);
     } else {
-      greedy_continuation(g, out.schedule, alive, release);
+      greedy_continuation(g, out.schedule, alive, release, speeds, work,
+                          extra);
     }
   }
   FLB_ASSERT(out.schedule.complete());
+
+  // Expected durations, computed independently of the placement engine so
+  // the durations-aware validator is a real cross-check.
+  out.durations.resize(n);
+  for (TaskId t = 0; t < n; ++t)
+    out.durations[t] =
+        fixed[t] ? partial.finish[t] - partial.start[t]
+                 : work[t] / speeds[out.schedule.proc(t)] + extra[t];
+
   out.repair_millis = sw.millis();
   return out;
 }

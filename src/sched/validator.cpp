@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "flb/util/error.hpp"
+
 namespace flb {
 
 std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
@@ -106,9 +108,41 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
   return out;
 }
 
+std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
+                                         const std::vector<Cost>& durations,
+                                         double tolerance) {
+  FLB_REQUIRE(durations.size() == g.num_tasks(),
+              "validate_schedule: durations must have one entry per task");
+  // Delegate everything except the duration rule to the homogeneous check,
+  // then re-verify durations against the caller's expectations.
+  std::vector<Violation> raw = validate_schedule(g, s, tolerance);
+  std::vector<Violation> out;
+  for (Violation& v : raw)
+    if (v.kind != Violation::Kind::kWrongDuration) out.push_back(std::move(v));
+
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!s.is_scheduled(t)) continue;  // already reported
+    if (durations[t] == kUndefinedTime) continue;
+    const Placement& pl = s.placement(t);
+    if (!std::isfinite(pl.start) || !std::isfinite(pl.finish)) continue;
+    if (std::abs(pl.finish - (pl.start + durations[t])) > tolerance) {
+      std::ostringstream os;
+      os << "task " << t << ": finish " << pl.finish << " != start "
+         << pl.start << " + expected duration " << durations[t];
+      out.push_back({Violation::Kind::kWrongDuration, t, os.str()});
+    }
+  }
+  return out;
+}
+
 bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
                        double tolerance) {
   return validate_schedule(g, s, tolerance).empty();
+}
+
+bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
+                       const std::vector<Cost>& durations, double tolerance) {
+  return validate_schedule(g, s, durations, tolerance).empty();
 }
 
 std::string to_string(const Violation& v) {

@@ -1,7 +1,10 @@
 #include "flb/sim/faults.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "flb/util/error.hpp"
 #include "flb/util/rng.hpp"
@@ -10,8 +13,9 @@ namespace flb {
 
 namespace {
 
-// Decorrelate the per-task and per-edge fault streams from each other and
-// from the plan seed. splitmix-style finalizer over a domain tag + index.
+// Decorrelate the per-task, per-edge and per-burst-member fault streams
+// from each other and from the plan seed. splitmix-style finalizer over a
+// domain tag + index.
 std::uint64_t mix(std::uint64_t seed, std::uint64_t domain,
                   std::uint64_t index) {
   std::uint64_t z = seed ^ (domain * 0x9e3779b97f4a7c15ULL) ^
@@ -23,6 +27,31 @@ std::uint64_t mix(std::uint64_t seed, std::uint64_t domain,
 
 constexpr std::uint64_t kTaskDomain = 1;
 constexpr std::uint64_t kEdgeDomain = 2;
+constexpr std::uint64_t kBurstDomain = 3;
+constexpr std::uint64_t kCascadeDomain = 4;
+
+bool finite_nonneg(Cost v) { return std::isfinite(v) && v >= 0.0; }
+
+// Resolve one burst episode on `members`: each member participates with
+// spec.probability and strikes at trigger + uniform[0, window]. The
+// burst_index keys the deterministic per-member randomness, so primary and
+// cascade episodes draw from disjoint streams.
+void expand_burst(const FaultPlan& plan, const std::vector<ProcId>& members,
+                  const DomainBurst& spec, Cost trigger,
+                  std::uint64_t burst_index, ResolvedFaults& out) {
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    Rng rng(mix(plan.seed, kBurstDomain,
+                (burst_index << 32) | static_cast<std::uint64_t>(j)));
+    if (spec.probability < 1.0 && !rng.bernoulli(spec.probability)) continue;
+    Cost when = trigger;
+    if (spec.window > 0.0) when += rng.uniform(0.0, spec.window);
+    if (spec.slowdown_factor == 0.0) {
+      out.failures.push_back({members[j], when});
+    } else {
+      out.slowdowns.push_back({members[j], when, spec.slowdown_factor});
+    }
+  }
+}
 
 }  // namespace
 
@@ -33,7 +62,8 @@ FaultPlan FaultPlan::single_failure(ProcId proc, Cost time) {
 }
 
 bool FaultPlan::trivial() const {
-  return failures.empty() && message.loss_probability == 0.0 &&
+  return failures.empty() && slowdowns.empty() && bursts.empty() &&
+         !checkpoint.enabled() && message.loss_probability == 0.0 &&
          message.delay_probability == 0.0 && runtime_spread == 0.0;
 }
 
@@ -61,14 +91,147 @@ void FaultPlan::validate(ProcId num_procs) const {
               "FaultPlan: backoff must be finite and >= 1");
   FLB_REQUIRE(runtime_spread >= 0.0 && runtime_spread < 1.0,
               "FaultPlan: runtime spread must be in [0, 1)");
-  for (const ProcFailure& f : failures) {
+
+  std::unordered_set<ProcId> failed;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const ProcFailure& f = failures[i];
+    const std::string where = "FaultPlan: failures[" + std::to_string(i) + "]";
     FLB_REQUIRE(f.proc < num_procs,
-                "FaultPlan: failure names processor " +
-                    std::to_string(f.proc) + " but the machine has " +
-                    std::to_string(num_procs));
-    FLB_REQUIRE(f.time >= 0.0 && std::isfinite(f.time),
-                "FaultPlan: failure time must be finite and non-negative");
+                where + " names processor " + std::to_string(f.proc) +
+                    " but the machine has " + std::to_string(num_procs));
+    FLB_REQUIRE(finite_nonneg(f.time),
+                where + ": failure time must be finite and non-negative");
+    FLB_REQUIRE(failed.insert(f.proc).second,
+                where + " duplicates a failure of processor " +
+                    std::to_string(f.proc));
   }
+
+  for (std::size_t i = 0; i < slowdowns.size(); ++i) {
+    const SlowdownFault& s = slowdowns[i];
+    const std::string where =
+        "FaultPlan: slowdowns[" + std::to_string(i) + "]";
+    FLB_REQUIRE(s.proc < num_procs,
+                where + " names processor " + std::to_string(s.proc) +
+                    " but the machine has " + std::to_string(num_procs));
+    FLB_REQUIRE(finite_nonneg(s.time),
+                where + ": slowdown time must be finite and non-negative");
+    FLB_REQUIRE(s.factor > 0.0 && s.factor <= 1.0 &&
+                    std::isfinite(s.factor),
+                where + ": slowdown factor must be in (0, 1]");
+  }
+
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    const FailureDomain& d = domains[i];
+    const std::string where = "FaultPlan: domains[" + std::to_string(i) + "]";
+    FLB_REQUIRE(!d.name.empty(), where + " has an empty name");
+    FLB_REQUIRE(names.insert(d.name).second,
+                where + " duplicates domain name '" + d.name + "'");
+    for (ProcId m : d.members)
+      FLB_REQUIRE(m < num_procs,
+                  where + " ('" + d.name + "') lists member processor " +
+                      std::to_string(m) + " but the machine has " +
+                      std::to_string(num_procs));
+  }
+
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const DomainBurst& b = bursts[i];
+    const std::string where = "FaultPlan: bursts[" + std::to_string(i) + "]";
+    FLB_REQUIRE(names.count(b.domain) != 0,
+                where + " references unknown domain '" + b.domain + "'");
+    FLB_REQUIRE(finite_nonneg(b.time),
+                where + ": burst time must be finite and non-negative");
+    FLB_REQUIRE(finite_nonneg(b.window),
+                where + ": burst window must be finite and non-negative");
+    FLB_REQUIRE(b.probability >= 0.0 && b.probability <= 1.0,
+                where + ": participation probability must be in [0, 1]");
+    FLB_REQUIRE(b.slowdown_factor == 0.0 ||
+                    (b.slowdown_factor > 0.0 && b.slowdown_factor <= 1.0 &&
+                     std::isfinite(b.slowdown_factor)),
+                where + ": slowdown factor must be 0 (fail-stop) or in "
+                        "(0, 1]");
+    FLB_REQUIRE(b.cascade_probability >= 0.0 && b.cascade_probability <= 1.0,
+                where + ": cascade probability must be in [0, 1]");
+    FLB_REQUIRE(finite_nonneg(b.cascade_delay),
+                where + ": cascade delay must be finite and non-negative");
+  }
+
+  FLB_REQUIRE(finite_nonneg(checkpoint.interval),
+              "FaultPlan: checkpoint interval must be finite and "
+              "non-negative");
+  FLB_REQUIRE(finite_nonneg(checkpoint.overhead),
+              "FaultPlan: checkpoint overhead must be finite and "
+              "non-negative");
+}
+
+Cost ResolvedFaults::death_time(ProcId p) const {
+  Cost earliest = kInfiniteTime;
+  for (const ProcFailure& f : failures)
+    if (f.proc == p && f.time < earliest) earliest = f.time;
+  return earliest;
+}
+
+ResolvedFaults resolve_faults(const FaultPlan& plan) {
+  ResolvedFaults out;
+  out.failures = plan.failures;
+  out.slowdowns = plan.slowdowns;
+
+  std::unordered_map<std::string, std::size_t> by_name;
+  for (std::size_t d = 0; d < plan.domains.size(); ++d)
+    by_name.emplace(plan.domains[d].name, d);
+
+  const std::uint64_t num_bursts = plan.bursts.size();
+  const std::uint64_t num_domains = plan.domains.size();
+  for (std::size_t i = 0; i < plan.bursts.size(); ++i) {
+    const DomainBurst& b = plan.bursts[i];
+    const std::size_t home = by_name.at(b.domain);
+    expand_burst(plan, plan.domains[home].members, b, b.time, i, out);
+    if (b.cascade_probability == 0.0) continue;
+    // One bounded level of cascading: each *other* domain is hit by a
+    // secondary burst with cascade_probability, triggered once the primary
+    // window has passed. Synthetic burst indices keep the member draws of
+    // primary and cascade episodes decorrelated.
+    for (std::size_t d = 0; d < plan.domains.size(); ++d) {
+      if (d == home) continue;
+      Rng rng(mix(plan.seed, kCascadeDomain,
+                  (static_cast<std::uint64_t>(i) << 32) |
+                      static_cast<std::uint64_t>(d)));
+      if (!rng.bernoulli(b.cascade_probability)) continue;
+      expand_burst(plan, plan.domains[d].members, b,
+                   b.time + b.window + b.cascade_delay,
+                   num_bursts + i * num_domains + d, out);
+    }
+  }
+
+  // Collapse repeated deaths of one processor to the earliest; sort both
+  // lists so the resolved set is a canonical value.
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const ProcFailure& a, const ProcFailure& b) {
+              return a.time != b.time ? a.time < b.time : a.proc < b.proc;
+            });
+  std::vector<ProcFailure> dedup;
+  std::unordered_set<ProcId> seen;
+  for (const ProcFailure& f : out.failures)
+    if (seen.insert(f.proc).second) dedup.push_back(f);
+  out.failures = std::move(dedup);
+  std::sort(out.slowdowns.begin(), out.slowdowns.end(),
+            [](const SlowdownFault& a, const SlowdownFault& b) {
+              return a.time != b.time ? a.time < b.time : a.proc < b.proc;
+            });
+  return out;
+}
+
+std::vector<double> final_speeds(const ResolvedFaults& resolved,
+                                 ProcId num_procs) {
+  std::vector<double> speeds(num_procs, 1.0);
+  for (const SlowdownFault& s : resolved.slowdowns)
+    if (s.proc < num_procs) speeds[s.proc] *= s.factor;
+  return speeds;
+}
+
+std::size_t checkpoint_count(const CheckpointPolicy& ckpt, Cost work) {
+  if (!ckpt.enabled() || work <= ckpt.interval) return 0;
+  return static_cast<std::size_t>(std::ceil(work / ckpt.interval)) - 1;
 }
 
 MessageOutcome resolve_message(const FaultPlan& plan, std::size_t edge_slot) {

@@ -28,6 +28,108 @@ struct Event {
   }
 };
 
+/// Piecewise-constant speed profile of one processor: speed 1.0 initially,
+/// multiplied by each slowdown fault's factor from its onset on. run()
+/// integrates a task's work through the profile, pausing at checkpoint
+/// marks, optionally cut short by a fail-stop kill.
+class ProcProfile {
+ public:
+  void add(Cost time, double factor) { events_.push_back({time, factor}); }
+
+  void finalize() {
+    std::sort(events_.begin(), events_.end());
+  }
+
+  [[nodiscard]] bool trivial() const { return events_.empty(); }
+
+  struct Trace {
+    Cost end = 0.0;      ///< finish time, or the kill instant when killed
+    Cost done = 0.0;     ///< work units completed by `end`
+    Cost saved = 0.0;    ///< work protected by durable checkpoints
+    std::size_t checkpoints = 0;  ///< durable checkpoint writes
+    Cost overhead = 0.0;          ///< wall time spent on those writes
+    bool finished = false;
+  };
+
+  /// Execute `work` units starting at `start`, stopping at `kill`. A
+  /// checkpoint whose write has not completed by `kill` is not durable.
+  [[nodiscard]] Trace run(Cost start, Cost work, const CheckpointPolicy& ckpt,
+                          Cost kill = kInfiniteTime) const {
+    Trace tr;
+    tr.end = std::min(start, kill);
+    if (start >= kill) return tr;  // never began computing
+    if (events_.empty() && !ckpt.enabled()) {
+      Cost finish = start + work;
+      if (finish <= kill) {
+        tr.end = finish;
+        tr.done = work;
+        tr.finished = true;
+      } else {
+        tr.end = kill;
+        tr.done = kill - start;
+      }
+      return tr;
+    }
+
+    Cost tau = start;
+    double speed = 1.0;
+    std::size_t next_ev = 0;
+    while (next_ev < events_.size() && events_[next_ev].first <= tau)
+      speed *= events_[next_ev++].second;
+    Cost next_mark = ckpt.enabled() ? ckpt.interval : kInfiniteTime;
+
+    while (true) {
+      const Cost target = std::min(work, next_mark);
+      const Cost seg_end =
+          next_ev < events_.size() ? events_[next_ev].first : kInfiniteTime;
+      const Cost reach = tau + (target - tr.done) / speed;
+      if (reach <= seg_end) {
+        if (reach > kill) {  // killed mid-computation
+          tr.done += speed * (kill - tau);
+          tr.end = kill;
+          return tr;
+        }
+        tau = reach;
+        tr.done = target;
+        if (tr.done >= work) {  // complete (no write at the final instant)
+          tr.end = tau;
+          tr.finished = true;
+          return tr;
+        }
+        // Durable checkpoint write at this mark.
+        if (ckpt.overhead > 0.0) {
+          if (tau + ckpt.overhead > kill) {  // write interrupted: discarded
+            tr.end = kill;
+            return tr;
+          }
+          tau += ckpt.overhead;
+          tr.overhead += ckpt.overhead;
+        }
+        tr.saved = next_mark;
+        ++tr.checkpoints;
+        next_mark += ckpt.interval;
+        if (tau >= kill) {  // killed right after the write became durable
+          tr.end = kill;
+          return tr;
+        }
+      } else {  // the speed changes before the next milestone
+        if (seg_end >= kill) {
+          tr.done += speed * (kill - tau);
+          tr.end = kill;
+          return tr;
+        }
+        tr.done += speed * (seg_end - tau);
+        tau = seg_end;
+        while (next_ev < events_.size() && events_[next_ev].first <= tau)
+          speed *= events_[next_ev++].second;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::pair<Cost, double>> events_;  // (onset, factor), sorted
+};
+
 }  // namespace
 
 SimResult simulate(const TaskGraph& g, const Schedule& s,
@@ -36,9 +138,18 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   FLB_REQUIRE(s.complete(), "simulate: schedule is incomplete");
   FLB_REQUIRE(options.latency_factor >= 0.0,
               "simulate: latency factor must be non-negative");
+  FLB_REQUIRE(options.work_override == nullptr ||
+                  options.work_override->size() == n,
+              "simulate: work override must have one entry per task");
   const FaultPlan* plan = options.faults;
   if (plan != nullptr && plan->trivial()) plan = nullptr;
-  if (plan != nullptr) plan->validate(s.num_procs());
+  ResolvedFaults resolved;
+  if (plan != nullptr) {
+    plan->validate(s.num_procs());
+    resolved = resolve_faults(*plan);
+  }
+  const CheckpointPolicy ckpt =
+      plan != nullptr ? plan->checkpoint : CheckpointPolicy{};
 
   SimResult result;
   result.start.assign(n, kUndefinedTime);
@@ -50,6 +161,15 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<Cost> send_free(procs, 0.0);
   std::vector<Cost> recv_free(procs, 0.0);
   std::vector<bool> dead(procs, false);
+
+  std::vector<ProcProfile> profiles(procs);
+  if (plan != nullptr) {
+    for (const SlowdownFault& f : resolved.slowdowns)
+      profiles[f.proc].add(f.time, f.factor);
+    for (ProcProfile& p : profiles) p.finalize();
+    result.checkpointed.assign(n, 0.0);
+    result.proc_work_lost.assign(procs, 0.0);
+  }
 
   // arrival[e] for remote edges, indexed like g's successor CSR; local
   // edges are handled through `finished`. A dropped message leaves its slot
@@ -66,8 +186,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<std::size_t> pending_preds(n);
   for (TaskId t = 0; t < n; ++t) pending_preds[t] = g.in_degree(t);
 
-  // Effective computation times (perturbed when the plan says so).
-  auto comp_of = [&](TaskId t) -> Cost {
+  // Effective work per task: the override wins (it already includes any
+  // perturbation — checkpoint-resumed tasks carry only their remainder),
+  // otherwise the graph's cost scaled by the plan's runtime factor.
+  auto work_of = [&](TaskId t) -> Cost {
+    if (options.work_override != nullptr &&
+        (*options.work_override)[t] != kUndefinedTime)
+      return (*options.work_override)[t];
     return plan ? g.comp(t) * runtime_factor(*plan, t) : g.comp(t);
   };
 
@@ -86,14 +211,15 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   TaskId completed = 0;
 
   if (plan != nullptr)
-    for (const ProcFailure& f : plan->failures)
+    for (const ProcFailure& f : resolved.failures)
       events.push({f.time, Event::kFailure, seq++, f.proc});
 
   // Try to dispatch the head task of processor p. All arrival times are
   // known once every predecessor has finished, so the completion event can
-  // be scheduled immediately even if the start lies in the future. A dead
-  // processor never dispatches; a starved head task blocks its processor
-  // for good (dispatch is in schedule order).
+  // be scheduled immediately even if the start lies in the future (the
+  // finish integrates the processor's speed profile and checkpoint
+  // pauses). A dead processor never dispatches; a starved head task blocks
+  // its processor for good (dispatch is in schedule order).
   auto try_dispatch = [&](ProcId p) {
     if (dead[p]) return;
     while (dispatch_idx[p] < s.tasks_on(p).size()) {
@@ -116,7 +242,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       }
       dispatched[t] = true;
       result.start[t] = start;
-      result.finish[t] = start + comp_of(t);
+      if (plan != nullptr) {
+        ProcProfile::Trace tr = profiles[p].run(start, work_of(t), ckpt);
+        FLB_ASSERT(tr.finished);
+        result.finish[t] = tr.end;
+      } else {
+        result.finish[t] = start + work_of(t);
+      }
       proc_free[p] = result.finish[t];
       events.push({result.finish[t], Event::kCompletion, seq++, t});
       ++dispatch_idx[p];
@@ -135,13 +267,20 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       dead[p] = true;
       // Kill every dispatched-but-unfinished task on p. Dispatch runs
       // ahead of simulated time, so this covers both the task physically
-      // executing at ev.time (its partial work is lost) and tasks whose
-      // planned start lies beyond the failure.
+      // executing at ev.time (its unprotected work is lost; durable
+      // checkpoints survive) and tasks whose planned start lies beyond the
+      // failure.
       for (TaskId t : s.tasks_on(p)) {
         if (!dispatched[t] || finished[t] || killed[t]) continue;
         killed[t] = true;
-        if (result.start[t] < ev.time)
-          result.work_lost += ev.time - result.start[t];
+        ProcProfile::Trace tr =
+            profiles[p].run(result.start[t], work_of(t), ckpt, ev.time);
+        result.work_lost += tr.done - tr.saved;
+        result.proc_work_lost[p] += tr.done - tr.saved;
+        result.work_saved += tr.saved;
+        result.checkpointed[t] = tr.saved;
+        result.checkpoints_taken += tr.checkpoints;
+        result.checkpoint_overhead += tr.overhead;
         result.start[t] = kUndefinedTime;
         result.finish[t] = kUndefinedTime;
       }
@@ -153,6 +292,11 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     finished[t] = true;
     ++completed;
     const ProcId p = s.proc(t);
+    if (ckpt.enabled()) {
+      ProcProfile::Trace tr = profiles[p].run(result.start[t], work_of(t), ckpt);
+      result.checkpoints_taken += tr.checkpoints;
+      result.checkpoint_overhead += tr.overhead;
+    }
 
     // Emit messages to remote successors; ports are allocated now, in
     // global completion order. Under a fault plan each remote message
@@ -166,6 +310,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         result.retries += fate.retries;
         if (fate.dropped) {
           ++result.dropped_messages;
+          result.dropped_edges.emplace_back(t, a.node);
           starved[a.node] = true;
           ++slot;
           continue;
@@ -213,7 +358,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     for (ProcId p = 0; p < procs; ++p)
       if (dead[p])
         result.dead_proc_idle +=
-            std::max(0.0, result.makespan - plan->death_time(p));
+            std::max(0.0, result.makespan - resolved.death_time(p));
   return result;
 }
 
