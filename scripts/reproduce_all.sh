@@ -37,6 +37,7 @@ benches=(
   bench_topology
   bench_robustness
   bench_ablation_lookahead
+  bench_fault_tolerance
 )
 
 for b in "${benches[@]}"; do

@@ -1,10 +1,12 @@
 #include "flb/core/flb.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <tuple>
 #include <utility>
 
 #include "flb/graph/properties.hpp"
+#include "flb/sim/topology.hpp"
 #include "flb/util/error.hpp"
 #include "flb/util/heap_forest.hpp"
 #include "flb/util/indexed_heap.hpp"
@@ -57,7 +59,15 @@ class Engine {
       speeds_ = degraded->speeds;
       work_ = degraded->work;
       extra_ = degraded->extra_time;
+      proc_release_ = degraded->proc_release;
+      cold_ = degraded->cold_before;
+      topology_ = degraded->topology;
     }
+    // Routed or cold-cache pricing makes EST destination-dependent beyond
+    // the clique model, so candidate selection switches to exact pricing.
+    exact_mode_ = topology_ != nullptr;
+    for (Cost c : cold_)
+      if (c > 0.0) exact_mode_ = true;
     init_tie_priorities(opts);
     init_lists();
   }
@@ -96,9 +106,37 @@ class Engine {
   }
 
   // Processor ready time as seen by the engine: never before the release
-  // instant (the failure time when resuming; 0 on a fresh run).
+  // instant (the failure time when resuming; 0 on a fresh run), nor before
+  // the processor's own admission instant (its rejoin time after a reboot).
   Cost prt(ProcId p) const {
-    return std::max(sched_.proc_ready_time(p), release_);
+    Cost ready = std::max(sched_.proc_ready_time(p), release_);
+    if (!proc_release_.empty()) ready = std::max(ready, proc_release_[p]);
+    return ready;
+  }
+
+  // Priced availability of predecessor edge `in` when its consumer runs on
+  // p: a warm local output is free; a local output that predates p's reboot
+  // is re-fetched at cold_before[p] + comm; remote data pays comm times the
+  // route length under a topology (1 on the clique).
+  Cost arrival_at(const Adj& in, ProcId p) const {
+    const Cost finish = sched_.finish(in.node);
+    if (sched_.proc(in.node) == p) {
+      if (!cold_.empty() && cold_[p] > 0.0 && finish <= cold_[p])
+        return cold_[p] + in.comm;
+      return finish;
+    }
+    Cost comm = in.comm;
+    if (topology_ != nullptr)
+      comm *= static_cast<Cost>(topology_->hops(sched_.proc(in.node), p));
+    return finish + comm;
+  }
+
+  // Exact earliest start of t on p under the engine's pricing model.
+  Cost exact_est(TaskId t, ProcId p) const {
+    Cost est = prt(p);
+    for (const Adj& in : g_.predecessors(t))
+      est = std::max(est, arrival_at(in, p));
+    return est;
   }
 
   // Wall-time cost of running t on p: (possibly overridden) work scaled by
@@ -140,15 +178,29 @@ class Engine {
     }
 
     // Candidate (b): non-EP task with min LMT on the earliest-idle
-    // processor. By Corollary 2, EST = max(LMT, PRT).
+    // processor. By Corollary 2, EST = max(LMT, PRT) — exact on the clique.
+    // Under routed or cold-cache pricing that corollary no longer holds
+    // (EST depends on where each message travels from), so exact mode scans
+    // every alive processor for the true minimum EST of the head task.
     const bool have_non_ep = !non_ep_.empty();
     ProcId p2 = kInvalidProc;
     TaskId t2 = kInvalidTask;
     Cost est2 = kInfiniteTime;
     if (have_non_ep) {
       t2 = static_cast<TaskId>(non_ep_.top());
-      p2 = static_cast<ProcId>(all_procs_.top());
-      est2 = std::max(info_[t2].lmt, prt(p2));
+      if (exact_mode_) {
+        for (ProcId p = 0; p < num_procs_; ++p) {
+          if (!alive_[p]) continue;
+          const Cost est = exact_est(t2, p);
+          if (est < est2) {
+            est2 = est;
+            p2 = p;
+          }
+        }
+      } else {
+        p2 = static_cast<ProcId>(all_procs_.top());
+        est2 = std::max(info_[t2].lmt, prt(p2));
+      }
     }
 
     FLB_ASSERT(have_ep || have_non_ep);
@@ -250,11 +302,19 @@ class Engine {
     // on ep cost zero but their finish times still participate in the
     // max, matching the paper's worked example (Table 1); this never
     // changes EST = max(EMT, PRT) — a local predecessor's FT is always
-    // <= PRT — but it fixes the EMT list order the paper uses.
+    // <= PRT — but it fixes the EMT list order the paper uses. In exact
+    // mode the EMT is priced with routed hop counts and cold-cache
+    // re-fetches instead (every predecessor is placed by now, so this is
+    // the task's exact ready instant on ep).
     Cost emt = 0.0;
-    for (const Adj& in : g_.predecessors(t)) {
-      Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
-      emt = std::max(emt, sched_.finish(in.node) + c);
+    if (exact_mode_) {
+      for (const Adj& in : g_.predecessors(t))
+        emt = std::max(emt, arrival_at(in, ep));
+    } else {
+      for (const Adj& in : g_.predecessors(t)) {
+        Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
+        emt = std::max(emt, sched_.finish(in.node) + c);
+      }
     }
     info_[t] = {lmt, emt, ep};
 
@@ -308,6 +368,10 @@ class Engine {
   std::vector<double> speeds_;  // empty = homogeneous unit speed
   std::vector<Cost> work_;      // empty = graph costs; kUndefinedTime = no override
   std::vector<Cost> extra_;     // empty = no additive wall time
+  std::vector<Cost> proc_release_;  // empty = all release_
+  std::vector<Cost> cold_;          // empty / 0 = never rebooted
+  const Topology* topology_ = nullptr;  // routed pricing (null = clique)
+  bool exact_mode_ = false;
   std::vector<Cost> tie_;
   std::vector<FlbScheduler::ReadyInfo> info_;
   std::vector<std::size_t> unscheduled_preds_;
@@ -368,6 +432,24 @@ Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
   FLB_REQUIRE(ctx.extra_time.empty() ||
                   ctx.extra_time.size() == g.num_tasks(),
               "FLB resume: extra time must cover every task");
+  FLB_REQUIRE(ctx.proc_release.empty() ||
+                  ctx.proc_release.size() == prefix.num_procs(),
+              "FLB resume: per-processor release must cover every processor");
+  for (Cost r : ctx.proc_release)
+    FLB_REQUIRE(std::isfinite(r) && r >= 0.0,
+                "FLB resume: per-processor release times must be finite "
+                "and non-negative");
+  FLB_REQUIRE(ctx.cold_before.empty() ||
+                  ctx.cold_before.size() == prefix.num_procs(),
+              "FLB resume: cold-cache horizon must cover every processor");
+  for (Cost c : ctx.cold_before)
+    FLB_REQUIRE(std::isfinite(c) && c >= 0.0,
+                "FLB resume: cold-cache horizons must be finite and "
+                "non-negative");
+  FLB_REQUIRE(ctx.topology == nullptr ||
+                  ctx.topology->num_nodes() == prefix.num_procs(),
+              "FLB resume: topology node count must match the processor "
+              "count");
   Engine engine(g, prefix, ctx.alive, ctx.release, options_, &ctx);
   return engine.run(nullptr, nullptr);
 }

@@ -34,6 +34,8 @@
 
 namespace flb {
 
+class Topology;  // sim/topology.hpp — routed pricing for resume()
+
 /// Tie-breaking rule used inside FLB's task lists when two tasks share the
 /// same primary key (EMT or LMT). The paper uses the bottom level; the
 /// alternatives exist for the tie-break ablation study (bench_ablation_tiebreak).
@@ -99,6 +101,27 @@ struct FlbResumeContext {
   /// overhead of the re-executed remainder. Added to the duration after
   /// speed scaling.
   std::vector<Cost> extra_time;
+  /// Per-processor earliest admission instant (empty = all `release`). A
+  /// processor that rejoins after a reboot becomes usable only from its
+  /// rejoin time: its effective ready time is clamped to
+  /// max(release, proc_release[p]). Entries must be finite and >= 0.
+  std::vector<Cost> proc_release;
+  /// Per-processor cold-cache horizon (empty = none): data produced on p at
+  /// or before this instant was lost with its memory at the reboot, so a
+  /// task placed on p re-fetches such a predecessor output at
+  /// cold_before[p] + comm instead of reading it locally for free. 0 means
+  /// the processor never rebooted. Entries must be finite and >= 0.
+  std::vector<Cost> cold_before;
+  /// Optional routed interconnect (not owned; must outlive the resume
+  /// call). When set, remote communication is priced as comm * hops(from,
+  /// to) — the store-and-forward route length of sim/topology — instead of
+  /// the paper's clique, and the engine switches to exact EST pricing: EMT
+  /// is computed with routed costs at classification, and the non-EP
+  /// candidate's destination is chosen by scanning every alive processor
+  /// for the true minimum EST (O(P * indeg) per step, acceptable on the
+  /// repair path). Routed prices are >= clique prices, so the continuation
+  /// stays clean under the clique validator. Must have num_procs nodes.
+  const Topology* topology = nullptr;
 };
 
 /// The FLB scheduler.

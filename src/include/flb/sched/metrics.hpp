@@ -70,6 +70,12 @@ struct RobustnessMetrics {
   ProcId degraded_procs = 0;       ///< alive-but-throttled processors
   std::size_t retries = 0;         ///< message retransmissions observed
   double repair_millis = 0.0;      ///< repair latency (wall clock)
+  // Recovery accounting (all zero when nothing rejoins).
+  ProcId recovered_procs = 0;    ///< processors that were killed and rejoined
+  Cost time_degraded = 0.0;      ///< summed processor downtime (kill windows)
+  Cost time_recovered = 0.0;     ///< capacity handed back by rejoins
+  std::size_t given_back_tasks = 0;  ///< migrated tasks on recovered procs
+  Cost work_given_back = 0.0;        ///< remaining work of those tasks
   std::vector<DomainImpact> domains;  ///< per-domain degradation (with plan)
 };
 

@@ -8,6 +8,7 @@
 #include "flb/sched/schedule.hpp"
 #include "flb/sim/faults.hpp"
 #include "flb/sim/machine_sim.hpp"
+#include "flb/sim/topology.hpp"
 
 /// \file repair.hpp
 /// Online schedule repair after fail-stop failures, slowdown faults and
@@ -45,6 +46,18 @@
 /// DroppedDataPolicy::kReexecuteProducers the producing task — and every
 /// transitive successor, whose inputs are now stale — is rolled back and
 /// re-executed on a survivor. See docs/fault_model.md.
+///
+/// Recovery-aware give-back: when the plan rejoins killed processors,
+/// repair computes two continuations — a *no-give-back baseline* over the
+/// never-killed processors, and a *recovery-aware* continuation that also
+/// admits each rejoined processor from its rejoin instant with cold caches
+/// (re-fetch pricing on its pre-reboot data) — and keeps the one with the
+/// strictly smaller makespan. The recovery continuation's EST-minimizing
+/// selection is the per-task opportunistic give-back decision; keeping the
+/// better of the two guarantees the result is never worse than refusing
+/// the recovered capacity. With RepairOptions::topology set, communication
+/// in both continuations is priced over the routed interconnect
+/// (comm * hops) rather than the paper's clique.
 
 namespace flb {
 
@@ -74,6 +87,15 @@ struct RepairOptions {
   /// everything not yet started by then is up for migration. The default
   /// (kInfiniteTime) keeps every finished task fixed, the PR 1 semantics.
   Cost horizon = kInfiniteTime;
+  /// Routed interconnect for the continuation's communication pricing (not
+  /// owned; must outlive the call; node count must match the schedule's
+  /// processor count). Null = the paper's clique.
+  const Topology* topology = nullptr;
+  /// Admit processors that the plan rejoins after a reboot (keeping the
+  /// better of the recovery-aware and no-give-back continuations). False
+  /// restricts placement to never-killed processors — the baseline the
+  /// give-back is measured against.
+  bool give_back = true;
 };
 
 /// Outcome of one repair.
@@ -82,8 +104,20 @@ struct RepairResult {
   RepairStrategy used =
       RepairStrategy::kFlbResume;  ///< strategy actually applied
   std::size_t migrated_tasks = 0;  ///< tasks (re)placed by the repair
-  ProcId survivors = 0;            ///< processors still alive
+  ProcId survivors = 0;      ///< processors alive at the end of the episode
   ProcId degraded_procs = 0;       ///< alive processors with speed < 1
+  ProcId recovered_procs = 0;  ///< processors that were killed and rejoined
+  /// Migrated tasks the chosen continuation placed on recovered processors
+  /// (0 when the no-give-back baseline won or nothing rejoined).
+  std::size_t given_back_tasks = 0;
+  Cost work_given_back = 0.0;  ///< remaining work of those tasks
+  /// Summed processor-downtime (kill -> rejoin windows, an unclosed kill
+  /// extending to the continuation's makespan) — capacity the episode took
+  /// away.
+  Cost time_degraded = 0.0;
+  /// Summed (makespan - rejoin instant) over recovered processors —
+  /// capacity the rejoins handed back within the continuation.
+  Cost time_recovered = 0.0;
   std::size_t reexecuted_tasks = 0;  ///< finished tasks rolled back & redone
   Cost checkpoint_work_saved = 0.0;  ///< killed work resumed from checkpoints
   Cost release_time = 0.0;  ///< earliest instant migrated work may start

@@ -17,9 +17,20 @@
 ///  * **Fail-stop processor failures.** A processor listed in `failures`
 ///    dies at its failure time: the task it is executing is killed (its
 ///    unprotected work is lost), unstarted tasks on it never run, and it
-///    stays dead for the rest of the simulation. Messages emitted by tasks
-///    that *finished* before the failure are considered in flight and still
-///    delivered.
+///    stays dead for the rest of the simulation — unless a matching entry
+///    in `rejoins` reboots it. Messages emitted by tasks that *finished*
+///    before the failure are considered in flight and still delivered.
+///  * **Recovery.** A processor listed in `rejoins` reboots: from the
+///    rejoin instant on it dispatches its remaining scheduled tasks again,
+///    but with *cold caches* — its in-flight work and every message
+///    delivered to it before (or while) it was down are lost, so inputs
+///    that predate the reboot are re-fetched from the durable store at
+///    full communication cost. Only durably checkpointed state survives
+///    (see `checkpoint`). Kill/rejoin pairs form disjoint windows; a
+///    processor may die and rejoin repeatedly. Likewise a slowdown with a
+///    finite `until` restores the processor's speed at that instant, and a
+///    burst with `recovery_delay > 0` heals each member (reboot after a
+///    kill, speed restored after a throttle) that long after its strike.
 ///  * **Failure domains and correlated bursts.** Real clusters rarely fail
 ///    one machine at a time: a rack loses power, a switch partitions, and
 ///    its members fail together. `domains` names groups of processors;
@@ -63,13 +74,26 @@ struct ProcFailure {
   Cost time = 0.0;  ///< the processor is dead from this instant on
 };
 
+/// One recovery event: a previously killed processor finishes rebooting and
+/// is available again from `time` on, with cold caches — everything it held
+/// in memory (in-flight work, already-delivered messages) is gone; durable
+/// checkpoints survive. Must pair with a preceding ProcFailure of the same
+/// processor; kill/rejoin windows of one processor must not overlap.
+struct ProcRejoin {
+  ProcId proc = kInvalidProc;
+  Cost time = 0.0;  ///< the processor is available again from this instant
+};
+
 /// One slowdown fault: the processor stays alive, but from `time` on its
 /// speed is multiplied by `factor` (so a task's remaining work proceeds at
-/// the reduced rate). Several slowdowns of one processor compound.
+/// the reduced rate). Several slowdowns of one processor compound. A finite
+/// `until` makes the throttling transient: the factor is lifted again at
+/// that instant (thermal throttling that clears, a co-tenant that leaves).
 struct SlowdownFault {
   ProcId proc = kInvalidProc;
   Cost time = 0.0;      ///< throttling starts at this instant
   double factor = 1.0;  ///< speed multiplier in (0, 1]
+  Cost until = kInfiniteTime;  ///< speed restored here; infinite = permanent
 };
 
 /// A named group of processors that fails together (a rack, a switch, a
@@ -96,6 +120,11 @@ struct DomainBurst {
   double slowdown_factor = 0.0;   ///< 0 = fail-stop kill; (0,1] = throttle
   double cascade_probability = 0.0;  ///< per-other-domain spread probability
   Cost cascade_delay = 0.0;       ///< secondary bursts trigger after the window
+  /// With recovery_delay > 0 the episode is transient: each struck member
+  /// heals that long after its (seeded) strike instant — a killed member
+  /// reboots (cold caches), a throttled one gets its speed back. 0 keeps
+  /// the PR 2 semantics: the damage is permanent.
+  Cost recovery_delay = 0.0;
 };
 
 /// Periodic checkpointing policy. Disabled by default (interval 0): a
@@ -125,6 +154,7 @@ struct MessageFaults {
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<ProcFailure> failures;
+  std::vector<ProcRejoin> rejoins;
   std::vector<SlowdownFault> slowdowns;
   std::vector<FailureDomain> domains;
   std::vector<DomainBurst> bursts;
@@ -145,27 +175,46 @@ struct FaultPlan {
 
   /// Point-of-use validation. Throws flb::Error naming the offending entry
   /// unless: probabilities are in [0,1]; runtime_spread in [0,1);
-  /// retry_timeout > 0; backoff >= 1; every failure names a distinct
-  /// processor below `num_procs` with a finite, non-negative time; every
-  /// slowdown names a processor below `num_procs` with a finite,
-  /// non-negative time and a factor in (0,1]; domain names are unique and
-  /// non-empty with members below `num_procs`; every burst references a
-  /// declared domain with finite, non-negative time/window/cascade_delay
-  /// and a slowdown_factor of 0 or in (0,1]; and checkpoint interval and
-  /// overhead are finite and non-negative.
+  /// retry_timeout > 0; backoff >= 1; every failure names a processor below
+  /// `num_procs` with a finite, non-negative time; every rejoin references
+  /// a processor with a preceding failure, strictly after it, and no two
+  /// kill/rejoin windows of one processor overlap (a repeated failure of a
+  /// still-dead processor is rejected as a duplicate); every slowdown
+  /// names a processor below `num_procs` with a finite, non-negative time,
+  /// a factor in (0,1] and an `until` strictly after its onset; domain
+  /// names are unique and non-empty with members below `num_procs`; every
+  /// burst references a declared domain with finite, non-negative
+  /// time/window/cascade_delay/recovery_delay and a slowdown_factor of 0
+  /// or in (0,1]; and checkpoint interval and overhead are finite and
+  /// non-negative.
   void validate(ProcId num_procs) const;
 };
 
-/// The concrete fault set a plan expands to: directly listed failures and
-/// slowdowns plus every burst-induced one, resolved deterministically from
-/// the seed. Failures are deduplicated (earliest death per processor) and
-/// sorted by (time, proc); slowdowns are sorted by (time, proc).
+/// The concrete fault set a plan expands to: directly listed failures,
+/// rejoins and slowdowns plus every burst-induced one, resolved
+/// deterministically from the seed. Per processor the kill/rejoin events
+/// are canonicalized into alternating disjoint windows (a kill while
+/// already dead is dropped, as is a rejoin while alive — relevant when a
+/// burst strikes a processor that also has explicit windows); all lists are
+/// sorted by (time, proc).
 struct ResolvedFaults {
   std::vector<ProcFailure> failures;
+  std::vector<ProcRejoin> rejoins;
   std::vector<SlowdownFault> slowdowns;
 
-  /// The instant `p` dies, or kInfiniteTime if nothing kills it.
+  /// The instant `p` first dies, or kInfiniteTime if nothing kills it.
   [[nodiscard]] Cost death_time(ProcId p) const;
+
+  /// The instant from which `p` is available for new work with no further
+  /// death ahead: 0 if it is never killed, its last rejoin instant if it
+  /// ends the episode alive, kInfiniteTime if it ends dead. Data produced
+  /// on `p` before a positive available_from() is cold (lost to the
+  /// reboot) and must be re-fetched at full communication cost.
+  [[nodiscard]] Cost available_from(ProcId p) const;
+
+  /// Total dead time of `p` within [0, horizon]: the summed kill/rejoin
+  /// windows, final deaths extending to the horizon.
+  [[nodiscard]] Cost downtime(ProcId p, Cost horizon) const;
 };
 
 /// Expand domains and bursts into the concrete failure/slowdown lists.
@@ -174,9 +223,11 @@ struct ResolvedFaults {
 ResolvedFaults resolve_faults(const FaultPlan& plan);
 
 /// The asymptotic speed of every processor once all slowdowns in
-/// `resolved` have struck: the per-processor product of slowdown factors
-/// (1.0 for untouched processors). Bridges the fault model into the
-/// related-machines view of sched/hetero for speed-aware repair.
+/// `resolved` have struck *and every transient one has cleared*: the
+/// per-processor product of the factors of permanent slowdowns (a finite
+/// `until` contributes nothing — the speed comes back). 1.0 for untouched
+/// processors. Bridges the fault model into the related-machines view of
+/// sched/hetero for speed-aware repair.
 std::vector<double> final_speeds(const ResolvedFaults& resolved,
                                  ProcId num_procs);
 

@@ -32,6 +32,15 @@
 ///    exponential backoff, and runtime perturbation. Partial executions it
 ///    produces feed the online repair path (sched/repair.hpp) — the
 ///    bench_fault_tolerance ablation.
+///  * Recovery events close the loop on transience: a slowdown with a
+///    finite `until` restores the processor's speed at that instant, and a
+///    ProcRejoin brings a killed processor back with cold caches. On
+///    rejoin the processor resumes dispatching its not-yet-started tasks;
+///    work that was in flight at the kill stays lost (repair's job), and
+///    any input data that reached the processor before the reboot — local
+///    predecessor outputs and already-delivered messages alike — must be
+///    re-fetched, priced at rejoin_time + comm * latency_factor on the
+///    consumer's start (not accounted as network traffic).
 ///
 /// Dispatch discipline: each processor runs its tasks in the order the
 /// schedule placed them, each task starting as soon as the processor is
@@ -40,13 +49,16 @@
 /// allocated in global event-time order, which makes all three models
 /// deterministic.
 ///
-/// Slowdown faults give each processor a piecewise-constant speed profile
-/// (speed 1.0 until the first slowdown, multiplied by each fault's factor
-/// from its onset on); a task's finish time integrates its remaining work
-/// through that profile. Checkpoint writes pause the computation for the
-/// policy's overhead; a fail-stop kill preserves the work up to the last
-/// checkpoint whose write completed (SimResult::checkpointed), and only
-/// the unprotected remainder counts as work_lost.
+/// Slowdown faults give each processor a piecewise-constant speed profile:
+/// the speed at any instant is the product of the factors of all slowdowns
+/// active then (a fault is active on [time, until)). Segment speeds are
+/// recomputed from scratch at each boundary, so a fully recovered
+/// processor returns to exactly 1.0 — no accumulated 1/factor drift. A
+/// task's finish time integrates its remaining work through that profile.
+/// Checkpoint writes pause the computation for the policy's overhead; a
+/// fail-stop kill preserves the work up to the last checkpoint whose write
+/// completed (SimResult::checkpointed), and only the unprotected remainder
+/// counts as work_lost.
 
 namespace flb {
 
@@ -88,8 +100,12 @@ struct SimResult {
   // Fault accounting (all zero / empty without a fault plan).
   std::size_t retries = 0;           ///< message retransmissions performed
   std::size_t dropped_messages = 0;  ///< messages lost beyond the retry budget
+  std::size_t rejoins = 0;     ///< processor rejoin events applied
   Cost work_lost = 0.0;        ///< unprotected computation discarded by kills
-  Cost dead_proc_idle = 0.0;   ///< summed (makespan - death time), clamped
+  /// Summed per-processor kill/rejoin downtime clamped to the makespan; for
+  /// a processor that never rejoins this is (makespan - death time) as
+  /// before.
+  Cost dead_proc_idle = 0.0;
   std::vector<TaskId> unfinished;  ///< tasks that never completed, ascending
   /// (producer, consumer) pairs of permanently dropped messages, in
   /// delivery-attempt order — the input of re-execution repair.

@@ -36,6 +36,10 @@ class Topology {
   /// rows x cols 2-D mesh (no wraparound), node id = r * cols + c.
   static Topology mesh2d(ProcId rows, ProcId cols);
 
+  /// rows x cols 2-D torus: the mesh plus wraparound links closing each row
+  /// and column (dimensions of 1 or 2 add no extra links).
+  static Topology torus2d(ProcId rows, ProcId cols);
+
   /// Star: node 0 is the hub, all others are leaves.
   static Topology star(ProcId nodes);
 
@@ -85,9 +89,14 @@ struct TopologySimResult {
 /// schedule's processor count). Store-and-forward routing: a message of
 /// cost c takes c * latency_factor per hop, links serialize transfers in
 /// global event order, same-processor messages are free. Dispatch
-/// semantics match flb::simulate.
-TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
-                                       const Topology& topology,
-                                       Cost latency_factor = 1.0);
+/// semantics match flb::simulate. `work_override` mirrors
+/// SimOptions::work_override: entries other than kUndefinedTime replace a
+/// task's computation — used to replay a repaired continuation (whose
+/// migrated tasks resume from a checkpoint with only their remaining work)
+/// under the routed model.
+TopologySimResult simulate_on_topology(
+    const TaskGraph& g, const Schedule& s, const Topology& topology,
+    Cost latency_factor = 1.0,
+    const std::vector<Cost>* work_override = nullptr);
 
 }  // namespace flb

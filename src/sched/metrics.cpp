@@ -69,6 +69,11 @@ RobustnessMetrics robustness_metrics(const Schedule& nominal,
   m.degraded_procs = repair.degraded_procs;
   m.retries = faulty.retries;
   m.repair_millis = repair.repair_millis;
+  m.recovered_procs = repair.recovered_procs;
+  m.time_degraded = repair.time_degraded;
+  m.time_recovered = repair.time_recovered;
+  m.given_back_tasks = repair.given_back_tasks;
+  m.work_given_back = repair.work_given_back;
   return m;
 }
 

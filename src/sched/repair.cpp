@@ -14,13 +14,18 @@ namespace {
 // Degraded mode: place the remaining tasks in topological order, each on
 // the surviving processor that lets it start the earliest (ties toward the
 // smaller id); its duration is the speed-scaled remainder plus any additive
-// extra. O(V·P + E·P) — acceptable for a fallback that usually runs with
-// one survivor.
+// extra. Pricing mirrors the exact mode of the resumed FLB engine: per-
+// processor admission instants, cold-cache re-fetch of data that predates a
+// reboot, and routed hop counts under a topology. O(V·P·indeg) — acceptable
+// for a fallback that usually runs with one survivor.
 void greedy_continuation(const TaskGraph& g, Schedule& s,
                          const std::vector<bool>& alive, Cost release,
                          const std::vector<double>& speeds,
                          const std::vector<Cost>& work,
-                         const std::vector<Cost>& extra) {
+                         const std::vector<Cost>& extra,
+                         const std::vector<Cost>* proc_release,
+                         const std::vector<Cost>* cold,
+                         const Topology* topology) {
   for (TaskId t : topological_order(g)) {
     if (s.is_scheduled(t)) continue;
     ProcId best = kInvalidProc;
@@ -28,9 +33,20 @@ void greedy_continuation(const TaskGraph& g, Schedule& s,
     for (ProcId p = 0; p < s.num_procs(); ++p) {
       if (!alive[p]) continue;
       Cost est = std::max(s.proc_ready_time(p), release);
+      if (proc_release != nullptr) est = std::max(est, (*proc_release)[p]);
       for (const Adj& in : g.predecessors(t)) {
-        Cost c = s.proc(in.node) == p ? 0.0 : in.comm;
-        est = std::max(est, s.finish(in.node) + c);
+        Cost avail;
+        if (s.proc(in.node) == p) {
+          avail = s.finish(in.node);
+          if (cold != nullptr && (*cold)[p] > 0.0 && avail <= (*cold)[p])
+            avail = (*cold)[p] + in.comm;  // re-fetch: reboot dropped it
+        } else {
+          Cost comm = in.comm;
+          if (topology != nullptr)
+            comm *= static_cast<Cost>(topology->hops(s.proc(in.node), p));
+          avail = s.finish(in.node) + comm;
+        }
+        est = std::max(est, avail);
       }
       if (est < best_est) {
         best_est = est;
@@ -65,12 +81,29 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   Stopwatch sw;
   RepairResult out{Schedule(nominal.num_procs(), n)};
 
-  std::vector<bool> alive(nominal.num_procs(), true);
-  Cost release = 0.0;
-  for (const ProcFailure& f : resolved.failures) {
-    alive[f.proc] = false;
-    release = std::max(release, f.time);
+  const ProcId procs = nominal.num_procs();
+  FLB_REQUIRE(options.topology == nullptr ||
+                  options.topology->num_nodes() == procs,
+              "repair_schedule: topology node count must match the "
+              "processor count");
+
+  // Per-processor availability over the episode: 0 = never killed, finite
+  // > 0 = killed but rejoined at that instant, infinite = ends dead.
+  std::vector<Cost> avail(procs);
+  bool any_recovery = false;
+  for (ProcId p = 0; p < procs; ++p) {
+    avail[p] = resolved.available_from(p);
+    if (avail[p] > 0.0 && avail[p] != kInfiniteTime) any_recovery = true;
   }
+  std::vector<bool> alive(procs);        // alive at the end of the episode
+  std::vector<bool> never_killed(procs);
+  for (ProcId p = 0; p < procs; ++p) {
+    alive[p] = avail[p] != kInfiniteTime;
+    never_killed[p] = avail[p] == 0.0;
+  }
+  Cost release = 0.0;
+  for (const ProcFailure& f : resolved.failures)
+    release = std::max(release, f.time);
   if (options.horizon != kInfiniteTime) {
     FLB_REQUIRE(options.horizon >= 0.0,
                 "repair_schedule: horizon must be non-negative");
@@ -151,28 +184,105 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
     out.checkpoint_work_saved += saved;
   }
 
-  RepairStrategy strategy = options.strategy;
-  if (strategy == RepairStrategy::kAuto)
-    strategy = survivors >= 2 ? RepairStrategy::kFlbResume
-                              : RepairStrategy::kGreedy;
-  out.used = strategy;
-
-  if (out.migrated_tasks > 0) {
+  // One continuation over a given admission mask. `recovery` additionally
+  // admits rejoined processors from their rejoin instant with cold caches;
+  // both variants price communication over options.topology when set.
+  auto continuation = [&](const std::vector<bool>& mask, bool recovery)
+      -> std::pair<Schedule, RepairStrategy> {
+    ProcId admitted = 0;
+    for (ProcId p = 0; p < procs; ++p)
+      if (mask[p]) ++admitted;
+    RepairStrategy strategy = options.strategy;
+    if (strategy == RepairStrategy::kAuto)
+      strategy = admitted >= 2 ? RepairStrategy::kFlbResume
+                               : RepairStrategy::kGreedy;
+    std::vector<Cost> proc_release, cold;
+    if (recovery) {
+      proc_release.assign(procs, release);
+      cold.assign(procs, 0.0);
+      for (ProcId p = 0; p < procs; ++p)
+        if (mask[p] && avail[p] > 0.0 && avail[p] != kInfiniteTime) {
+          proc_release[p] = std::max(release, avail[p]);
+          cold[p] = avail[p];
+        }
+    }
+    Schedule s = out.schedule;  // the fixed prefix
     if (strategy == RepairStrategy::kFlbResume) {
       FlbScheduler flb(options.flb);
       FlbResumeContext ctx;
-      ctx.alive = alive;
+      ctx.alive = mask;
       ctx.release = release;
       if (degraded) ctx.speeds = speeds;
       ctx.work = work;
       ctx.extra_time = extra;
-      out.schedule = flb.resume(g, out.schedule, ctx);
+      ctx.proc_release = proc_release;
+      ctx.cold_before = cold;
+      ctx.topology = options.topology;
+      s = flb.resume(g, s, ctx);
     } else {
-      greedy_continuation(g, out.schedule, alive, release, speeds, work,
-                          extra);
+      greedy_continuation(g, s, mask, release, speeds, work, extra,
+                          recovery ? &proc_release : nullptr,
+                          recovery ? &cold : nullptr, options.topology);
     }
+    return {std::move(s), strategy};
+  };
+
+  if (out.migrated_tasks > 0) {
+    ProcId baseline_procs = 0;
+    for (ProcId p = 0; p < procs; ++p)
+      if (never_killed[p]) ++baseline_procs;
+    if (baseline_procs == 0) {
+      // Every processor was killed at least once; survivors >= 1
+      // guarantees a rejoin, so the recovery continuation is the only
+      // feasible repair regardless of options.give_back.
+      auto [s, used] = continuation(alive, true);
+      out.schedule = std::move(s);
+      out.used = used;
+    } else if (!options.give_back || !any_recovery) {
+      auto [s, used] = continuation(never_killed, false);
+      out.schedule = std::move(s);
+      out.used = used;
+    } else {
+      // Opportunistic give-back: keep the strictly better of the
+      // no-give-back baseline and the recovery-aware continuation, so the
+      // repaired makespan is never worse than refusing the rejoins.
+      auto [base, base_used] = continuation(never_killed, false);
+      auto [rec, rec_used] = continuation(alive, true);
+      if (rec.makespan() < base.makespan()) {
+        out.schedule = std::move(rec);
+        out.used = rec_used;
+      } else {
+        out.schedule = std::move(base);
+        out.used = base_used;
+      }
+    }
+  } else {
+    RepairStrategy strategy = options.strategy;
+    if (strategy == RepairStrategy::kAuto)
+      strategy = survivors >= 2 ? RepairStrategy::kFlbResume
+                                : RepairStrategy::kGreedy;
+    out.used = strategy;
   }
   FLB_ASSERT(out.schedule.complete());
+
+  // Recovery accounting against the continuation's makespan: downtime the
+  // episode cost, capacity the rejoins handed back, and the migrated work
+  // the chosen continuation actually placed on recovered processors.
+  const Cost mk = out.schedule.makespan();
+  for (ProcId p = 0; p < procs; ++p) {
+    out.time_degraded += resolved.downtime(p, mk);
+    if (avail[p] > 0.0 && avail[p] != kInfiniteTime) {
+      ++out.recovered_procs;
+      out.time_recovered += std::max(0.0, mk - avail[p]);
+    }
+  }
+  for (TaskId t = 0; t < n; ++t) {
+    const Cost a = avail[out.schedule.proc(t)];
+    if (!fixed[t] && a > 0.0 && a != kInfiniteTime) {
+      ++out.given_back_tasks;
+      out.work_given_back += work[t];
+    }
+  }
 
   // Expected durations, computed independently of the placement engine so
   // the durations-aware validator is a real cross-check.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -45,12 +47,66 @@ void expand_burst(const FaultPlan& plan, const std::vector<ProcId>& members,
     if (spec.probability < 1.0 && !rng.bernoulli(spec.probability)) continue;
     Cost when = trigger;
     if (spec.window > 0.0) when += rng.uniform(0.0, spec.window);
+    const bool transient = spec.recovery_delay > 0.0;
     if (spec.slowdown_factor == 0.0) {
       out.failures.push_back({members[j], when});
+      if (transient)
+        out.rejoins.push_back({members[j], when + spec.recovery_delay});
     } else {
-      out.slowdowns.push_back({members[j], when, spec.slowdown_factor});
+      out.slowdowns.push_back(
+          {members[j], when, spec.slowdown_factor,
+           transient ? when + spec.recovery_delay : kInfiniteTime});
     }
   }
+}
+
+// Canonicalize one processor's kill/rejoin events into alternating disjoint
+// windows: walk them in time order (kills before rejoins at equal instants)
+// keeping only state-changing events. Burst-induced strikes may legally
+// collide with explicit windows; validation guarantees the *directly
+// listed* events already alternate.
+void canonicalize_windows(ResolvedFaults& out) {
+  if (out.failures.empty()) {
+    out.rejoins.clear();
+    return;
+  }
+  struct Ev {
+    Cost time;
+    int kind;  // 0 = kill, 1 = rejoin
+    ProcId proc;
+  };
+  std::vector<Ev> events;
+  events.reserve(out.failures.size() + out.rejoins.size());
+  for (const ProcFailure& f : out.failures) events.push_back({f.time, 0, f.proc});
+  for (const ProcRejoin& r : out.rejoins) events.push_back({r.time, 1, r.proc});
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    return std::tie(a.proc, a.time, a.kind) < std::tie(b.proc, b.time, b.kind);
+  });
+  out.failures.clear();
+  out.rejoins.clear();
+  ProcId cur = kInvalidProc;
+  bool dead = false;
+  for (const Ev& e : events) {
+    if (e.proc != cur) {
+      cur = e.proc;
+      dead = false;
+    }
+    if (e.kind == 0 && !dead) {
+      out.failures.push_back({e.proc, e.time});
+      dead = true;
+    } else if (e.kind == 1 && dead) {
+      out.rejoins.push_back({e.proc, e.time});
+      dead = false;
+    }
+  }
+  std::sort(out.failures.begin(), out.failures.end(),
+            [](const ProcFailure& a, const ProcFailure& b) {
+              return a.time != b.time ? a.time < b.time : a.proc < b.proc;
+            });
+  std::sort(out.rejoins.begin(), out.rejoins.end(),
+            [](const ProcRejoin& a, const ProcRejoin& b) {
+              return a.time != b.time ? a.time < b.time : a.proc < b.proc;
+            });
 }
 
 }  // namespace
@@ -62,8 +118,9 @@ FaultPlan FaultPlan::single_failure(ProcId proc, Cost time) {
 }
 
 bool FaultPlan::trivial() const {
-  return failures.empty() && slowdowns.empty() && bursts.empty() &&
-         !checkpoint.enabled() && message.loss_probability == 0.0 &&
+  return failures.empty() && rejoins.empty() && slowdowns.empty() &&
+         bursts.empty() && !checkpoint.enabled() &&
+         message.loss_probability == 0.0 &&
          message.delay_probability == 0.0 && runtime_spread == 0.0;
 }
 
@@ -92,7 +149,17 @@ void FaultPlan::validate(ProcId num_procs) const {
   FLB_REQUIRE(runtime_spread >= 0.0 && runtime_spread < 1.0,
               "FaultPlan: runtime spread must be in [0, 1)");
 
-  std::unordered_set<ProcId> failed;
+  // Kill/rejoin windows: walk each processor's directly listed events in
+  // time order (kills before rejoins at equal instants). A second failure
+  // of a still-dead processor overlaps the open window; a rejoin needs an
+  // open window that started strictly before it.
+  struct KrEvent {
+    Cost time;
+    int kind;  // 0 = kill, 1 = rejoin
+    std::size_t index;
+  };
+  std::map<ProcId, std::vector<KrEvent>> windows;
+
   for (std::size_t i = 0; i < failures.size(); ++i) {
     const ProcFailure& f = failures[i];
     const std::string where = "FaultPlan: failures[" + std::to_string(i) + "]";
@@ -101,9 +168,48 @@ void FaultPlan::validate(ProcId num_procs) const {
                     " but the machine has " + std::to_string(num_procs));
     FLB_REQUIRE(finite_nonneg(f.time),
                 where + ": failure time must be finite and non-negative");
-    FLB_REQUIRE(failed.insert(f.proc).second,
-                where + " duplicates a failure of processor " +
-                    std::to_string(f.proc));
+    windows[f.proc].push_back({f.time, 0, i});
+  }
+
+  for (std::size_t i = 0; i < rejoins.size(); ++i) {
+    const ProcRejoin& r = rejoins[i];
+    const std::string where = "FaultPlan: rejoins[" + std::to_string(i) + "]";
+    FLB_REQUIRE(r.proc < num_procs,
+                where + " names processor " + std::to_string(r.proc) +
+                    " but the machine has " + std::to_string(num_procs));
+    FLB_REQUIRE(finite_nonneg(r.time),
+                where + ": rejoin time must be finite and non-negative");
+    windows[r.proc].push_back({r.time, 1, i});
+  }
+
+  for (auto& [proc, events] : windows) {
+    std::sort(events.begin(), events.end(),
+              [](const KrEvent& a, const KrEvent& b) {
+                return std::tie(a.time, a.kind) < std::tie(b.time, b.kind);
+              });
+    bool dead = false;
+    Cost open_kill = 0.0;
+    for (const KrEvent& e : events) {
+      if (e.kind == 0) {
+        FLB_REQUIRE(!dead,
+                    "FaultPlan: failures[" + std::to_string(e.index) +
+                        "] duplicates a failure of processor " +
+                        std::to_string(proc) +
+                        " inside a still-open kill/rejoin window");
+        dead = true;
+        open_kill = e.time;
+      } else {
+        const std::string where =
+            "FaultPlan: rejoins[" + std::to_string(e.index) + "]";
+        FLB_REQUIRE(dead, where + " rejoins processor " +
+                              std::to_string(proc) +
+                              " which has no preceding failure");
+        FLB_REQUIRE(e.time > open_kill,
+                    where + ": a rejoin must be strictly after the failure "
+                            "it recovers from");
+        dead = false;
+      }
+    }
   }
 
   for (std::size_t i = 0; i < slowdowns.size(); ++i) {
@@ -118,6 +224,10 @@ void FaultPlan::validate(ProcId num_procs) const {
     FLB_REQUIRE(s.factor > 0.0 && s.factor <= 1.0 &&
                     std::isfinite(s.factor),
                 where + ": slowdown factor must be in (0, 1]");
+    FLB_REQUIRE(s.until == kInfiniteTime ||
+                    (std::isfinite(s.until) && s.until > s.time),
+                where + ": recovery instant `until` must be strictly after "
+                        "the onset (or infinite for a permanent slowdown)");
   }
 
   std::unordered_set<std::string> names;
@@ -154,6 +264,8 @@ void FaultPlan::validate(ProcId num_procs) const {
                 where + ": cascade probability must be in [0, 1]");
     FLB_REQUIRE(finite_nonneg(b.cascade_delay),
                 where + ": cascade delay must be finite and non-negative");
+    FLB_REQUIRE(finite_nonneg(b.recovery_delay),
+                where + ": recovery delay must be finite and non-negative");
   }
 
   FLB_REQUIRE(finite_nonneg(checkpoint.interval),
@@ -171,9 +283,45 @@ Cost ResolvedFaults::death_time(ProcId p) const {
   return earliest;
 }
 
+Cost ResolvedFaults::available_from(ProcId p) const {
+  std::size_t kills = 0;
+  for (const ProcFailure& f : failures)
+    if (f.proc == p) ++kills;
+  if (kills == 0) return 0.0;
+  std::size_t recovered = 0;
+  Cost last_rejoin = 0.0;
+  for (const ProcRejoin& r : rejoins)
+    if (r.proc == p) {
+      ++recovered;
+      last_rejoin = std::max(last_rejoin, r.time);
+    }
+  // Windows are canonical: alternating kill/rejoin, so the processor ends
+  // the episode alive iff every kill window was closed.
+  return recovered == kills ? last_rejoin : kInfiniteTime;
+}
+
+Cost ResolvedFaults::downtime(ProcId p, Cost horizon) const {
+  // Canonical windows: the i-th kill of p pairs with the i-th rejoin of p
+  // (both lists are time-sorted); an unpaired kill extends to the horizon.
+  std::vector<Cost> kills, recoveries;
+  for (const ProcFailure& f : failures)
+    if (f.proc == p) kills.push_back(f.time);
+  for (const ProcRejoin& r : rejoins)
+    if (r.proc == p) recoveries.push_back(r.time);
+  Cost total = 0.0;
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    const Cost begin = std::min(kills[i], horizon);
+    const Cost end =
+        i < recoveries.size() ? std::min(recoveries[i], horizon) : horizon;
+    total += std::max(0.0, end - begin);
+  }
+  return total;
+}
+
 ResolvedFaults resolve_faults(const FaultPlan& plan) {
   ResolvedFaults out;
   out.failures = plan.failures;
+  out.rejoins = plan.rejoins;
   out.slowdowns = plan.slowdowns;
 
   std::unordered_map<std::string, std::size_t> by_name;
@@ -203,17 +351,10 @@ ResolvedFaults resolve_faults(const FaultPlan& plan) {
     }
   }
 
-  // Collapse repeated deaths of one processor to the earliest; sort both
+  // Collapse kill/rejoin events into canonical alternating windows (for a
+  // rejoin-free plan this reduces to the old earliest-death dedup); sort all
   // lists so the resolved set is a canonical value.
-  std::sort(out.failures.begin(), out.failures.end(),
-            [](const ProcFailure& a, const ProcFailure& b) {
-              return a.time != b.time ? a.time < b.time : a.proc < b.proc;
-            });
-  std::vector<ProcFailure> dedup;
-  std::unordered_set<ProcId> seen;
-  for (const ProcFailure& f : out.failures)
-    if (seen.insert(f.proc).second) dedup.push_back(f);
-  out.failures = std::move(dedup);
+  canonicalize_windows(out);
   std::sort(out.slowdowns.begin(), out.slowdowns.end(),
             [](const SlowdownFault& a, const SlowdownFault& b) {
               return a.time != b.time ? a.time < b.time : a.proc < b.proc;
@@ -225,7 +366,8 @@ std::vector<double> final_speeds(const ResolvedFaults& resolved,
                                  ProcId num_procs) {
   std::vector<double> speeds(num_procs, 1.0);
   for (const SlowdownFault& s : resolved.slowdowns)
-    if (s.proc < num_procs) speeds[s.proc] *= s.factor;
+    if (s.proc < num_procs && s.until == kInfiniteTime)
+      speeds[s.proc] *= s.factor;
   return speeds;
 }
 

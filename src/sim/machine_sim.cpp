@@ -17,30 +17,52 @@ namespace {
 /// at T — a task finishing exactly when its processor dies survives, and
 /// its output messages are considered in flight.
 struct Event {
-  enum Kind { kCompletion = 0, kFailure = 1 };
+  enum Kind { kCompletion = 0, kFailure = 1, kRejoin = 2 };
   Cost time;
   int kind;
   std::size_t seq;
-  TaskId task;  ///< completing task, or the failing processor for kFailure
+  TaskId task;  ///< completing task, or the processor for kFailure/kRejoin
   bool operator>(const Event& other) const {
     return std::tie(time, kind, seq) >
            std::tie(other.time, other.kind, other.seq);
   }
 };
 
-/// Piecewise-constant speed profile of one processor: speed 1.0 initially,
-/// multiplied by each slowdown fault's factor from its onset on. run()
-/// integrates a task's work through the profile, pausing at checkpoint
-/// marks, optionally cut short by a fail-stop kill.
+/// Piecewise-constant speed profile of one processor: the speed at any
+/// instant is the product of the factors of every slowdown active then (a
+/// fault is active on [time, until)). finalize() materialises (boundary,
+/// speed) segments, recomputing each product from scratch so a fully
+/// recovered processor returns to exactly 1.0 — multiplying by 1/factor on
+/// recovery would drift for non-power-of-two factors. run() integrates a
+/// task's work through the profile, pausing at checkpoint marks,
+/// optionally cut short by a fail-stop kill.
 class ProcProfile {
  public:
-  void add(Cost time, double factor) { events_.push_back({time, factor}); }
-
-  void finalize() {
-    std::sort(events_.begin(), events_.end());
+  void add(Cost time, double factor, Cost until = kInfiniteTime) {
+    faults_.push_back({time, factor, until});
   }
 
-  [[nodiscard]] bool trivial() const { return events_.empty(); }
+  void finalize() {
+    std::vector<Cost> bounds;
+    for (const Fault& f : faults_) {
+      bounds.push_back(f.time);
+      if (f.until != kInfiniteTime) bounds.push_back(f.until);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    double prev = 1.0;
+    for (Cost b : bounds) {
+      double speed = 1.0;
+      for (const Fault& f : faults_)
+        if (f.time <= b && b < f.until) speed *= f.factor;
+      if (speed != prev) {
+        segments_.push_back({b, speed});
+        prev = speed;
+      }
+    }
+  }
+
+  [[nodiscard]] bool trivial() const { return segments_.empty(); }
 
   struct Trace {
     Cost end = 0.0;      ///< finish time, or the kill instant when killed
@@ -58,7 +80,7 @@ class ProcProfile {
     Trace tr;
     tr.end = std::min(start, kill);
     if (start >= kill) return tr;  // never began computing
-    if (events_.empty() && !ckpt.enabled()) {
+    if (segments_.empty() && !ckpt.enabled()) {
       Cost finish = start + work;
       if (finish <= kill) {
         tr.end = finish;
@@ -73,15 +95,16 @@ class ProcProfile {
 
     Cost tau = start;
     double speed = 1.0;
-    std::size_t next_ev = 0;
-    while (next_ev < events_.size() && events_[next_ev].first <= tau)
-      speed *= events_[next_ev++].second;
+    std::size_t next_seg = 0;
+    while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
+      speed = segments_[next_seg++].second;
     Cost next_mark = ckpt.enabled() ? ckpt.interval : kInfiniteTime;
 
     while (true) {
       const Cost target = std::min(work, next_mark);
       const Cost seg_end =
-          next_ev < events_.size() ? events_[next_ev].first : kInfiniteTime;
+          next_seg < segments_.size() ? segments_[next_seg].first
+                                      : kInfiniteTime;
       const Cost reach = tau + (target - tr.done) / speed;
       if (reach <= seg_end) {
         if (reach > kill) {  // killed mid-computation
@@ -120,14 +143,20 @@ class ProcProfile {
         }
         tr.done += speed * (seg_end - tau);
         tau = seg_end;
-        while (next_ev < events_.size() && events_[next_ev].first <= tau)
-          speed *= events_[next_ev++].second;
+        while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
+          speed = segments_[next_seg++].second;
       }
     }
   }
 
  private:
-  std::vector<std::pair<Cost, double>> events_;  // (onset, factor), sorted
+  struct Fault {
+    Cost time;
+    double factor;
+    Cost until;
+  };
+  std::vector<Fault> faults_;
+  std::vector<std::pair<Cost, double>> segments_;  // (boundary, new speed)
 };
 
 }  // namespace
@@ -163,9 +192,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<bool> dead(procs, false);
 
   std::vector<ProcProfile> profiles(procs);
+  // Instant the processor last rebooted (kUndefinedTime = never): data that
+  // reached it at or before this instant was lost with its memory and must
+  // be re-fetched by any consumer dispatched after the rejoin.
+  std::vector<Cost> rejoined_at(procs, kUndefinedTime);
   if (plan != nullptr) {
     for (const SlowdownFault& f : resolved.slowdowns)
-      profiles[f.proc].add(f.time, f.factor);
+      profiles[f.proc].add(f.time, f.factor, f.until);
     for (ProcProfile& p : profiles) p.finalize();
     result.checkpointed.assign(n, 0.0);
     result.proc_work_lost.assign(procs, 0.0);
@@ -210,9 +243,12 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::size_t seq = 0;
   TaskId completed = 0;
 
-  if (plan != nullptr)
+  if (plan != nullptr) {
     for (const ProcFailure& f : resolved.failures)
       events.push({f.time, Event::kFailure, seq++, f.proc});
+    for (const ProcRejoin& r : resolved.rejoins)
+      events.push({r.time, Event::kRejoin, seq++, r.proc});
+  }
 
   // Try to dispatch the head task of processor p. All arrival times are
   // known once every predecessor has finished, so the completion event can
@@ -231,14 +267,20 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       if (starved[t]) return;            // its message will never come
       if (pending_preds[t] > 0) return;  // retried when the last pred ends
       Cost start = proc_free[p];
+      const Cost cold = rejoined_at[p];
       for (const Adj& a : g.predecessors(t)) {
+        Cost avail;
         if (s.proc(a.node) == p) {
-          start = std::max(start, result.finish[a.node]);
+          avail = result.finish[a.node];
         } else {
-          Cost arr = arrival[arrival_slot(a.node, t)];
-          FLB_ASSERT(arr != kUndefinedTime);
-          start = std::max(start, arr);
+          avail = arrival[arrival_slot(a.node, t)];
+          FLB_ASSERT(avail != kUndefinedTime);
         }
+        // Cold caches: data that reached p at or before the reboot was
+        // lost with its memory; re-fetch it from the rejoin instant.
+        if (cold != kUndefinedTime && avail <= cold)
+          avail = cold + a.comm * options.latency_factor;
+        start = std::max(start, avail);
       }
       dispatched[t] = true;
       result.start[t] = start;
@@ -284,6 +326,19 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         result.start[t] = kUndefinedTime;
         result.finish[t] = kUndefinedTime;
       }
+      continue;
+    }
+
+    if (ev.kind == Event::kRejoin) {
+      const ProcId p = static_cast<ProcId>(ev.task);
+      if (!dead[p]) continue;  // canonicalization makes this unreachable
+      dead[p] = false;
+      rejoined_at[p] = ev.time;
+      // Every dispatched-but-unfinished task on p was killed at the kill
+      // instant, so the processor is genuinely idle at the reboot.
+      proc_free[p] = ev.time;
+      ++result.rejoins;
+      try_dispatch(p);
       continue;
     }
 
@@ -356,9 +411,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     if (f != kUndefinedTime) result.makespan = std::max(result.makespan, f);
   if (plan != nullptr)
     for (ProcId p = 0; p < procs; ++p)
-      if (dead[p])
-        result.dead_proc_idle +=
-            std::max(0.0, result.makespan - resolved.death_time(p));
+      result.dead_proc_idle += resolved.downtime(p, result.makespan);
   return result;
 }
 

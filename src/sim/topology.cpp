@@ -37,6 +37,22 @@ Topology Topology::mesh2d(ProcId rows, ProcId cols) {
   return from_links(rows * cols, std::move(links));
 }
 
+Topology Topology::torus2d(ProcId rows, ProcId cols) {
+  FLB_REQUIRE(rows >= 1 && cols >= 1, "Topology::torus2d: empty torus");
+  std::vector<std::pair<ProcId, ProcId>> links;
+  auto id = [cols](ProcId r, ProcId c) { return r * cols + c; };
+  for (ProcId r = 0; r < rows; ++r) {
+    for (ProcId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+    if (cols > 2) links.emplace_back(id(r, 0), id(r, cols - 1));
+  }
+  if (rows > 2)
+    for (ProcId c = 0; c < cols; ++c) links.emplace_back(id(0, c), id(rows - 1, c));
+  return from_links(rows * cols, std::move(links));
+}
+
 Topology Topology::star(ProcId nodes) {
   FLB_REQUIRE(nodes >= 1, "Topology::star: at least one node");
   std::vector<std::pair<ProcId, ProcId>> links;
@@ -142,13 +158,22 @@ struct Event {
 
 TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
                                        const Topology& topology,
-                                       Cost latency_factor) {
+                                       Cost latency_factor,
+                                       const std::vector<Cost>* work_override) {
   const TaskId n = g.num_tasks();
   FLB_REQUIRE(s.complete(), "simulate_on_topology: schedule is incomplete");
   FLB_REQUIRE(topology.num_nodes() == s.num_procs(),
               "simulate_on_topology: topology/schedule size mismatch");
   FLB_REQUIRE(latency_factor >= 0.0,
               "simulate_on_topology: latency factor must be non-negative");
+  FLB_REQUIRE(work_override == nullptr || work_override->size() == n,
+              "simulate_on_topology: work override must have one entry per "
+              "task");
+  auto work_of = [&](TaskId t) -> Cost {
+    if (work_override != nullptr && (*work_override)[t] != kUndefinedTime)
+      return (*work_override)[t];
+    return g.comp(t);
+  };
 
   TopologySimResult result;
   result.sim.start.assign(n, kUndefinedTime);
@@ -200,7 +225,7 @@ TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
       }
       dispatched[t] = true;
       result.sim.start[t] = start;
-      result.sim.finish[t] = start + g.comp(t);
+      result.sim.finish[t] = start + work_of(t);
       proc_free[p] = result.sim.finish[t];
       events.push({result.sim.finish[t], seq++, t});
       ++dispatch_idx[p];

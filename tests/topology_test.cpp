@@ -49,6 +49,25 @@ TEST(Topology, Mesh2dShape) {
   EXPECT_EQ(t.diameter(), 5u);
 }
 
+TEST(Topology, Torus2dShape) {
+  Topology t = Topology::torus2d(3, 3);
+  EXPECT_EQ(t.num_nodes(), 9u);
+  // Mesh links (3*2 horizontal + 2*3 vertical = 12) plus one wraparound
+  // per row and per column.
+  EXPECT_EQ(t.num_links(), 18u);
+  EXPECT_EQ(t.hops(0, 2), 1u);  // row wraparound beats the 2-hop mesh path
+  EXPECT_EQ(t.hops(0, 6), 1u);  // column wraparound
+  EXPECT_EQ(t.diameter(), 2u);
+
+  // Dimensions of size <= 2 add no duplicate wrap links: a 2x2 torus is
+  // exactly the 2x2 mesh (a 4-cycle).
+  EXPECT_EQ(Topology::torus2d(2, 2).num_links(),
+            Topology::mesh2d(2, 2).num_links());
+  // A 1xN torus degenerates to a ring.
+  EXPECT_EQ(Topology::torus2d(1, 5).num_links(), Topology::ring(5).num_links());
+  EXPECT_EQ(Topology::torus2d(1, 5).diameter(), Topology::ring(5).diameter());
+}
+
 TEST(Topology, StarShape) {
   Topology t = Topology::star(6);
   EXPECT_EQ(t.num_links(), 5u);
@@ -172,6 +191,32 @@ TEST(TopologySim, RejectsMismatchedSizes) {
   FlbScheduler flb;
   Schedule s = flb.run(g, 2);
   EXPECT_THROW((void)simulate_on_topology(g, s, Topology::clique(3)), Error);
+}
+
+TEST(TopologySim, WorkOverrideReplacesDurations) {
+  // Replaying with per-task overrides (the repair-replay recipe): each
+  // task runs for exactly its override; kUndefinedTime keeps the graph's
+  // weight.
+  TaskGraph g = test::fuzz_graph(5);
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 3);
+  std::vector<Cost> override_work(g.num_tasks(), kUndefinedTime);
+  override_work[0] = g.comp(0) * 0.5;
+  override_work[1] = 0.0;
+  TopologySimResult r = simulate_on_topology(g, s, Topology::ring(3), 1.0,
+                                             &override_work);
+  ASSERT_TRUE(r.sim.complete());
+  EXPECT_NEAR(r.sim.finish[0] - r.sim.start[0], g.comp(0) * 0.5, 1e-9);
+  EXPECT_NEAR(r.sim.finish[1] - r.sim.start[1], 0.0, 1e-9);
+  for (TaskId t = 2; t < g.num_tasks(); ++t)
+    EXPECT_NEAR(r.sim.finish[t] - r.sim.start[t], g.comp(t), 1e-9)
+        << g.name();
+
+  // A wrong-sized override is rejected.
+  std::vector<Cost> wrong(g.num_tasks() + 1, kUndefinedTime);
+  EXPECT_THROW(
+      (void)simulate_on_topology(g, s, Topology::ring(3), 1.0, &wrong),
+      Error);
 }
 
 // --- Weight perturbation -----------------------------------------------------------
