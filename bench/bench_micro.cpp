@@ -1,11 +1,14 @@
 // Google-benchmark micro benchmarks: per-algorithm scheduling throughput on
-// a fixed paper-scale instance, and the addressable-heap operations FLB's
-// inner loop is built from.
+// a fixed paper-scale instance, the addressable-heap operations FLB's inner
+// loop is built from, and the platform cost-model pricing hot path every
+// scheduling decision now routes through.
 
 #include <benchmark/benchmark.h>
 
 #include "flb/core/flb.hpp"
+#include "flb/platform/cost_model.hpp"
 #include "flb/sched/scheduler.hpp"
+#include "flb/sim/topology.hpp"
 #include "flb/util/indexed_heap.hpp"
 #include "flb/util/rng.hpp"
 #include "flb/workloads/workloads.hpp"
@@ -75,6 +78,97 @@ void BM_HeapUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HeapUpdate)->Arg(64)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Cost-model pricing hot path. Every EST probe of every scheduler goes
+// through CostModel::comm / arrival, so its per-query cost is the constant
+// in front of FLB's O(V (log W + log P) + E) bound. Clique must stay a
+// couple of flops; routed adds a hop-table lookup; link-busy walks the
+// route against the reservations (probe) or claims it (commit).
+
+constexpr ProcId kPricingProcs = 32;
+constexpr std::size_t kQueries = 4096;
+
+struct Query {
+  ProcId src;
+  ProcId dst;
+  Cost bytes;
+  Cost depart;
+};
+
+const std::vector<Query>& pricing_queries() {
+  static std::vector<Query> qs = [] {
+    Rng rng(42);
+    std::vector<Query> out;
+    out.reserve(kQueries);
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      ProcId src = static_cast<ProcId>(rng.next_below(kPricingProcs));
+      ProcId dst = static_cast<ProcId>(rng.next_below(kPricingProcs));
+      if (dst == src) dst = (dst + 1) % kPricingProcs;  // always remote
+      out.push_back({src, dst, 1.0 + rng.next_double() * 9.0,
+                     rng.next_double() * 100.0});
+    }
+    return out;
+  }();
+  return qs;
+}
+
+const Topology& pricing_mesh() {
+  static Topology topo = Topology::mesh2d(4, 8);
+  return topo;
+}
+
+void BM_CommClique(benchmark::State& state) {
+  platform::CostModel model = platform::CostModel::clique(kPricingProcs);
+  const auto& qs = pricing_queries();
+  for (auto _ : state)
+    for (const Query& q : qs)
+      benchmark::DoNotOptimize(model.comm(q.src, q.dst, q.bytes, q.depart));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_CommClique);
+
+void BM_CommRouted(benchmark::State& state) {
+  platform::CostModel model = platform::CostModel::routed(pricing_mesh());
+  const auto& qs = pricing_queries();
+  for (auto _ : state)
+    for (const Query& q : qs)
+      benchmark::DoNotOptimize(model.comm(q.src, q.dst, q.bytes, q.depart));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_CommRouted);
+
+void BM_CommLinkBusyProbe(benchmark::State& state) {
+  platform::CostModel model = platform::CostModel::link_busy(pricing_mesh());
+  const auto& qs = pricing_queries();
+  // Probe against a realistically loaded network: commit half the queries
+  // once so the probes contend with genuine reservations.
+  for (std::size_t i = 0; i < kQueries; i += 2)
+    model.commit(qs[i].src, qs[i].dst, qs[i].bytes, qs[i].depart);
+  for (auto _ : state)
+    for (const Query& q : qs)
+      benchmark::DoNotOptimize(model.comm(q.src, q.dst, q.bytes, q.depart));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_CommLinkBusyProbe);
+
+void BM_CommLinkBusyCommit(benchmark::State& state) {
+  platform::CostModel model = platform::CostModel::link_busy(pricing_mesh());
+  const auto& qs = pricing_queries();
+  for (auto _ : state) {
+    state.PauseTiming();
+    model.reset_links();  // unbounded reservation growth is not the hot path
+    state.ResumeTiming();
+    for (const Query& q : qs)
+      benchmark::DoNotOptimize(model.commit(q.src, q.dst, q.bytes, q.depart));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kQueries));
+}
+BENCHMARK(BM_CommLinkBusyCommit);
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   WorkloadParams params;

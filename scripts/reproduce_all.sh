@@ -49,5 +49,19 @@ done
 echo "== table 1 trace"
 "$build/examples/trace_paper_example" | tee "$out/table1_trace.txt"
 
+# bench_micro is a google-benchmark binary, not a table printer; the
+# persisted slice is the platform cost-model pricing hot path (ns/query of
+# clique vs routed vs link-busy), which guards the constant in front of
+# FLB's complexity bound.
+echo "== bench_micro (platform pricing hot path)"
+{
+  echo "Platform cost-model pricing hot path (bench_micro --benchmark_filter=BM_Comm)"
+  echo "P = 32; routed/link-busy over a 4x8 mesh; 4096 pre-generated remote queries per iteration."
+  echo "Per-query cost = Time / 4096 (items_per_second counts individual queries)."
+  echo
+  "$build/bench/bench_micro" --benchmark_filter='BM_Comm' \
+    --benchmark_min_time=0.5 2>/dev/null | sed -n '/^---/,$p'
+} | tee "$out/bench_micro_platform.txt"
+
 echo
 echo "All outputs saved under $out/. Compare against EXPERIMENTS.md."

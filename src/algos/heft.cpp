@@ -23,6 +23,20 @@ std::vector<Cost> upward_ranks(const TaskGraph& g,
   return rank;
 }
 
+std::vector<Cost> upward_ranks(const TaskGraph& g,
+                               const platform::CostModel& model) {
+  std::vector<TaskId> order = topological_order(g);
+  std::vector<Cost> rank(g.num_tasks(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TaskId t = *it;
+    Cost best = 0.0;
+    for (const Adj& a : g.successors(t))
+      best = std::max(best, model.message_cost(a.comm) + rank[a.node]);
+    rank[t] = model.mean_exec_work(model.work_of(g, t)) + best;
+  }
+  return rank;
+}
+
 std::vector<Cost> downward_ranks(const TaskGraph& g,
                                  const HeteroMachine& machine) {
   std::vector<TaskId> order = topological_order(g);
@@ -51,6 +65,21 @@ std::pair<Cost, Cost> eft_on(const TaskGraph& g, const HeteroMachine& machine,
     ready = std::max(ready, s.finish(a.node) + c);
   }
   Cost exec = machine.exec_time(g.comp(t), p);
+  Cost start = s.earliest_gap(p, ready, exec);
+  return {start, start + exec};
+}
+
+/// As eft_on, but priced through the platform cost model: the data-ready
+/// time is the model's cold-aware arrival max clamped to the processor's
+/// admission instant, execution uses the model's speeds/overrides.
+std::pair<Cost, Cost> eft_on_model(const TaskGraph& g,
+                                   const platform::CostModel& model,
+                                   const Schedule& s, TaskId t, ProcId p) {
+  Cost ready = model.admission(p);
+  for (const Adj& a : g.predecessors(t))
+    ready = std::max(ready,
+                     model.arrival(s.proc(a.node), p, a.comm, s.finish(a.node)));
+  Cost exec = model.exec(g, t, p, 0.0);
   Cost start = s.earliest_gap(p, ready, exec);
   return {start, start + exec};
 }
@@ -99,6 +128,54 @@ Schedule heft(const TaskGraph& g, const HeteroMachine& machine) {
     }
     return best_p;
   });
+}
+
+Schedule heft(const TaskGraph& g, platform::CostModel& model) {
+  const TaskId n = g.num_tasks();
+  std::vector<Cost> priority = upward_ranks(g, model);
+  Schedule sched(model.num_procs(), n);
+  using Key = std::tuple<Cost, TaskId>;  // (-priority, id)
+  IndexedMinHeap<Key> ready(n);
+  std::vector<std::size_t> unscheduled_preds(n);
+  for (TaskId t = 0; t < n; ++t) {
+    unscheduled_preds[t] = g.in_degree(t);
+    if (unscheduled_preds[t] == 0) ready.push(t, {-priority[t], t});
+  }
+  for (TaskId step = 0; step < n; ++step) {
+    FLB_ASSERT(!ready.empty());
+    TaskId t = static_cast<TaskId>(ready.pop());
+    ProcId best_p = kInvalidProc;
+    Cost best_eft = kInfiniteTime;
+    for (ProcId p = 0; p < model.num_procs(); ++p) {
+      if (!model.alive(p)) continue;
+      Cost eft = eft_on_model(g, model, sched, t, p).second;
+      if (eft < best_eft || best_p == kInvalidProc) {
+        best_eft = eft;
+        best_p = p;
+      }
+    }
+    FLB_ASSERT(best_p != kInvalidProc);
+    auto [start, finish] = eft_on_model(g, model, sched, t, best_p);
+    if (model.mode() == platform::CommMode::kLinkBusy) {
+      // Reserve the incoming routes; commits serialize transfers that
+      // share a link, so the data-ready time (and hence the insertion
+      // search) is recomputed from the committed arrivals.
+      Cost ready_at = model.admission(best_p);
+      for (const Adj& a : g.predecessors(t))
+        ready_at = std::max(ready_at,
+                            model.commit_arrival(sched.proc(a.node), best_p,
+                                                 a.comm, sched.finish(a.node)));
+      const Cost exec = model.exec(g, t, best_p, 0.0);
+      start = sched.earliest_gap(best_p, ready_at, exec);
+      finish = start + exec;
+    }
+    sched.assign(t, best_p, start, finish);
+    for (const Adj& a : g.successors(t))
+      if (--unscheduled_preds[a.node] == 0)
+        ready.push(a.node, {-priority[a.node], a.node});
+  }
+  FLB_ASSERT(sched.complete());
+  return sched;
 }
 
 Schedule cpop(const TaskGraph& g, const HeteroMachine& machine) {

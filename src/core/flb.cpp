@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "flb/graph/properties.hpp"
-#include "flb/sim/topology.hpp"
+#include "flb/platform/cost_model.hpp"
 #include "flb/util/error.hpp"
 #include "flb/util/heap_forest.hpp"
 #include "flb/util/indexed_heap.hpp"
@@ -46,8 +46,7 @@ class Engine {
       : g_(g),
         num_procs_(prefix.num_procs()),
         sched_(std::move(prefix)),
-        alive_(std::move(alive)),
-        release_(release),
+        model_(make_model(num_procs_, std::move(alive), release, degraded)),
         info_(g.num_tasks()),
         unscheduled_preds_(g.num_tasks()),
         non_ep_(g.num_tasks()),
@@ -55,22 +54,16 @@ class Engine {
         lmt_ep_(g.num_tasks(), num_procs_),
         active_procs_(num_procs_),
         all_procs_(num_procs_) {
-    if (degraded != nullptr) {
-      speeds_ = degraded->speeds;
-      work_ = degraded->work;
-      extra_ = degraded->extra_time;
-      proc_release_ = degraded->proc_release;
-      cold_ = degraded->cold_before;
-      topology_ = degraded->topology;
-    }
     // Routed or cold-cache pricing makes EST destination-dependent beyond
     // the clique model, so candidate selection switches to exact pricing.
-    exact_mode_ = topology_ != nullptr;
-    for (Cost c : cold_)
-      if (c > 0.0) exact_mode_ = true;
+    exact_mode_ = model_.exact_pricing();
+    link_busy_ = model_.mode() == platform::CommMode::kLinkBusy;
     init_tie_priorities(opts);
     init_lists();
   }
+
+  /// The platform model priced against (occupancy log, link accounting).
+  [[nodiscard]] const platform::CostModel& model() const { return model_; }
 
   Schedule run(const FlbObserver* observer, FlbStats* stats) {
     const TaskId remaining = g_.num_tasks() - sched_.num_scheduled();
@@ -105,30 +98,48 @@ class Engine {
     return {primary, -tie_[t], t};
   }
 
+  // Build the platform cost model the whole run prices against: the
+  // paper's clique on a fresh run, routed hop counts or store-and-forward
+  // link reservations when the resume context carries a topology, plus the
+  // context's availability windows and degraded execution parameters.
+  static platform::CostModel make_model(ProcId procs, std::vector<bool> alive,
+                                        Cost release,
+                                        const FlbResumeContext* ctx) {
+    const Topology* topo = ctx != nullptr ? ctx->topology : nullptr;
+    platform::CostModel m =
+        topo == nullptr
+            ? platform::CostModel::clique(procs)
+            : (ctx->link_busy ? platform::CostModel::link_busy(*topo)
+                              : platform::CostModel::routed(*topo));
+    platform::Availability a;
+    a.release = release;
+    a.alive = std::move(alive);
+    if (ctx != nullptr) {
+      a.proc_release = ctx->proc_release;
+      a.cold_before = ctx->cold_before;
+      m.set_speeds(ctx->speeds);
+      m.set_work(ctx->work);
+      m.set_extra_time(ctx->extra_time);
+    }
+    m.set_availability(std::move(a));
+    return m;
+  }
+
   // Processor ready time as seen by the engine: never before the release
   // instant (the failure time when resuming; 0 on a fresh run), nor before
   // the processor's own admission instant (its rejoin time after a reboot).
   Cost prt(ProcId p) const {
-    Cost ready = std::max(sched_.proc_ready_time(p), release_);
-    if (!proc_release_.empty()) ready = std::max(ready, proc_release_[p]);
-    return ready;
+    return std::max(sched_.proc_ready_time(p), model_.admission(p));
   }
 
   // Priced availability of predecessor edge `in` when its consumer runs on
-  // p: a warm local output is free; a local output that predates p's reboot
-  // is re-fetched at cold_before[p] + comm; remote data pays comm times the
-  // route length under a topology (1 on the clique).
+  // p — the platform model's cold-aware arrival: a warm local output is
+  // free, a local output that predates p's reboot is re-fetched, remote
+  // data pays the mode's network price (flat on the clique, hop-scaled
+  // when routed, reservation-aware under link-busy).
   Cost arrival_at(const Adj& in, ProcId p) const {
-    const Cost finish = sched_.finish(in.node);
-    if (sched_.proc(in.node) == p) {
-      if (!cold_.empty() && cold_[p] > 0.0 && finish <= cold_[p])
-        return cold_[p] + in.comm;
-      return finish;
-    }
-    Cost comm = in.comm;
-    if (topology_ != nullptr)
-      comm *= static_cast<Cost>(topology_->hops(sched_.proc(in.node), p));
-    return finish + comm;
+    return model_.arrival(sched_.proc(in.node), p, in.comm,
+                          sched_.finish(in.node));
   }
 
   // Exact earliest start of t on p under the engine's pricing model.
@@ -139,15 +150,11 @@ class Engine {
     return est;
   }
 
-  // Wall-time cost of running t on p: (possibly overridden) work scaled by
-  // p's speed, plus any additive extra. Degenerates to comp(t) on a fresh
-  // run.
+  // Wall-time cost of running t on p: the platform model's exec pricing —
+  // (possibly overridden) work scaled by p's speed, plus any additive
+  // extra. Degenerates to comp(t) on a fresh run.
   Cost duration(TaskId t, ProcId p) const {
-    Cost work = g_.comp(t);
-    if (!work_.empty() && work_[t] != kUndefinedTime) work = work_[t];
-    if (!speeds_.empty()) work /= speeds_[p];
-    if (!extra_.empty()) work += extra_[t];
-    return work;
+    return model_.exec(g_, t, p, 0.0);
   }
 
   void init_lists() {
@@ -161,7 +168,7 @@ class Engine {
     }
     stats_.max_ready = std::max(stats_.max_ready, ready_count_);
     for (ProcId p = 0; p < num_procs_; ++p)
-      if (alive_[p]) all_procs_.push(p, {prt(p), p});
+      if (model_.alive(p)) all_procs_.push(p, {prt(p), p});
   }
 
   // The paper's ScheduleTask followed by the three update procedures.
@@ -175,6 +182,10 @@ class Engine {
       p1 = static_cast<ProcId>(active_procs_.top());
       est1 = active_procs_.top_key().first;
       t1 = static_cast<TaskId>(emt_ep_.top(p1));
+      // Link reservations committed since t1 was classified may have
+      // pushed its true arrival past the cached key, so under link-busy
+      // pricing the candidate is re-priced against the current link state.
+      if (link_busy_) est1 = exact_est(t1, p1);
     }
 
     // Candidate (b): non-EP task with min LMT on the earliest-idle
@@ -190,7 +201,7 @@ class Engine {
       t2 = static_cast<TaskId>(non_ep_.top());
       if (exact_mode_) {
         for (ProcId p = 0; p < num_procs_; ++p) {
-          if (!alive_[p]) continue;
+          if (!model_.alive(p)) continue;
           const Cost est = exact_est(t2, p);
           if (est < est2) {
             est2 = est;
@@ -214,7 +225,19 @@ class Engine {
 
     if (observer) notify(*observer, t, p, est, choose_ep);
 
-    sched_.assign(t, p, est, est + duration(t, p));
+    Cost start = est;
+    if (link_busy_) {
+      // Claim the chosen task's incoming routes so later transfers queue
+      // behind them. Both candidates were just priced against the same
+      // link state with identical arithmetic, so start == est.
+      start = prt(p);
+      for (const Adj& in : g_.predecessors(t))
+        start = std::max(start,
+                         model_.commit_arrival(sched_.proc(in.node), p,
+                                               in.comm,
+                                               sched_.finish(in.node)));
+    }
+    sched_.assign(t, p, start, start + duration(t, p));
     --ready_count_;
     if (choose_ep) {
       ++stats_.ep_selections;
@@ -286,36 +309,30 @@ class Engine {
     Cost lmt = 0.0;
     ProcId ep = kInvalidProc;
     for (const Adj& in : g_.predecessors(t)) {
-      Cost arrival = sched_.finish(in.node) + in.comm;
+      Cost arrival = sched_.finish(in.node) + model_.message_cost(in.comm);
       if (arrival > lmt || ep == kInvalidProc) {
         lmt = arrival;
         ep = sched_.proc(in.node);
       }
     }
     ++ready_count_;
-    if (ep == kInvalidProc || !alive_[ep]) {
+    if (ep == kInvalidProc || !model_.alive(ep)) {
       info_[t] = {lmt, lmt, kInvalidProc};
       non_ep_.push(t, task_key(lmt, t));
       return;
     }
-    // EMT on the enabling processor. Messages from predecessors already
-    // on ep cost zero but their finish times still participate in the
-    // max, matching the paper's worked example (Table 1); this never
-    // changes EST = max(EMT, PRT) — a local predecessor's FT is always
-    // <= PRT — but it fixes the EMT list order the paper uses. In exact
-    // mode the EMT is priced with routed hop counts and cold-cache
-    // re-fetches instead (every predecessor is placed by now, so this is
-    // the task's exact ready instant on ep).
+    // EMT on the enabling processor, priced through the platform model's
+    // cold-aware arrival. Local predecessor outputs arrive at their finish
+    // time and still participate in the max, matching the paper's worked
+    // example (Table 1); this never changes EST = max(EMT, PRT) — a warm
+    // local predecessor's FT is always <= PRT — but it fixes the EMT list
+    // order the paper uses. In exact mode the same call prices routed hop
+    // counts, link reservations and cold-cache re-fetches (every
+    // predecessor is placed by now, so this is the task's exact ready
+    // instant on ep under the current link state).
     Cost emt = 0.0;
-    if (exact_mode_) {
-      for (const Adj& in : g_.predecessors(t))
-        emt = std::max(emt, arrival_at(in, ep));
-    } else {
-      for (const Adj& in : g_.predecessors(t)) {
-        Cost c = sched_.proc(in.node) == ep ? 0.0 : in.comm;
-        emt = std::max(emt, sched_.finish(in.node) + c);
-      }
-    }
+    for (const Adj& in : g_.predecessors(t))
+      emt = std::max(emt, arrival_at(in, ep));
     info_[t] = {lmt, emt, ep};
 
     if (lmt < prt(ep)) {
@@ -363,15 +380,9 @@ class Engine {
   const TaskGraph& g_;
   ProcId num_procs_;
   Schedule sched_;
-  std::vector<bool> alive_;
-  Cost release_ = 0.0;
-  std::vector<double> speeds_;  // empty = homogeneous unit speed
-  std::vector<Cost> work_;      // empty = graph costs; kUndefinedTime = no override
-  std::vector<Cost> extra_;     // empty = no additive wall time
-  std::vector<Cost> proc_release_;  // empty = all release_
-  std::vector<Cost> cold_;          // empty / 0 = never rebooted
-  const Topology* topology_ = nullptr;  // routed pricing (null = clique)
+  platform::CostModel model_;  // the machine: comm, exec, availability
   bool exact_mode_ = false;
+  bool link_busy_ = false;
   std::vector<Cost> tie_;
   std::vector<FlbScheduler::ReadyInfo> info_;
   std::vector<std::size_t> unscheduled_preds_;
@@ -450,8 +461,13 @@ Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
                   ctx.topology->num_nodes() == prefix.num_procs(),
               "FLB resume: topology node count must match the processor "
               "count");
+  FLB_REQUIRE(!ctx.link_busy || ctx.topology != nullptr,
+              "FLB resume: link-busy pricing requires a topology");
   Engine engine(g, prefix, ctx.alive, ctx.release, options_, &ctx);
-  return engine.run(nullptr, nullptr);
+  Schedule s = engine.run(nullptr, nullptr);
+  if (ctx.occupancy_log != nullptr)
+    *ctx.occupancy_log = engine.model().occupancies();
+  return s;
 }
 
 }  // namespace flb

@@ -20,11 +20,20 @@
 
 namespace flb {
 
+namespace platform {
+class CostModel;  // platform/cost_model.hpp
+}  // namespace platform
+
 class DlsScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "DLS"; }
 
   [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+
+  /// DLS priced through the platform cost model (see EtfScheduler::run_on
+  /// for the conventions). Selects the same schedule as run() on a plain
+  /// clique model.
+  [[nodiscard]] Schedule run_on(const TaskGraph& g, platform::CostModel& model);
 };
 
 }  // namespace flb

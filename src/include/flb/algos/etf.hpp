@@ -18,11 +18,23 @@
 
 namespace flb {
 
+namespace platform {
+class CostModel;  // platform/cost_model.hpp
+}  // namespace platform
+
 class EtfScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "ETF"; }
 
   [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+
+  /// ETF priced through the platform cost model: admission windows, dead
+  /// processors, speeds, and the model's communication mode (clique /
+  /// routed hops / link-busy reservations, which are committed for every
+  /// placement). On a plain clique model this selects exactly the same
+  /// schedule as run() — the regression guard in platform_test relies on
+  /// it. The model is mutated (link reservations) under link-busy pricing.
+  [[nodiscard]] Schedule run_on(const TaskGraph& g, platform::CostModel& model);
 };
 
 }  // namespace flb

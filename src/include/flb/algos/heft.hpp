@@ -32,12 +32,28 @@ namespace flb {
 std::vector<Cost> upward_ranks(const TaskGraph& g,
                                const HeteroMachine& machine);
 
+/// Upward ranks priced through the platform cost model: w(t) is the mean
+/// execution time of the (possibly overridden) work, message weights go
+/// through the model's latency factor. Identical to the HeteroMachine
+/// overload for a clique model with the same speeds.
+std::vector<Cost> upward_ranks(const TaskGraph& g,
+                               const platform::CostModel& model);
+
 /// CPOP's downward ranks: rank_d(t) = max over preds (rank_d + w + comm).
 std::vector<Cost> downward_ranks(const TaskGraph& g,
                                  const HeteroMachine& machine);
 
 /// Schedule g on the heterogeneous machine with HEFT.
 Schedule heft(const TaskGraph& g, const HeteroMachine& machine);
+
+/// HEFT priced through the platform cost model: availability windows and
+/// dead processors restrict placement, communication follows the model's
+/// mode (clique / routed hops / link-busy, committing reservations per
+/// placement), and execution uses the model's speeds and work overrides.
+/// On a clique model with the machine's speeds this selects exactly the
+/// same schedule as the HeteroMachine overload. The model is mutated
+/// (link reservations) under link-busy pricing.
+Schedule heft(const TaskGraph& g, platform::CostModel& model);
 
 /// Schedule g on the heterogeneous machine with CPOP.
 Schedule cpop(const TaskGraph& g, const HeteroMachine& machine);

@@ -36,6 +36,10 @@ namespace flb {
 
 class Topology;  // sim/topology.hpp — routed pricing for resume()
 
+namespace platform {
+struct LinkOccupancy;  // platform/cost_model.hpp — link-busy commit log
+}  // namespace platform
+
 /// Tie-breaking rule used inside FLB's task lists when two tasks share the
 /// same primary key (EMT or LMT). The paper uses the bottom level; the
 /// alternatives exist for the tie-break ablation study (bench_ablation_tiebreak).
@@ -122,6 +126,20 @@ struct FlbResumeContext {
   /// repair path). Routed prices are >= clique prices, so the continuation
   /// stays clean under the clique validator. Must have num_procs nodes.
   const Topology* topology = nullptr;
+  /// Price communication with the store-and-forward link-busy variant of
+  /// the platform cost model instead of flat hop counts (requires
+  /// `topology`). Every scheduling step re-prices both candidates against
+  /// the current link reservations and then *commits* the chosen task's
+  /// incoming transfers, so a congested route steers placement — the
+  /// contended link makes a nearer processor look farther than a free
+  /// multi-hop detour. Cached list keys are classification-time prices;
+  /// the fresh candidate re-pricing keeps the selection consistent and
+  /// every placement feasible.
+  bool link_busy = false;
+  /// When set (with link_busy), receives the commit log of the resumed
+  /// run: one LinkOccupancy per reserved hop, auditable with
+  /// validate_link_occupancies. Not owned; overwritten by resume().
+  std::vector<platform::LinkOccupancy>* occupancy_log = nullptr;
 };
 
 /// The FLB scheduler.

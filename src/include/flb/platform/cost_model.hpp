@@ -1,0 +1,278 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "flb/graph/task_graph.hpp"
+#include "flb/platform/speed_profile.hpp"
+#include "flb/sim/topology.hpp"
+#include "flb/util/types.hpp"
+
+/// \file cost_model.hpp
+/// The unified platform cost model: one pricing engine for every placement
+/// decision in this library.
+///
+/// Before this module, the machine model lived in four divergent copies —
+/// the FLB engine's exact EMT/EST pricing (`core/flb.cpp`), the repair
+/// path's greedy continuation (`sched/repair.cpp`), the machine simulator's
+/// message and re-fetch costs (`sim/machine_sim.cpp`), and the related-
+/// machines speeds (`sched/hetero.cpp`). CostModel owns all of it behind
+/// one interface:
+///
+///  * **Communication** — `comm(src, dst, bytes, depart)` in three modes:
+///    - kClique: the paper's contention-free clique (Section 2); O(1) per
+///      query, which preserves FLB's O(V(log W + log P) + E) bound;
+///    - kRoutedHops: `bytes * latency * hops(src, dst)` over a Topology's
+///      deterministic shortest routes — distance-aware, contention-free;
+///    - kLinkBusy: store-and-forward over the route against per-link
+///      reservations — each hop begins when both the message and the link
+///      are free. `comm()` *probes* without reserving; `commit()` walks the
+///      same route, claims the links, and logs a LinkOccupancy per hop so
+///      schedules can be audited against link exclusivity
+///      (validate_link_occupancies).
+///  * **Execution** — `exec(g, t, p, start)`: per-task work overrides
+///    (checkpoint-resumed remainders), related-machines speed factors,
+///    per-task additive wall time (checkpoint writes), or full segment-
+///    based SpeedProfile integration when the speed varies over time.
+///  * **Availability** — kill/rejoin windows (`alive`), admission instants
+///    (global release + per-processor rejoin times) and cold-cache
+///    horizons, folded into `arrival()`: warm local data is free, local
+///    data predating a reboot is re-fetched at `cold + message cost`, and
+///    remote data pays the mode's network price.
+///
+/// Arithmetic is kept operation-for-operation identical to the former
+/// private copies (e.g. `work / speed` even for unit speeds, `bytes * 1.0`
+/// latency scaling), so clique-mode FLB schedules are bit-identical to the
+/// pre-refactor engine — guarded by tests/platform_test.cpp.
+
+namespace flb::platform {
+
+/// How remote communication is priced.
+enum class CommMode {
+  kClique,      ///< the paper's model: flat cost, contention-free, O(1)
+  kRoutedHops,  ///< cost * shortest-route hop count (contention-free)
+  kLinkBusy,    ///< store-and-forward against per-link reservations
+};
+
+/// One reserved hop of a committed link-busy transfer: link `link` carries
+/// a message on [begin, end). The commit log of a pricing run; feeds
+/// validate_link_occupancies.
+struct LinkOccupancy {
+  std::size_t link = 0;
+  Cost begin = 0.0;
+  Cost end = 0.0;
+};
+
+/// When each processor may run work, and at what cache state. The empty
+/// vectors are the common fast case: everything alive from `release`, no
+/// reboots.
+struct Availability {
+  /// No newly placed task starts before this instant.
+  Cost release = 0.0;
+  /// Which processors may receive work (empty = all of them).
+  std::vector<bool> alive;
+  /// Per-processor admission instant, combined with `release` by max
+  /// (empty = all `release`). A rejoined processor becomes usable at its
+  /// rejoin time.
+  std::vector<Cost> proc_release;
+  /// Per-processor cold-cache horizon (empty = none): data produced on p
+  /// at or before this instant was lost with its memory at the reboot and
+  /// must be re-fetched. 0 = never rebooted.
+  std::vector<Cost> cold_before;
+
+  [[nodiscard]] bool is_alive(ProcId p) const {
+    return alive.empty() || alive[p];
+  }
+  [[nodiscard]] Cost admission(ProcId p) const {
+    return proc_release.empty() ? release
+                                : std::max(release, proc_release[p]);
+  }
+  [[nodiscard]] Cost cold_horizon(ProcId p) const {
+    return cold_before.empty() ? 0.0 : cold_before[p];
+  }
+  [[nodiscard]] bool any_cold() const {
+    for (Cost c : cold_before)
+      if (c > 0.0) return true;
+    return false;
+  }
+
+  /// The repair path's recovery rule: admit the processors in `admitted`;
+  /// those that were killed and rejoined (0 < available_from < inf) are
+  /// admitted from max(release, rejoin) with a cold cache up to the rejoin
+  /// instant; never-killed processors are admitted from `release` warm.
+  static Availability recovery(Cost release,
+                               const std::vector<bool>& admitted,
+                               const std::vector<Cost>& available_from);
+};
+
+/// The platform model every scheduler, repair and simulator prices against.
+/// Construct via the factories; configure availability/execution as needed.
+/// The clique factory never touches a Topology, so clique queries stay O(1)
+/// with no indirection — FLB's complexity bound depends on it.
+class CostModel {
+ public:
+  /// P fully connected processors, contention-free — the paper's machine.
+  static CostModel clique(ProcId num_procs);
+  /// Hop-count pricing over `topology` (not owned; must outlive the model).
+  static CostModel routed(const Topology& topology);
+  /// Store-and-forward link reservations over `topology` (not owned).
+  static CostModel link_busy(const Topology& topology);
+
+  [[nodiscard]] ProcId num_procs() const { return procs_; }
+  [[nodiscard]] CommMode mode() const { return mode_; }
+  [[nodiscard]] const Topology* topology() const { return topo_; }
+
+  // -- Availability -------------------------------------------------------
+
+  /// Install the availability windows (sizes validated against num_procs).
+  void set_availability(Availability a);
+  [[nodiscard]] const Availability& availability() const { return avail_; }
+  [[nodiscard]] bool alive(ProcId p) const { return avail_.is_alive(p); }
+  [[nodiscard]] Cost admission(ProcId p) const { return avail_.admission(p); }
+  [[nodiscard]] Cost cold_horizon(ProcId p) const {
+    return avail_.cold_horizon(p);
+  }
+
+  /// True when EST pricing is destination-dependent beyond the clique
+  /// corollary (routed/link-busy modes or any cold cache) — consumers use
+  /// this to switch from Corollary 2 shortcuts to exact pricing.
+  [[nodiscard]] bool exact_pricing() const {
+    return mode_ != CommMode::kClique || avail_.any_cold();
+  }
+
+  // -- Execution ----------------------------------------------------------
+
+  /// Related-machines speed factors, all > 0 (empty = unit speeds).
+  void set_speeds(std::vector<double> speeds);
+  /// Segment-based speed profiles; takes precedence over set_speeds for
+  /// exec pricing (empty = static speeds).
+  void set_speed_profiles(std::vector<SpeedProfile> profiles);
+  /// Per-task work override (empty = graph costs; kUndefinedTime entries
+  /// fall back to the graph) — checkpoint-resumed remainders.
+  void set_work(std::vector<Cost> work);
+  /// Per-task additive wall time after speed scaling (empty = none).
+  void set_extra_time(std::vector<Cost> extra);
+
+  [[nodiscard]] double speed(ProcId p) const {
+    return speeds_.empty() ? 1.0 : speeds_[p];
+  }
+
+  /// Effective work of task t: the override when set, else comp(t).
+  [[nodiscard]] Cost work_of(const TaskGraph& g, TaskId t) const {
+    Cost work = g.comp(t);
+    if (!work_.empty() && work_[t] != kUndefinedTime) work = work_[t];
+    return work;
+  }
+
+  /// Wall time of `work` units on p starting at `start`: integrated
+  /// through p's speed profile when one is set, else work / speed(p).
+  [[nodiscard]] Cost exec_work(Cost work, ProcId p, Cost start = 0.0) const {
+    if (!profiles_.empty() && !profiles_[p].trivial())
+      return profiles_[p].run(start, work, CheckpointPolicy{}).end - start;
+    if (!speeds_.empty()) return work / speeds_[p];
+    return work;
+  }
+
+  /// Wall time of task t on p starting at `start`: effective work through
+  /// exec_work, plus the task's additive extra time.
+  [[nodiscard]] Cost exec(const TaskGraph& g, TaskId t, ProcId p,
+                          Cost start) const {
+    Cost d = exec_work(work_of(g, t), p, start);
+    if (!extra_.empty()) d += extra_[t];
+    return d;
+  }
+
+  /// Mean wall time of `work` over all processors (HEFT's rank weights).
+  [[nodiscard]] Cost mean_exec_work(Cost work) const {
+    return work * mean_inverse_speed_;
+  }
+
+  // -- Communication ------------------------------------------------------
+
+  /// Scales every message cost (what-if latency sweeps); default 1.0.
+  void set_latency_factor(Cost factor);
+  [[nodiscard]] Cost latency_factor() const { return latency_; }
+
+  /// Single-transfer price of a message of nominal cost `bytes`.
+  [[nodiscard]] Cost message_cost(Cost bytes) const {
+    return bytes * latency_;
+  }
+
+  /// The instant data departing `src` at `depart` becomes usable on `dst`.
+  /// Same-processor transfers are free in every mode. Link-busy probes the
+  /// current reservations without claiming them — call commit() for the
+  /// chosen placement.
+  [[nodiscard]] Cost comm(ProcId src, ProcId dst, Cost bytes,
+                          Cost depart) const {
+    if (src == dst) return depart;
+    if (mode_ == CommMode::kClique) return depart + message_cost(bytes);
+    if (mode_ == CommMode::kRoutedHops)
+      return depart +
+             message_cost(bytes) * static_cast<Cost>(topo_->hops(src, dst));
+    return probe_route(src, dst, bytes, depart);
+  }
+
+  /// Cold-cache-aware arrival of a predecessor output produced on `src`
+  /// (finishing at `finish`) at a consumer on `dst`: warm local data is
+  /// free; local data predating dst's reboot is re-fetched at
+  /// cold_horizon + message cost (a fresh flat transfer); remote data pays
+  /// comm().
+  [[nodiscard]] Cost arrival(ProcId src, ProcId dst, Cost bytes,
+                             Cost finish) const {
+    if (src == dst) {
+      const Cost cold = avail_.cold_horizon(dst);
+      if (cold > 0.0 && finish <= cold) return cold + message_cost(bytes);
+      return finish;
+    }
+    return comm(src, dst, bytes, finish);
+  }
+
+  /// As comm(), but in link-busy mode the route's links are reserved: each
+  /// hop is logged as a LinkOccupancy and extends that link's free time.
+  /// In clique/routed modes this is exactly comm() (nothing to reserve).
+  Cost commit(ProcId src, ProcId dst, Cost bytes, Cost depart);
+
+  /// As arrival(), with the remote case committed instead of probed.
+  Cost commit_arrival(ProcId src, ProcId dst, Cost bytes, Cost finish) {
+    if (src == dst) return arrival(src, dst, bytes, finish);
+    return commit(src, dst, bytes, finish);
+  }
+
+  /// Drop all link reservations and the occupancy log (re-pricing runs).
+  void reset_links();
+
+  /// The commit log: one entry per reserved hop, in commit order.
+  [[nodiscard]] const std::vector<LinkOccupancy>& occupancies() const {
+    return occupancies_;
+  }
+  [[nodiscard]] std::size_t total_hops() const { return total_hops_; }
+  [[nodiscard]] Cost max_link_busy() const;
+  [[nodiscard]] Cost total_link_busy() const;
+
+ private:
+  CostModel(CommMode mode, ProcId procs, const Topology* topo);
+
+  [[nodiscard]] Cost probe_route(ProcId src, ProcId dst, Cost bytes,
+                                 Cost depart) const;
+
+  CommMode mode_;
+  ProcId procs_;
+  const Topology* topo_;  // null in clique mode
+
+  Availability avail_;
+
+  std::vector<double> speeds_;        // empty = unit speeds
+  double mean_inverse_speed_ = 1.0;
+  std::vector<SpeedProfile> profiles_;  // empty = static speeds
+  std::vector<Cost> work_;   // empty = graph costs
+  std::vector<Cost> extra_;  // empty = none
+  Cost latency_ = 1.0;
+
+  std::vector<Cost> link_free_;  // link-busy: per-link next free instant
+  std::vector<Cost> link_busy_;  // link-busy: per-link total transfer time
+  std::vector<LinkOccupancy> occupancies_;
+  std::size_t total_hops_ = 0;
+};
+
+}  // namespace flb::platform

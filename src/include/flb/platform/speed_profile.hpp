@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "flb/sim/faults.hpp"
+#include "flb/util/types.hpp"
+
+/// \file speed_profile.hpp
+/// Segment-based execution speed of one processor — the platform layer's
+/// model of *when work gets done* on a machine whose speed varies over
+/// time (slowdown faults with recovery, thermal throttling, co-tenancy).
+///
+/// A profile is built from (time, factor, until) slowdown intervals; the
+/// speed at any instant is the product of the factors of every interval
+/// active then. finalize() materialises piecewise-constant (boundary,
+/// speed) segments, recomputing each product from scratch so a fully
+/// recovered processor returns to exactly 1.0 — multiplying by 1/factor on
+/// recovery would drift for non-power-of-two factors. run() integrates a
+/// task's work through the profile, pausing at checkpoint marks,
+/// optionally cut short by a fail-stop kill.
+///
+/// This is the former machine-simulator-private ProcProfile, promoted to
+/// the platform module so the simulator, the cost model and any future
+/// consumer price execution through one implementation.
+
+namespace flb::platform {
+
+class SpeedProfile {
+ public:
+  /// Record one slowdown: speed multiplied by `factor` on [time, until).
+  void add(Cost time, double factor, Cost until = kInfiniteTime) {
+    faults_.push_back({time, factor, until});
+  }
+
+  /// Materialise the (boundary, speed) segments. Call once, after add()s.
+  void finalize();
+
+  /// True when no slowdown ever applies (speed is identically 1.0).
+  [[nodiscard]] bool trivial() const { return segments_.empty(); }
+
+  /// What one integrated execution did.
+  struct Trace {
+    Cost end = 0.0;      ///< finish time, or the kill instant when killed
+    Cost done = 0.0;     ///< work units completed by `end`
+    Cost saved = 0.0;    ///< work protected by durable checkpoints
+    std::size_t checkpoints = 0;  ///< durable checkpoint writes
+    Cost overhead = 0.0;          ///< wall time spent on those writes
+    bool finished = false;
+  };
+
+  /// Execute `work` units starting at `start`, stopping at `kill`. A
+  /// checkpoint whose write has not completed by `kill` is not durable.
+  [[nodiscard]] Trace run(Cost start, Cost work, const CheckpointPolicy& ckpt,
+                          Cost kill = kInfiniteTime) const;
+
+ private:
+  struct Fault {
+    Cost time;
+    double factor;
+    Cost until;
+  };
+  std::vector<Fault> faults_;
+  std::vector<std::pair<Cost, double>> segments_;  // (boundary, new speed)
+};
+
+}  // namespace flb::platform

@@ -3,13 +3,17 @@
 #include <vector>
 
 #include "flb/graph/task_graph.hpp"
+#include "flb/platform/cost_model.hpp"
 #include "flb/sched/schedule.hpp"
 #include "flb/sched/validator.hpp"
 
 /// \file hetero.hpp
 /// Heterogeneous (related/uniform) machine model: processors differ by a
 /// positive speed factor, so task t takes comp(t) / speed(p) on processor
-/// p; the network stays a contention-free clique.
+/// p; the network stays a contention-free clique. The pricing itself lives
+/// in flb::platform::CostModel — HeteroMachine is the thin speed-focused
+/// view the comparison algorithms consume, and exposes its underlying
+/// model through cost_model().
 ///
 /// This extends the paper's homogeneous model in the direction its
 /// successors took (HEFT/CPOP, `algos/heft.hpp`). A machine with all
@@ -26,30 +30,33 @@ class HeteroMachine {
   /// P identical unit-speed processors — the paper's machine.
   static HeteroMachine uniform(ProcId num_procs);
 
-  [[nodiscard]] ProcId num_procs() const {
-    return static_cast<ProcId>(speeds_.size());
-  }
+  [[nodiscard]] ProcId num_procs() const { return model_.num_procs(); }
 
   /// Speed factor of processor p.
-  [[nodiscard]] double speed(ProcId p) const { return speeds_[p]; }
+  [[nodiscard]] double speed(ProcId p) const { return model_.speed(p); }
 
   /// Execution time of a task with computation cost `comp` on p.
   [[nodiscard]] Cost exec_time(Cost comp, ProcId p) const {
-    return comp / speeds_[p];
+    return model_.exec_work(comp, p);
   }
 
   /// Average execution time of `comp` over all processors (HEFT's
   /// rank weights).
   [[nodiscard]] Cost mean_exec_time(Cost comp) const {
-    return comp * mean_inverse_speed_;
+    return model_.mean_exec_work(comp);
   }
 
   /// True iff every speed equals 1 (the homogeneous special case).
   [[nodiscard]] bool is_uniform() const { return uniform_; }
 
+  /// The platform cost model backing this machine: a clique with the
+  /// machine's speed factors.
+  [[nodiscard]] const platform::CostModel& cost_model() const {
+    return model_;
+  }
+
  private:
-  std::vector<double> speeds_;
-  double mean_inverse_speed_ = 1.0;
+  platform::CostModel model_;
   bool uniform_ = true;
 };
 

@@ -5,6 +5,7 @@
 
 #include "flb/core/flb.hpp"
 #include "flb/graph/task_graph.hpp"
+#include "flb/platform/cost_model.hpp"
 #include "flb/sched/schedule.hpp"
 #include "flb/sim/faults.hpp"
 #include "flb/sim/machine_sim.hpp"
@@ -57,7 +58,14 @@
 /// better of the two guarantees the result is never worse than refusing
 /// the recovered capacity. With RepairOptions::topology set, communication
 /// in both continuations is priced over the routed interconnect
-/// (comm * hops) rather than the paper's clique.
+/// (comm * hops) rather than the paper's clique; adding
+/// RepairOptions::link_busy upgrades that to the store-and-forward
+/// link-busy model of flb::platform::CostModel, where every placement
+/// reserves its incoming routes and later transfers queue behind them —
+/// a contended link can steer migrated work to a different survivor.
+/// The reservations the chosen continuation committed are returned in
+/// RepairResult::link_occupancies, auditable with
+/// validate_link_occupancies.
 
 namespace flb {
 
@@ -91,6 +99,11 @@ struct RepairOptions {
   /// owned; must outlive the call; node count must match the schedule's
   /// processor count). Null = the paper's clique.
   const Topology* topology = nullptr;
+  /// Price the continuation's communication with the store-and-forward
+  /// link-busy cost model (requires `topology`): placements reserve their
+  /// incoming routes, so transfers crossing a contended link queue behind
+  /// earlier reservations instead of overlapping for free.
+  bool link_busy = false;
   /// Admit processors that the plan rejoins after a reboot (keeping the
   /// better of the recovery-aware and no-give-back continuations). False
   /// restricts placement to never-killed processors — the baseline the
@@ -129,6 +142,10 @@ struct RepairResult {
   /// SimOptions::work_override to replay the continuation (fault-free)
   /// under any network model.
   std::vector<Cost> durations;
+  /// Link reservations committed by the chosen continuation under
+  /// RepairOptions::link_busy (empty otherwise): one entry per hop of
+  /// every remote transfer, auditable with validate_link_occupancies.
+  std::vector<platform::LinkOccupancy> link_occupancies;
 };
 
 /// Build a continuation schedule for `g` after executing `nominal` under

@@ -6,6 +6,13 @@
 #include "flb/graph/task_graph.hpp"
 #include "flb/sched/schedule.hpp"
 
+namespace flb {
+class Topology;  // sim/topology.hpp
+namespace platform {
+struct LinkOccupancy;  // platform/cost_model.hpp
+}  // namespace platform
+}  // namespace flb
+
 /// \file validator.hpp
 /// Independent feasibility checking of schedules. Every scheduler in this
 /// library is tested against this validator; it recomputes all constraints
@@ -22,6 +29,7 @@ struct Violation {
     kNegativeStart,      ///< ST(t) < 0
     kProcessorOverlap,   ///< two tasks overlap on one processor
     kPrecedence,         ///< t starts before a predecessor's data arrives
+    kLinkBusyViolation,  ///< two transfers occupy one link at once
   };
   Kind kind;
   TaskId task;         ///< offending task (the later one for overlaps)
@@ -62,6 +70,20 @@ bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
 bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
                        const std::vector<Cost>& durations,
                        double tolerance = 1e-9);
+
+/// Audit a link-busy commit log (platform::CostModel::occupancies,
+/// FlbResumeContext::occupancy_log, RepairResult::link_occupancies)
+/// against the store-and-forward exclusivity rule: a link carries at most
+/// one transfer at any instant. Reports one kLinkBusyViolation per pair of
+/// occupancies sharing positive measure on a link, plus findings for
+/// occupancies naming a link the topology does not have, with non-finite
+/// endpoints, or ending before they begin. Link findings carry
+/// Violation::task == kInvalidTask. Independent of every producer: it
+/// re-sorts and sweeps the raw intervals.
+std::vector<Violation> validate_link_occupancies(
+    const Topology& topology,
+    const std::vector<platform::LinkOccupancy>& occupancies,
+    double tolerance = 1e-9);
 
 /// Render one violation for diagnostics.
 std::string to_string(const Violation& v);

@@ -1,0 +1,141 @@
+#include "flb/platform/cost_model.hpp"
+
+#include <utility>
+
+#include "flb/util/error.hpp"
+
+namespace flb::platform {
+
+Availability Availability::recovery(Cost release,
+                                    const std::vector<bool>& admitted,
+                                    const std::vector<Cost>& available_from) {
+  FLB_REQUIRE(admitted.size() == available_from.size(),
+              "Availability::recovery: admitted/available_from size mismatch");
+  const std::size_t procs = admitted.size();
+  Availability a;
+  a.release = release;
+  a.alive = admitted;
+  a.proc_release.assign(procs, release);
+  a.cold_before.assign(procs, 0.0);
+  for (std::size_t p = 0; p < procs; ++p)
+    if (admitted[p] && available_from[p] > 0.0 &&
+        available_from[p] != kInfiniteTime) {
+      a.proc_release[p] = std::max(release, available_from[p]);
+      a.cold_before[p] = available_from[p];
+    }
+  return a;
+}
+
+CostModel::CostModel(CommMode mode, ProcId procs, const Topology* topo)
+    : mode_(mode), procs_(procs), topo_(topo) {
+  if (mode_ == CommMode::kLinkBusy) {
+    link_free_.assign(topo_->num_links(), 0.0);
+    link_busy_.assign(topo_->num_links(), 0.0);
+  }
+}
+
+CostModel CostModel::clique(ProcId num_procs) {
+  FLB_REQUIRE(num_procs >= 1, "CostModel: at least one processor required");
+  return CostModel(CommMode::kClique, num_procs, nullptr);
+}
+
+CostModel CostModel::routed(const Topology& topology) {
+  return CostModel(CommMode::kRoutedHops, topology.num_nodes(), &topology);
+}
+
+CostModel CostModel::link_busy(const Topology& topology) {
+  return CostModel(CommMode::kLinkBusy, topology.num_nodes(), &topology);
+}
+
+void CostModel::set_availability(Availability a) {
+  FLB_REQUIRE(a.alive.empty() || a.alive.size() == procs_,
+              "CostModel: alive mask must cover every processor");
+  FLB_REQUIRE(a.proc_release.empty() || a.proc_release.size() == procs_,
+              "CostModel: per-processor release must cover every processor");
+  FLB_REQUIRE(a.cold_before.empty() || a.cold_before.size() == procs_,
+              "CostModel: cold-cache horizon must cover every processor");
+  avail_ = std::move(a);
+}
+
+void CostModel::set_speeds(std::vector<double> speeds) {
+  FLB_REQUIRE(speeds.empty() || speeds.size() == procs_,
+              "CostModel: speeds must cover every processor");
+  double inv_sum = 0.0;
+  for (double s : speeds) {
+    FLB_REQUIRE(s > 0.0, "CostModel: speeds must be positive");
+    inv_sum += 1.0 / s;
+  }
+  speeds_ = std::move(speeds);
+  mean_inverse_speed_ =
+      speeds_.empty() ? 1.0 : inv_sum / static_cast<double>(speeds_.size());
+}
+
+void CostModel::set_speed_profiles(std::vector<SpeedProfile> profiles) {
+  FLB_REQUIRE(profiles.empty() || profiles.size() == procs_,
+              "CostModel: speed profiles must cover every processor");
+  profiles_ = std::move(profiles);
+}
+
+void CostModel::set_work(std::vector<Cost> work) { work_ = std::move(work); }
+
+void CostModel::set_extra_time(std::vector<Cost> extra) {
+  extra_ = std::move(extra);
+}
+
+void CostModel::set_latency_factor(Cost factor) {
+  FLB_REQUIRE(factor >= 0.0,
+              "CostModel: latency factor must be non-negative");
+  latency_ = factor;
+}
+
+Cost CostModel::probe_route(ProcId src, ProcId dst, Cost bytes,
+                            Cost depart) const {
+  const Cost hop_time = message_cost(bytes);
+  Cost clock = depart;
+  for (std::size_t link : topo_->route(src, dst)) {
+    const Cost begin = std::max(clock, link_free_[link]);
+    clock = begin + hop_time;
+  }
+  return clock;
+}
+
+Cost CostModel::commit(ProcId src, ProcId dst, Cost bytes, Cost depart) {
+  if (src == dst || mode_ != CommMode::kLinkBusy)
+    return comm(src, dst, bytes, depart);
+  // Store-and-forward over the deterministic route: each hop takes the
+  // full (scaled) message time; links serialize in commit order. Identical
+  // arithmetic to the probe, so a probe followed immediately by a commit
+  // returns the same instant.
+  const Cost hop_time = message_cost(bytes);
+  Cost clock = depart;
+  for (std::size_t link : topo_->route(src, dst)) {
+    const Cost begin = std::max(clock, link_free_[link]);
+    link_free_[link] = begin + hop_time;
+    link_busy_[link] += hop_time;
+    occupancies_.push_back({link, begin, begin + hop_time});
+    clock = begin + hop_time;
+    ++total_hops_;
+  }
+  return clock;
+}
+
+void CostModel::reset_links() {
+  std::fill(link_free_.begin(), link_free_.end(), 0.0);
+  std::fill(link_busy_.begin(), link_busy_.end(), 0.0);
+  occupancies_.clear();
+  total_hops_ = 0;
+}
+
+Cost CostModel::max_link_busy() const {
+  Cost m = 0.0;
+  for (Cost b : link_busy_) m = std::max(m, b);
+  return m;
+}
+
+Cost CostModel::total_link_busy() const {
+  Cost m = 0.0;
+  for (Cost b : link_busy_) m += b;
+  return m;
+}
+
+}  // namespace flb::platform

@@ -1,0 +1,102 @@
+#include "flb/platform/speed_profile.hpp"
+
+#include <algorithm>
+
+namespace flb::platform {
+
+void SpeedProfile::finalize() {
+  std::vector<Cost> bounds;
+  for (const Fault& f : faults_) {
+    bounds.push_back(f.time);
+    if (f.until != kInfiniteTime) bounds.push_back(f.until);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  double prev = 1.0;
+  for (Cost b : bounds) {
+    double speed = 1.0;
+    for (const Fault& f : faults_)
+      if (f.time <= b && b < f.until) speed *= f.factor;
+    if (speed != prev) {
+      segments_.push_back({b, speed});
+      prev = speed;
+    }
+  }
+}
+
+SpeedProfile::Trace SpeedProfile::run(Cost start, Cost work,
+                                      const CheckpointPolicy& ckpt,
+                                      Cost kill) const {
+  Trace tr;
+  tr.end = std::min(start, kill);
+  if (start >= kill) return tr;  // never began computing
+  if (segments_.empty() && !ckpt.enabled()) {
+    Cost finish = start + work;
+    if (finish <= kill) {
+      tr.end = finish;
+      tr.done = work;
+      tr.finished = true;
+    } else {
+      tr.end = kill;
+      tr.done = kill - start;
+    }
+    return tr;
+  }
+
+  Cost tau = start;
+  double speed = 1.0;
+  std::size_t next_seg = 0;
+  while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
+    speed = segments_[next_seg++].second;
+  Cost next_mark = ckpt.enabled() ? ckpt.interval : kInfiniteTime;
+
+  while (true) {
+    const Cost target = std::min(work, next_mark);
+    const Cost seg_end = next_seg < segments_.size()
+                             ? segments_[next_seg].first
+                             : kInfiniteTime;
+    const Cost reach = tau + (target - tr.done) / speed;
+    if (reach <= seg_end) {
+      if (reach > kill) {  // killed mid-computation
+        tr.done += speed * (kill - tau);
+        tr.end = kill;
+        return tr;
+      }
+      tau = reach;
+      tr.done = target;
+      if (tr.done >= work) {  // complete (no write at the final instant)
+        tr.end = tau;
+        tr.finished = true;
+        return tr;
+      }
+      // Durable checkpoint write at this mark.
+      if (ckpt.overhead > 0.0) {
+        if (tau + ckpt.overhead > kill) {  // write interrupted: discarded
+          tr.end = kill;
+          return tr;
+        }
+        tau += ckpt.overhead;
+        tr.overhead += ckpt.overhead;
+      }
+      tr.saved = next_mark;
+      ++tr.checkpoints;
+      next_mark += ckpt.interval;
+      if (tau >= kill) {  // killed right after the write became durable
+        tr.end = kill;
+        return tr;
+      }
+    } else {  // the speed changes before the next milestone
+      if (seg_end >= kill) {
+        tr.done += speed * (kill - tau);
+        tr.end = kill;
+        return tr;
+      }
+      tr.done += speed * (seg_end - tau);
+      tau = seg_end;
+      while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
+        speed = segments_[next_seg++].second;
+    }
+  }
+}
+
+}  // namespace flb::platform

@@ -9,18 +9,31 @@
 
 namespace flb {
 
-HeteroMachine::HeteroMachine(std::vector<double> speeds)
-    : speeds_(std::move(speeds)) {
-  FLB_REQUIRE(!speeds_.empty(),
+namespace {
+
+// Build the clique cost model the machine delegates to; validation happens
+// here so the constructor can initialize the (non-default-constructible)
+// model in its init list.
+platform::CostModel hetero_model(std::vector<double> speeds) {
+  FLB_REQUIRE(!speeds.empty(),
               "HeteroMachine: at least one processor required");
-  double inv_sum = 0.0;
-  for (double s : speeds_) {
+  for (double s : speeds)
     FLB_REQUIRE(s > 0.0, "HeteroMachine: speeds must be positive");
-    inv_sum += 1.0 / s;
-    if (s != speeds_.front()) uniform_ = false;
-  }
-  uniform_ = uniform_ && speeds_.front() == 1.0;
-  mean_inverse_speed_ = inv_sum / static_cast<double>(speeds_.size());
+  platform::CostModel m =
+      platform::CostModel::clique(static_cast<ProcId>(speeds.size()));
+  m.set_speeds(std::move(speeds));
+  return m;
+}
+
+}  // namespace
+
+HeteroMachine::HeteroMachine(std::vector<double> speeds)
+    : model_(hetero_model(std::move(speeds))) {
+  for (ProcId p = 0; p < model_.num_procs(); ++p)
+    if (model_.speed(p) != 1.0) {
+      uniform_ = false;
+      break;
+    }
 }
 
 HeteroMachine HeteroMachine::uniform(ProcId num_procs) {

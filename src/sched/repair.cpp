@@ -13,49 +13,41 @@ namespace {
 
 // Degraded mode: place the remaining tasks in topological order, each on
 // the surviving processor that lets it start the earliest (ties toward the
-// smaller id); its duration is the speed-scaled remainder plus any additive
-// extra. Pricing mirrors the exact mode of the resumed FLB engine: per-
-// processor admission instants, cold-cache re-fetch of data that predates a
-// reboot, and routed hop counts under a topology. O(V·P·indeg) — acceptable
-// for a fallback that usually runs with one survivor.
+// smaller id); durations and arrivals are priced entirely through the
+// platform cost model — per-processor admission instants, cold-cache
+// re-fetch of data that predates a reboot, routed hop counts or link-busy
+// reservations under a topology, speed-scaled remainders plus additive
+// extra. Under link-busy pricing the chosen task's incoming routes are
+// committed so later transfers queue behind them. O(V·P·indeg) —
+// acceptable for a fallback that usually runs with one survivor.
 void greedy_continuation(const TaskGraph& g, Schedule& s,
-                         const std::vector<bool>& alive, Cost release,
-                         const std::vector<double>& speeds,
-                         const std::vector<Cost>& work,
-                         const std::vector<Cost>& extra,
-                         const std::vector<Cost>* proc_release,
-                         const std::vector<Cost>* cold,
-                         const Topology* topology) {
+                         platform::CostModel& model) {
+  const bool link_busy = model.mode() == platform::CommMode::kLinkBusy;
   for (TaskId t : topological_order(g)) {
     if (s.is_scheduled(t)) continue;
     ProcId best = kInvalidProc;
     Cost best_est = kInfiniteTime;
     for (ProcId p = 0; p < s.num_procs(); ++p) {
-      if (!alive[p]) continue;
-      Cost est = std::max(s.proc_ready_time(p), release);
-      if (proc_release != nullptr) est = std::max(est, (*proc_release)[p]);
-      for (const Adj& in : g.predecessors(t)) {
-        Cost avail;
-        if (s.proc(in.node) == p) {
-          avail = s.finish(in.node);
-          if (cold != nullptr && (*cold)[p] > 0.0 && avail <= (*cold)[p])
-            avail = (*cold)[p] + in.comm;  // re-fetch: reboot dropped it
-        } else {
-          Cost comm = in.comm;
-          if (topology != nullptr)
-            comm *= static_cast<Cost>(topology->hops(s.proc(in.node), p));
-          avail = s.finish(in.node) + comm;
-        }
-        est = std::max(est, avail);
-      }
+      if (!model.alive(p)) continue;
+      Cost est = std::max(s.proc_ready_time(p), model.admission(p));
+      for (const Adj& in : g.predecessors(t))
+        est = std::max(est, model.arrival(s.proc(in.node), p, in.comm,
+                                          s.finish(in.node)));
       if (est < best_est) {
         best_est = est;
         best = p;
       }
     }
     FLB_ASSERT(best != kInvalidProc);
-    s.assign(t, best, best_est,
-             best_est + work[t] / speeds[best] + extra[t]);
+    Cost start = best_est;
+    if (link_busy) {
+      start = std::max(s.proc_ready_time(best), model.admission(best));
+      for (const Adj& in : g.predecessors(t))
+        start = std::max(start,
+                         model.commit_arrival(s.proc(in.node), best, in.comm,
+                                              s.finish(in.node)));
+    }
+    s.assign(t, best, start, start + model.exec(g, t, best, 0.0));
   }
 }
 
@@ -86,6 +78,8 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
                   options.topology->num_nodes() == procs,
               "repair_schedule: topology node count must match the "
               "processor count");
+  FLB_REQUIRE(!options.link_busy || options.topology != nullptr,
+              "repair_schedule: link-busy pricing requires a topology");
 
   // Per-processor availability over the episode: 0 = never killed, finite
   // > 0 = killed but rejoined at that instant, infinite = ends dead.
@@ -185,10 +179,17 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   }
 
   // One continuation over a given admission mask. `recovery` additionally
-  // admits rejoined processors from their rejoin instant with cold caches;
-  // both variants price communication over options.topology when set.
-  auto continuation = [&](const std::vector<bool>& mask, bool recovery)
-      -> std::pair<Schedule, RepairStrategy> {
+  // admits rejoined processors from their rejoin instant with cold caches
+  // (the Availability::recovery rule); both variants price communication
+  // through the platform cost model over options.topology when set,
+  // reservation-aware when options.link_busy.
+  struct Continuation {
+    Schedule schedule;
+    RepairStrategy used;
+    std::vector<platform::LinkOccupancy> occupancies;
+  };
+  auto continuation = [&](const std::vector<bool>& mask,
+                          bool recovery) -> Continuation {
     ProcId admitted = 0;
     for (ProcId p = 0; p < procs; ++p)
       if (mask[p]) ++admitted;
@@ -196,17 +197,15 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
     if (strategy == RepairStrategy::kAuto)
       strategy = admitted >= 2 ? RepairStrategy::kFlbResume
                                : RepairStrategy::kGreedy;
-    std::vector<Cost> proc_release, cold;
+    platform::Availability a;
     if (recovery) {
-      proc_release.assign(procs, release);
-      cold.assign(procs, 0.0);
-      for (ProcId p = 0; p < procs; ++p)
-        if (mask[p] && avail[p] > 0.0 && avail[p] != kInfiniteTime) {
-          proc_release[p] = std::max(release, avail[p]);
-          cold[p] = avail[p];
-        }
+      a = platform::Availability::recovery(release, mask, avail);
+    } else {
+      a.release = release;
+      a.alive = mask;
     }
     Schedule s = out.schedule;  // the fixed prefix
+    std::vector<platform::LinkOccupancy> occ;
     if (strategy == RepairStrategy::kFlbResume) {
       FlbScheduler flb(options.flb);
       FlbResumeContext ctx;
@@ -215,16 +214,27 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
       if (degraded) ctx.speeds = speeds;
       ctx.work = work;
       ctx.extra_time = extra;
-      ctx.proc_release = proc_release;
-      ctx.cold_before = cold;
+      ctx.proc_release = a.proc_release;
+      ctx.cold_before = a.cold_before;
       ctx.topology = options.topology;
+      ctx.link_busy = options.link_busy;
+      ctx.occupancy_log = options.link_busy ? &occ : nullptr;
       s = flb.resume(g, s, ctx);
     } else {
-      greedy_continuation(g, s, mask, release, speeds, work, extra,
-                          recovery ? &proc_release : nullptr,
-                          recovery ? &cold : nullptr, options.topology);
+      platform::CostModel model =
+          options.topology == nullptr
+              ? platform::CostModel::clique(procs)
+              : (options.link_busy
+                     ? platform::CostModel::link_busy(*options.topology)
+                     : platform::CostModel::routed(*options.topology));
+      model.set_availability(std::move(a));
+      if (degraded) model.set_speeds(speeds);
+      model.set_work(work);
+      model.set_extra_time(extra);
+      greedy_continuation(g, s, model);
+      occ = model.occupancies();
     }
-    return {std::move(s), strategy};
+    return {std::move(s), strategy, std::move(occ)};
   };
 
   if (out.migrated_tasks > 0) {
@@ -235,26 +245,26 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
       // Every processor was killed at least once; survivors >= 1
       // guarantees a rejoin, so the recovery continuation is the only
       // feasible repair regardless of options.give_back.
-      auto [s, used] = continuation(alive, true);
-      out.schedule = std::move(s);
-      out.used = used;
+      Continuation c = continuation(alive, true);
+      out.schedule = std::move(c.schedule);
+      out.used = c.used;
+      out.link_occupancies = std::move(c.occupancies);
     } else if (!options.give_back || !any_recovery) {
-      auto [s, used] = continuation(never_killed, false);
-      out.schedule = std::move(s);
-      out.used = used;
+      Continuation c = continuation(never_killed, false);
+      out.schedule = std::move(c.schedule);
+      out.used = c.used;
+      out.link_occupancies = std::move(c.occupancies);
     } else {
       // Opportunistic give-back: keep the strictly better of the
       // no-give-back baseline and the recovery-aware continuation, so the
       // repaired makespan is never worse than refusing the rejoins.
-      auto [base, base_used] = continuation(never_killed, false);
-      auto [rec, rec_used] = continuation(alive, true);
-      if (rec.makespan() < base.makespan()) {
-        out.schedule = std::move(rec);
-        out.used = rec_used;
-      } else {
-        out.schedule = std::move(base);
-        out.used = base_used;
-      }
+      Continuation base = continuation(never_killed, false);
+      Continuation rec = continuation(alive, true);
+      Continuation& chosen =
+          rec.schedule.makespan() < base.schedule.makespan() ? rec : base;
+      out.schedule = std::move(chosen.schedule);
+      out.used = chosen.used;
+      out.link_occupancies = std::move(chosen.occupancies);
     }
   } else {
     RepairStrategy strategy = options.strategy;

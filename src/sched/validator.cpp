@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "flb/platform/cost_model.hpp"
+#include "flb/sim/topology.hpp"
 #include "flb/util/error.hpp"
 
 namespace flb {
@@ -145,6 +147,71 @@ bool is_valid_schedule(const TaskGraph& g, const Schedule& s,
   return validate_schedule(g, s, durations, tolerance).empty();
 }
 
+std::vector<Violation> validate_link_occupancies(
+    const Topology& topology,
+    const std::vector<platform::LinkOccupancy>& occupancies,
+    double tolerance) {
+  std::vector<Violation> out;
+  const std::size_t links = topology.num_links();
+
+  // Malformed entries are reported once and excluded from the sweep (NaN
+  // endpoints would break the sort's ordering, bad link indices the
+  // grouping).
+  std::vector<char> usable(occupancies.size(), 1);
+  for (std::size_t i = 0; i < occupancies.size(); ++i) {
+    const platform::LinkOccupancy& o = occupancies[i];
+    std::ostringstream os;
+    if (o.link >= links) {
+      os << "occupancy " << i << " names link " << o.link
+         << " but the topology has only " << links;
+    } else if (!std::isfinite(o.begin) || !std::isfinite(o.end)) {
+      os << "occupancy " << i << " on link " << o.link
+         << " has non-finite endpoints: [" << o.begin << ", " << o.end << ")";
+    } else if (o.end < o.begin - tolerance) {
+      os << "occupancy " << i << " on link " << o.link
+         << " ends at " << o.end << " before it begins at " << o.begin;
+    } else {
+      continue;
+    }
+    out.push_back({Violation::Kind::kLinkBusyViolation, kInvalidTask,
+                   os.str()});
+    usable[i] = 0;
+  }
+
+  // Per-link exclusivity: sort each link's reservations by begin, sweep
+  // with a running maximum end. Zero-length occupancies carry no measure
+  // and neither trigger nor mask a conflict — same convention as the
+  // processor-overlap sweep.
+  std::vector<std::vector<std::size_t>> by_link(links);
+  for (std::size_t i = 0; i < occupancies.size(); ++i)
+    if (usable[i]) by_link[occupancies[i].link].push_back(i);
+  for (std::size_t link = 0; link < links; ++link) {
+    std::vector<std::size_t>& ids = by_link[link];
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      return occupancies[a].begin < occupancies[b].begin;
+    });
+    Cost max_end = -kInfiniteTime;
+    std::size_t max_id = 0;
+    for (std::size_t id : ids) {
+      const platform::LinkOccupancy& o = occupancies[id];
+      const bool zero_length = o.end <= o.begin + tolerance;
+      if (!zero_length && o.begin < max_end - tolerance) {
+        const platform::LinkOccupancy& m = occupancies[max_id];
+        std::ostringstream os;
+        os << "transfers overlap on link " << link << ": [" << m.begin
+           << ", " << m.end << ") vs [" << o.begin << ", " << o.end << ")";
+        out.push_back({Violation::Kind::kLinkBusyViolation, kInvalidTask,
+                       os.str()});
+      }
+      if (o.end > max_end) {
+        max_end = o.end;
+        max_id = id;
+      }
+    }
+  }
+  return out;
+}
+
 std::string to_string(const Violation& v) {
   const char* kind = "";
   switch (v.kind) {
@@ -154,6 +221,7 @@ std::string to_string(const Violation& v) {
     case Violation::Kind::kNegativeStart: kind = "negative-start"; break;
     case Violation::Kind::kProcessorOverlap: kind = "processor-overlap"; break;
     case Violation::Kind::kPrecedence: kind = "precedence"; break;
+    case Violation::Kind::kLinkBusyViolation: kind = "link-busy"; break;
   }
   return std::string("[") + kind + "] " + v.detail;
 }

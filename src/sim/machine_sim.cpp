@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "flb/platform/cost_model.hpp"
 #include "flb/util/error.hpp"
 
 namespace flb {
@@ -26,137 +27,6 @@ struct Event {
     return std::tie(time, kind, seq) >
            std::tie(other.time, other.kind, other.seq);
   }
-};
-
-/// Piecewise-constant speed profile of one processor: the speed at any
-/// instant is the product of the factors of every slowdown active then (a
-/// fault is active on [time, until)). finalize() materialises (boundary,
-/// speed) segments, recomputing each product from scratch so a fully
-/// recovered processor returns to exactly 1.0 — multiplying by 1/factor on
-/// recovery would drift for non-power-of-two factors. run() integrates a
-/// task's work through the profile, pausing at checkpoint marks,
-/// optionally cut short by a fail-stop kill.
-class ProcProfile {
- public:
-  void add(Cost time, double factor, Cost until = kInfiniteTime) {
-    faults_.push_back({time, factor, until});
-  }
-
-  void finalize() {
-    std::vector<Cost> bounds;
-    for (const Fault& f : faults_) {
-      bounds.push_back(f.time);
-      if (f.until != kInfiniteTime) bounds.push_back(f.until);
-    }
-    std::sort(bounds.begin(), bounds.end());
-    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-    double prev = 1.0;
-    for (Cost b : bounds) {
-      double speed = 1.0;
-      for (const Fault& f : faults_)
-        if (f.time <= b && b < f.until) speed *= f.factor;
-      if (speed != prev) {
-        segments_.push_back({b, speed});
-        prev = speed;
-      }
-    }
-  }
-
-  [[nodiscard]] bool trivial() const { return segments_.empty(); }
-
-  struct Trace {
-    Cost end = 0.0;      ///< finish time, or the kill instant when killed
-    Cost done = 0.0;     ///< work units completed by `end`
-    Cost saved = 0.0;    ///< work protected by durable checkpoints
-    std::size_t checkpoints = 0;  ///< durable checkpoint writes
-    Cost overhead = 0.0;          ///< wall time spent on those writes
-    bool finished = false;
-  };
-
-  /// Execute `work` units starting at `start`, stopping at `kill`. A
-  /// checkpoint whose write has not completed by `kill` is not durable.
-  [[nodiscard]] Trace run(Cost start, Cost work, const CheckpointPolicy& ckpt,
-                          Cost kill = kInfiniteTime) const {
-    Trace tr;
-    tr.end = std::min(start, kill);
-    if (start >= kill) return tr;  // never began computing
-    if (segments_.empty() && !ckpt.enabled()) {
-      Cost finish = start + work;
-      if (finish <= kill) {
-        tr.end = finish;
-        tr.done = work;
-        tr.finished = true;
-      } else {
-        tr.end = kill;
-        tr.done = kill - start;
-      }
-      return tr;
-    }
-
-    Cost tau = start;
-    double speed = 1.0;
-    std::size_t next_seg = 0;
-    while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
-      speed = segments_[next_seg++].second;
-    Cost next_mark = ckpt.enabled() ? ckpt.interval : kInfiniteTime;
-
-    while (true) {
-      const Cost target = std::min(work, next_mark);
-      const Cost seg_end =
-          next_seg < segments_.size() ? segments_[next_seg].first
-                                      : kInfiniteTime;
-      const Cost reach = tau + (target - tr.done) / speed;
-      if (reach <= seg_end) {
-        if (reach > kill) {  // killed mid-computation
-          tr.done += speed * (kill - tau);
-          tr.end = kill;
-          return tr;
-        }
-        tau = reach;
-        tr.done = target;
-        if (tr.done >= work) {  // complete (no write at the final instant)
-          tr.end = tau;
-          tr.finished = true;
-          return tr;
-        }
-        // Durable checkpoint write at this mark.
-        if (ckpt.overhead > 0.0) {
-          if (tau + ckpt.overhead > kill) {  // write interrupted: discarded
-            tr.end = kill;
-            return tr;
-          }
-          tau += ckpt.overhead;
-          tr.overhead += ckpt.overhead;
-        }
-        tr.saved = next_mark;
-        ++tr.checkpoints;
-        next_mark += ckpt.interval;
-        if (tau >= kill) {  // killed right after the write became durable
-          tr.end = kill;
-          return tr;
-        }
-      } else {  // the speed changes before the next milestone
-        if (seg_end >= kill) {
-          tr.done += speed * (kill - tau);
-          tr.end = kill;
-          return tr;
-        }
-        tr.done += speed * (seg_end - tau);
-        tau = seg_end;
-        while (next_seg < segments_.size() && segments_[next_seg].first <= tau)
-          speed = segments_[next_seg++].second;
-      }
-    }
-  }
-
- private:
-  struct Fault {
-    Cost time;
-    double factor;
-    Cost until;
-  };
-  std::vector<Fault> faults_;
-  std::vector<std::pair<Cost, double>> segments_;  // (boundary, new speed)
 };
 
 }  // namespace
@@ -191,7 +61,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<Cost> recv_free(procs, 0.0);
   std::vector<bool> dead(procs, false);
 
-  std::vector<ProcProfile> profiles(procs);
+  // Piecewise-constant per-processor speed profiles (flb::platform), plus a
+  // clique cost model that owns every message price in this simulator:
+  // remote transfers and cold-cache re-fetches are both
+  // net.message_cost(bytes) = bytes * latency_factor.
+  platform::CostModel net = platform::CostModel::clique(procs);
+  net.set_latency_factor(options.latency_factor);
+  std::vector<platform::SpeedProfile> profiles(procs);
   // Instant the processor last rebooted (kUndefinedTime = never): data that
   // reached it at or before this instant was lost with its memory and must
   // be re-fetched by any consumer dispatched after the rejoin.
@@ -199,7 +75,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   if (plan != nullptr) {
     for (const SlowdownFault& f : resolved.slowdowns)
       profiles[f.proc].add(f.time, f.factor, f.until);
-    for (ProcProfile& p : profiles) p.finalize();
+    for (platform::SpeedProfile& p : profiles) p.finalize();
     result.checkpointed.assign(n, 0.0);
     result.proc_work_lost.assign(procs, 0.0);
   }
@@ -279,13 +155,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         // Cold caches: data that reached p at or before the reboot was
         // lost with its memory; re-fetch it from the rejoin instant.
         if (cold != kUndefinedTime && avail <= cold)
-          avail = cold + a.comm * options.latency_factor;
+          avail = cold + net.message_cost(a.comm);
         start = std::max(start, avail);
       }
       dispatched[t] = true;
       result.start[t] = start;
       if (plan != nullptr) {
-        ProcProfile::Trace tr = profiles[p].run(start, work_of(t), ckpt);
+        platform::SpeedProfile::Trace tr = profiles[p].run(start, work_of(t), ckpt);
         FLB_ASSERT(tr.finished);
         result.finish[t] = tr.end;
       } else {
@@ -315,7 +191,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       for (TaskId t : s.tasks_on(p)) {
         if (!dispatched[t] || finished[t] || killed[t]) continue;
         killed[t] = true;
-        ProcProfile::Trace tr =
+        platform::SpeedProfile::Trace tr =
             profiles[p].run(result.start[t], work_of(t), ckpt, ev.time);
         result.work_lost += tr.done - tr.saved;
         result.proc_work_lost[p] += tr.done - tr.saved;
@@ -348,7 +224,8 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     ++completed;
     const ProcId p = s.proc(t);
     if (ckpt.enabled()) {
-      ProcProfile::Trace tr = profiles[p].run(result.start[t], work_of(t), ckpt);
+      platform::SpeedProfile::Trace tr =
+          profiles[p].run(result.start[t], work_of(t), ckpt);
       result.checkpoints_taken += tr.checkpoints;
       result.checkpoint_overhead += tr.overhead;
     }
@@ -359,7 +236,7 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
     std::size_t slot = edge_offset[t];
     for (const Adj& a : g.successors(t)) {
       if (s.proc(a.node) != p) {
-        Cost cost = a.comm * options.latency_factor;
+        Cost cost = net.message_cost(a.comm);
         MessageOutcome fate;
         if (plan != nullptr) fate = resolve_message(*plan, slot);
         result.retries += fate.retries;

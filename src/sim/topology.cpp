@@ -4,6 +4,7 @@
 #include <queue>
 #include <tuple>
 
+#include "flb/platform/cost_model.hpp"
 #include "flb/util/error.hpp"
 
 namespace flb {
@@ -182,8 +183,12 @@ TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
   const ProcId procs = s.num_procs();
   std::vector<std::size_t> dispatch_idx(procs, 0);
   std::vector<Cost> proc_free(procs, 0.0);
-  std::vector<Cost> link_free(topology.num_links(), 0.0);
-  std::vector<Cost> link_busy(topology.num_links(), 0.0);
+  // The store-and-forward network is the platform cost model's link-busy
+  // variant: every remote transfer commits a reservation per hop of its
+  // deterministic route, and later transfers crossing the same link queue
+  // behind it.
+  platform::CostModel net = platform::CostModel::link_busy(topology);
+  net.set_latency_factor(latency_factor);
 
   std::vector<Cost> arrival(g.num_edges(), kUndefinedTime);
   std::vector<std::size_t> edge_offset(n + 1, 0);
@@ -245,21 +250,11 @@ TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
     for (const Adj& a : g.successors(t)) {
       ProcId dest = s.proc(a.node);
       if (dest != p) {
-        // Store-and-forward over the deterministic route: each hop takes
-        // the full (scaled) message time; links serialize in global event
-        // order.
-        Cost hop_time = a.comm * latency_factor;
-        Cost clock = ev.time;
-        for (std::size_t link : topology.route(p, dest)) {
-          Cost begin = std::max(clock, link_free[link]);
-          link_free[link] = begin + hop_time;
-          link_busy[link] += hop_time;
-          clock = begin + hop_time;
-          ++result.total_hops;
-        }
-        arrival[slot] = clock;
+        // Links serialize in global event order: commit the reservation
+        // for every hop of the route and take the resulting arrival.
+        arrival[slot] = net.commit(p, dest, a.comm, ev.time);
         ++result.sim.messages;
-        result.sim.network_busy += hop_time;
+        result.sim.network_busy += net.message_cost(a.comm);
       }
       ++slot;
     }
@@ -277,10 +272,9 @@ TopologySimResult simulate_on_topology(const TaskGraph& g, const Schedule& s,
 
   for (Cost f : result.sim.finish)
     result.sim.makespan = std::max(result.sim.makespan, f);
-  for (Cost b : link_busy) {
-    result.max_link_busy = std::max(result.max_link_busy, b);
-    result.total_link_busy += b;
-  }
+  result.total_hops = net.total_hops();
+  result.max_link_busy = net.max_link_busy();
+  result.total_link_busy = net.total_link_busy();
   return result;
 }
 

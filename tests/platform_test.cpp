@@ -1,0 +1,628 @@
+#include "flb/platform/cost_model.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flb/algos/dls.hpp"
+#include "flb/algos/etf.hpp"
+#include "flb/algos/heft.hpp"
+#include "flb/core/flb.hpp"
+#include "flb/platform/speed_profile.hpp"
+#include "flb/sched/hetero.hpp"
+#include "flb/sched/repair.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/sim/machine_sim.hpp"
+#include "flb/sim/topology.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+using platform::Availability;
+using platform::CommMode;
+using platform::CostModel;
+using platform::LinkOccupancy;
+using platform::SpeedProfile;
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity regression. The refactor's central promise: pricing
+// clique-mode FLB through platform::CostModel changes NOTHING — not merely
+// "equal makespans" but the same placements with bit-identical start/finish
+// times. The digests below were captured from the pre-refactor engine.
+// A failure here means the CostModel arithmetic drifted from the former
+// private copy (e.g. an added `* 1.0` reordering, a max() flipped).
+
+std::uint64_t schedule_digest(const Schedule& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    mix(s.proc(t));
+    std::uint64_t bits = 0;
+    const double start = s.start(t);
+    const double finish = s.finish(t);
+    std::memcpy(&bits, &start, sizeof bits);
+    mix(bits);
+    std::memcpy(&bits, &finish, sizeof bits);
+    mix(bits);
+  }
+  return h;
+}
+
+TEST(PlatformGolden, PaperExampleBitIdentical) {
+  TaskGraph g = paper_example_graph();
+  FlbScheduler flb;
+  Schedule s = flb.run(g, 2);
+  EXPECT_EQ(s.makespan(), 0x1.cp+3);
+  EXPECT_EQ(schedule_digest(s), 5113259804641662334ull);
+}
+
+struct Golden {
+  std::size_t fuzz_index;
+  ProcId procs;
+  double makespan;  // exact bits, captured pre-refactor
+  std::uint64_t digest;
+};
+
+TEST(PlatformGolden, FuzzCorpusBitIdentical) {
+  static const Golden kTable[] = {
+      {0, 2, 0x1.5dc8027d3557fp+3, 6163402817620380191ull},
+      {0, 4, 0x1.d550f6a3c200ep+2, 11984822218006859182ull},
+      {0, 8, 0x1.cff4a4a4cbd88p+2, 7677375797997336011ull},
+      {1, 2, 0x1.46858f397f60ep+3, 868977671700199420ull},
+      {1, 4, 0x1.3670f364c0c88p+3, 8841111725626044235ull},
+      {1, 8, 0x1.3670f364c0c88p+3, 14809793358818105679ull},
+      {2, 2, 0x1.fa272025984d8p+4, 5508825296550152750ull},
+      {2, 4, 0x1.fa272025984d8p+4, 10482687934106115347ull},
+      {2, 8, 0x1.fa272025984d8p+4, 10482687934106115347ull},
+      {3, 2, 0x1.02d7ad895cc41p+3, 13063748773484960717ull},
+      {3, 4, 0x1.c318689a5ddc8p+2, 12371456930988836003ull},
+      {3, 8, 0x1.c318689a5ddc8p+2, 4290929887168875626ull},
+      {4, 2, 0x1.0e0606b5ebf5p+4, 1317999482311433074ull},
+      {4, 4, 0x1.0e0606b5ebf5p+4, 16569072749546089919ull},
+      {4, 8, 0x1.0e0606b5ebf5p+4, 16569072749546089919ull},
+      {5, 2, 0x1.2a37db85ef14ap+4, 712509713851413856ull},
+      {5, 4, 0x1.2a37db85ef14ap+4, 712509713851413856ull},
+      {5, 8, 0x1.2a37db85ef14ap+4, 712509713851413856ull},
+      {6, 2, 0x1.10c209b6df015p+4, 4087980554848760377ull},
+      {6, 4, 0x1.c6c4f8af08d6ap+3, 5142832088180793264ull},
+      {6, 8, 0x1.c6c4f8af08d6ap+3, 14266918385966217797ull},
+      {7, 2, 0x1.99de8f1c62b1fp+3, 6214158040572120765ull},
+      {7, 4, 0x1.312b659f0c8a2p+3, 10574706086649598071ull},
+      {7, 8, 0x1.02bf97a682b29p+3, 10778113853671602819ull},
+  };
+  for (const Golden& row : kTable) {
+    TaskGraph g = test::fuzz_graph(row.fuzz_index);
+    FlbScheduler flb;
+    Schedule s = flb.run(g, row.procs);
+    EXPECT_EQ(s.makespan(), row.makespan)
+        << "fuzz[" << row.fuzz_index << "] P=" << row.procs << " ("
+        << g.name() << ")";
+    EXPECT_EQ(schedule_digest(s), row.digest)
+        << "fuzz[" << row.fuzz_index << "] P=" << row.procs << " ("
+        << g.name() << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpeedProfile: the segment-based execution model promoted out of the
+// machine simulator.
+
+TEST(SpeedProfileTest, TrivialProfileRunsAtUnitSpeed) {
+  SpeedProfile p;
+  p.finalize();
+  EXPECT_TRUE(p.trivial());
+  SpeedProfile::Trace tr = p.run(1.0, 4.0, CheckpointPolicy{});
+  EXPECT_TRUE(tr.finished);
+  EXPECT_EQ(tr.end, 5.0);
+  EXPECT_EQ(tr.done, 4.0);
+  EXPECT_EQ(tr.checkpoints, 0u);
+}
+
+TEST(SpeedProfileTest, SlowdownStretchesExecution) {
+  SpeedProfile p;
+  p.add(0.0, 0.5, 2.0);
+  p.finalize();
+  EXPECT_FALSE(p.trivial());
+  // [0, 2) at half speed completes 1 unit; the remaining 3 run at full
+  // speed after recovery, finishing at 5.
+  SpeedProfile::Trace tr = p.run(0.0, 4.0, CheckpointPolicy{});
+  EXPECT_TRUE(tr.finished);
+  EXPECT_EQ(tr.end, 5.0);
+  EXPECT_EQ(tr.done, 4.0);
+}
+
+TEST(SpeedProfileTest, RecoveryReturnsToExactlyUnitSpeed) {
+  // finalize() recomputes each segment's product from scratch, so after the
+  // last fault expires the speed is exactly 1.0 — no 1/factor drift.
+  SpeedProfile p;
+  p.add(0.0, 0.3, 1.0);
+  p.finalize();
+  SpeedProfile::Trace tr = p.run(1.0, 2.0, CheckpointPolicy{});
+  EXPECT_TRUE(tr.finished);
+  EXPECT_EQ(tr.end, 3.0);
+}
+
+TEST(SpeedProfileTest, KillCutsExecutionShort) {
+  SpeedProfile p;
+  p.add(0.0, 0.5);
+  p.finalize();
+  SpeedProfile::Trace tr = p.run(0.0, 4.0, CheckpointPolicy{}, 2.0);
+  EXPECT_FALSE(tr.finished);
+  EXPECT_EQ(tr.end, 2.0);
+  EXPECT_EQ(tr.done, 1.0);  // 2 wall units at half speed
+}
+
+TEST(SpeedProfileTest, CheckpointsMakeWorkDurable) {
+  SpeedProfile p;
+  p.finalize();
+  CheckpointPolicy ckpt{1.0, 0.25};
+  // Mark at 1 work unit reached at t=1, write until 1.25; killed at 2.0
+  // with 0.75 further units computed but not protected.
+  SpeedProfile::Trace tr = p.run(0.0, 3.0, ckpt, 2.0);
+  EXPECT_FALSE(tr.finished);
+  EXPECT_EQ(tr.checkpoints, 1u);
+  EXPECT_EQ(tr.saved, 1.0);
+  EXPECT_EQ(tr.overhead, 0.25);
+  EXPECT_EQ(tr.end, 2.0);
+  EXPECT_EQ(tr.done, 1.75);
+}
+
+// ---------------------------------------------------------------------------
+// Availability: admission instants and cold-cache horizons.
+
+TEST(AvailabilityTest, DefaultsAdmitEverythingWarm) {
+  Availability a;
+  EXPECT_TRUE(a.is_alive(3));
+  EXPECT_EQ(a.admission(3), 0.0);
+  EXPECT_EQ(a.cold_horizon(3), 0.0);
+  EXPECT_FALSE(a.any_cold());
+}
+
+TEST(AvailabilityTest, RecoveryAdmitsRejoinedProcessorsCold) {
+  const std::vector<bool> admitted{true, true, false};
+  const std::vector<Cost> available_from{0.0, 7.0, kInfiniteTime};
+  Availability a = Availability::recovery(5.0, admitted, available_from);
+  EXPECT_EQ(a.release, 5.0);
+  EXPECT_TRUE(a.is_alive(0));
+  EXPECT_TRUE(a.is_alive(1));
+  EXPECT_FALSE(a.is_alive(2));
+  // Never-killed processor: admitted at the release instant, warm.
+  EXPECT_EQ(a.admission(0), 5.0);
+  EXPECT_EQ(a.cold_horizon(0), 0.0);
+  // Rejoined processor: admitted from its rejoin, cold before it.
+  EXPECT_EQ(a.admission(1), 7.0);
+  EXPECT_EQ(a.cold_horizon(1), 7.0);
+  EXPECT_TRUE(a.any_cold());
+}
+
+// ---------------------------------------------------------------------------
+// CostModel: the three communication modes, execution pricing, validation.
+
+TEST(CostModelTest, CliqueFlatPricing) {
+  CostModel m = CostModel::clique(4);
+  EXPECT_EQ(m.mode(), CommMode::kClique);
+  EXPECT_EQ(m.num_procs(), 4u);
+  EXPECT_FALSE(m.exact_pricing());
+  EXPECT_EQ(m.comm(0, 1, 2.0, 3.0), 5.0);
+  EXPECT_EQ(m.comm(1, 1, 2.0, 3.0), 3.0);  // same-processor: free
+  m.set_latency_factor(2.0);
+  EXPECT_EQ(m.comm(0, 1, 2.0, 3.0), 7.0);
+}
+
+TEST(CostModelTest, ColdCacheRefetchPricing) {
+  CostModel m = CostModel::clique(2);
+  Availability a;
+  a.cold_before = {0.0, 2.0};
+  m.set_availability(a);
+  EXPECT_TRUE(m.exact_pricing());  // cold caches force exact EST pricing
+  // Local data predating proc 1's reboot is re-fetched at cold + comm.
+  EXPECT_EQ(m.arrival(1, 1, 3.0, 1.5), 5.0);
+  // Data produced after the reboot is warm.
+  EXPECT_EQ(m.arrival(1, 1, 3.0, 2.5), 2.5);
+  // Proc 0 never rebooted: local data always warm.
+  EXPECT_EQ(m.arrival(0, 0, 3.0, 1.5), 1.5);
+  // Remote data pays the network price regardless.
+  EXPECT_EQ(m.arrival(0, 1, 3.0, 1.5), 4.5);
+}
+
+TEST(CostModelTest, AvailabilityGatesAdmission) {
+  CostModel m = CostModel::clique(3);
+  Availability a;
+  a.release = 2.0;
+  a.alive = {true, false, true};
+  a.proc_release = {0.0, 0.0, 6.0};
+  m.set_availability(a);
+  EXPECT_TRUE(m.alive(0));
+  EXPECT_FALSE(m.alive(1));
+  EXPECT_EQ(m.admission(0), 2.0);
+  EXPECT_EQ(m.admission(2), 6.0);
+}
+
+TEST(CostModelTest, RoutedHopsPricing) {
+  Topology ring = Topology::ring(4);
+  CostModel m = CostModel::routed(ring);
+  EXPECT_EQ(m.mode(), CommMode::kRoutedHops);
+  EXPECT_TRUE(m.exact_pricing());
+  EXPECT_EQ(m.comm(0, 1, 3.0, 1.0), 4.0);   // 1 hop
+  EXPECT_EQ(m.comm(0, 2, 3.0, 1.0), 7.0);   // 2 hops
+  EXPECT_EQ(m.comm(2, 2, 3.0, 1.0), 1.0);   // local
+  // commit() degenerates to comm(): nothing to reserve, nothing logged.
+  EXPECT_EQ(m.commit(0, 2, 3.0, 1.0), 7.0);
+  EXPECT_TRUE(m.occupancies().empty());
+}
+
+TEST(CostModelTest, LinkBusyProbeCommitAndLog) {
+  Topology line = Topology::from_links(3, {{0, 1}, {1, 2}});
+  CostModel m = CostModel::link_busy(line);
+  // Probing prices against the reservations without claiming anything:
+  // two identical probes answer the same.
+  EXPECT_EQ(m.comm(0, 2, 2.0, 1.0), 5.0);  // two store-and-forward hops
+  EXPECT_EQ(m.comm(0, 2, 2.0, 1.0), 5.0);
+  EXPECT_TRUE(m.occupancies().empty());
+  // Committing reserves both hops and matches the probe's answer.
+  EXPECT_EQ(m.commit(0, 2, 2.0, 1.0), 5.0);
+  ASSERT_EQ(m.occupancies().size(), 2u);
+  EXPECT_EQ(m.total_hops(), 2u);
+  // A later transfer over the first link queues behind the reservation:
+  // the link is busy on [1, 3), so departing at 0 still arrives at 5.
+  EXPECT_EQ(m.comm(0, 1, 2.0, 0.0), 5.0);
+  EXPECT_EQ(m.commit(0, 1, 2.0, 0.0), 5.0);
+  EXPECT_EQ(m.max_link_busy(), 4.0);    // the 0-1 link carried 2 + 2
+  EXPECT_EQ(m.total_link_busy(), 6.0);
+  // The commit log honors link exclusivity by construction.
+  EXPECT_TRUE(validate_link_occupancies(line, m.occupancies()).empty());
+  m.reset_links();
+  EXPECT_TRUE(m.occupancies().empty());
+  EXPECT_EQ(m.total_hops(), 0u);
+  EXPECT_EQ(m.comm(0, 1, 2.0, 0.0), 2.0);  // reservations gone
+}
+
+TEST(CostModelTest, ExecutionPricing) {
+  CostModel m = CostModel::clique(2);
+  TaskGraph g = test::small_diamond();  // comp: 1, 3, 2, 1
+  EXPECT_EQ(m.exec(g, 1, 0, 0.0), 3.0);
+  m.set_speeds({1.0, 0.5});
+  EXPECT_EQ(m.speed(1), 0.5);
+  EXPECT_EQ(m.exec(g, 1, 1, 0.0), 6.0);
+  EXPECT_EQ(m.mean_exec_work(2.0), 3.0);  // mean inverse speed = 1.5
+  // Work override (checkpoint-resumed remainder) replaces the graph cost.
+  m.set_work({kUndefinedTime, 1.0, kUndefinedTime, kUndefinedTime});
+  EXPECT_EQ(m.work_of(g, 1), 1.0);
+  EXPECT_EQ(m.work_of(g, 2), 2.0);  // kUndefinedTime falls back to comp
+  EXPECT_EQ(m.exec(g, 1, 1, 0.0), 2.0);
+  // Additive extra time lands after speed scaling.
+  m.set_extra_time({0.0, 0.25, 0.0, 0.0});
+  EXPECT_EQ(m.exec(g, 1, 1, 0.0), 2.25);
+}
+
+TEST(CostModelTest, SpeedProfilesTakePrecedenceOverStaticSpeeds) {
+  CostModel m = CostModel::clique(2);
+  m.set_speeds({1.0, 1.0});
+  std::vector<SpeedProfile> profiles(2);
+  profiles[1].add(0.0, 0.5);
+  profiles[1].finalize();
+  m.set_speed_profiles(std::move(profiles));
+  EXPECT_EQ(m.exec_work(2.0, 0, 0.0), 2.0);  // trivial profile: static path
+  EXPECT_EQ(m.exec_work(2.0, 1, 0.0), 4.0);  // integrated at half speed
+}
+
+TEST(CostModelTest, RejectsMalformedConfiguration) {
+  CostModel m = CostModel::clique(2);
+  EXPECT_THROW(m.set_speeds({1.0}), Error);          // wrong size
+  EXPECT_THROW(m.set_speeds({1.0, 0.0}), Error);     // non-positive speed
+  EXPECT_THROW(m.set_latency_factor(-1.0), Error);
+  Availability a;
+  a.alive = {true};
+  EXPECT_THROW(m.set_availability(std::move(a)), Error);
+  EXPECT_THROW(CostModel::clique(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Resume through the platform layer.
+
+TEST(PlatformResume, EmptyPrefixMatchesFreshRun) {
+  for (std::size_t i = 0; i < 6; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    FlbScheduler flb;
+    Schedule fresh = flb.run(g, 4);
+    Schedule resumed = flb.resume(g, Schedule(4, g.num_tasks()),
+                                  std::vector<bool>(4, true), 0.0);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_EQ(resumed.proc(t), fresh.proc(t)) << g.name() << " task " << t;
+      EXPECT_EQ(resumed.start(t), fresh.start(t)) << g.name() << " task " << t;
+      EXPECT_EQ(resumed.finish(t), fresh.finish(t))
+          << g.name() << " task " << t;
+    }
+  }
+}
+
+TEST(PlatformResume, LinkBusyRequiresTopology) {
+  TaskGraph g = test::small_diamond();
+  FlbScheduler flb;
+  FlbResumeContext ctx;
+  ctx.alive = {true, true};
+  ctx.link_busy = true;  // but no topology
+  EXPECT_THROW((void)flb.resume(g, Schedule(2, g.num_tasks()), ctx), Error);
+}
+
+// The hand example behind the resume-level link-contention claim.
+//
+// Topology (3 links):   1 --- 0 --- 2 --- 3
+// Producer a ran on processor 0, which then died; its three consumers
+// (comm 4, comp 0.5 each) must land on the survivors {1, 3}.
+//
+// Routed pricing is contention-free: proc 1 is one hop from the data
+// (arrival 0.5 + 4 = 4.5), proc 3 is two hops (arrival 8.5), so all three
+// consumers pile onto proc 1 and the makespan is 6.
+//
+// Link-busy pricing serializes the 0-1 transfers: the second consumer's
+// message queues on [4.5, 8.5), which makes the *free* two-hop route to
+// proc 3 (also arriving at 8.5) equally good and leaves the third consumer
+// strictly better off at proc 3 / 8.5 than proc 1 / 12.5. The contended
+// link changes the placement — one consumer migrates to the far survivor.
+TaskGraph fan_out_graph() {
+  TaskGraphBuilder b;
+  b.set_name("contended-fan-out");
+  TaskId a = b.add_task(0.5);
+  TaskId c = b.add_task(0.5);
+  TaskId d = b.add_task(0.5);
+  TaskId e = b.add_task(0.5);
+  b.add_edge(a, c, 4);
+  b.add_edge(a, d, 4);
+  b.add_edge(a, e, 4);
+  return std::move(b).build();
+}
+
+TEST(PlatformResume, ContendedLinkSteersPlacement) {
+  TaskGraph g = fan_out_graph();
+  Topology topo = Topology::from_links(4, {{0, 1}, {0, 2}, {2, 3}});
+  Schedule prefix(4, g.num_tasks());
+  prefix.assign(0, 0, 0.0, 0.5);  // the producer's executed past
+
+  FlbScheduler flb;
+  FlbResumeContext ctx;
+  ctx.alive = {false, true, false, true};
+  ctx.release = 0.5;
+  ctx.topology = &topo;
+
+  Schedule routed = flb.resume(g, prefix, ctx);
+  EXPECT_TRUE(is_valid_schedule(g, routed))
+      << test::violations_to_string(g, routed);
+  for (TaskId t = 1; t <= 3; ++t)
+    EXPECT_EQ(routed.proc(t), 1u) << "routed pricing: consumer " << t;
+  EXPECT_EQ(routed.makespan(), 6.0);
+
+  std::vector<LinkOccupancy> occ;
+  ctx.link_busy = true;
+  ctx.occupancy_log = &occ;
+  Schedule busy = flb.resume(g, prefix, ctx);
+  EXPECT_TRUE(is_valid_schedule(g, busy))
+      << test::violations_to_string(g, busy);
+  int on_far = 0;
+  for (TaskId t = 1; t <= 3; ++t) {
+    if (busy.proc(t) == 3u) {
+      ++on_far;
+      EXPECT_EQ(busy.start(t), 8.5);
+      EXPECT_EQ(busy.finish(t), 9.0);
+    } else {
+      EXPECT_EQ(busy.proc(t), 1u);
+    }
+  }
+  EXPECT_EQ(on_far, 1) << "exactly one consumer migrates to processor 3";
+  EXPECT_EQ(busy.makespan(), 9.0);
+  EXPECT_FALSE(occ.empty());
+  for (const Violation& v : validate_link_occupancies(topo, occ))
+    ADD_FAILURE() << to_string(v);
+}
+
+TEST(PlatformResume, RoutedAndLinkBusySchedulesStayFeasible) {
+  // Routed and link-busy prices are >= clique prices, so the resumed
+  // schedules must stay clean under the clique validator, and the commit
+  // log must honor link exclusivity.
+  Topology topo = Topology::mesh2d(2, 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    FlbScheduler flb;
+    FlbResumeContext ctx;
+    ctx.alive = std::vector<bool>(4, true);
+    ctx.topology = &topo;
+    Schedule routed = flb.resume(g, Schedule(4, g.num_tasks()), ctx);
+    EXPECT_TRUE(is_valid_schedule(g, routed))
+        << g.name() << "\n" << test::violations_to_string(g, routed);
+
+    std::vector<LinkOccupancy> occ;
+    ctx.link_busy = true;
+    ctx.occupancy_log = &occ;
+    Schedule busy = flb.resume(g, Schedule(4, g.num_tasks()), ctx);
+    EXPECT_TRUE(is_valid_schedule(g, busy))
+        << g.name() << "\n" << test::violations_to_string(g, busy);
+    for (const Violation& v : validate_link_occupancies(topo, occ))
+      ADD_FAILURE() << g.name() << ": " << to_string(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair through the platform layer: a contended link changes which
+// survivor the repaired work lands on (closes the ROADMAP item "link
+// contention during repair").
+
+TEST(PlatformRepair, ContendedLinkChangesRepairedPlacement) {
+  TaskGraph g = fan_out_graph();
+  Schedule nominal(4, g.num_tasks());
+  nominal.assign(0, 0, 0.0, 0.5);
+  nominal.assign(1, 0, 0.5, 1.0);
+  nominal.assign(2, 0, 1.0, 1.5);
+  nominal.assign(3, 0, 1.5, 2.0);
+
+  FaultPlan plan;
+  plan.failures = {{0, 0.6}, {2, 0.6}};  // the producer's proc + proc 2 die
+  SimOptions sopts;
+  sopts.faults = &plan;
+  SimResult partial = simulate(g, nominal, sopts);
+  ASSERT_FALSE(partial.complete());
+
+  Topology topo = Topology::from_links(4, {{0, 1}, {0, 2}, {2, 3}});
+  RepairOptions ropts;
+  ropts.strategy = RepairStrategy::kFlbResume;
+  ropts.topology = &topo;
+
+  // Routed repair: contention-free hop pricing sends every consumer to the
+  // 1-hop survivor (proc 1).
+  RepairResult routed = repair_schedule(g, nominal, partial, plan, ropts);
+  EXPECT_EQ(routed.used, RepairStrategy::kFlbResume);
+  for (TaskId t = 1; t <= 3; ++t)
+    EXPECT_EQ(routed.schedule.proc(t), 1u) << "routed repair: consumer " << t;
+  EXPECT_EQ(routed.schedule.makespan(), 6.0);
+  EXPECT_TRUE(routed.link_occupancies.empty());
+
+  // Link-busy repair: the serialized 0-1 transfers make the far survivor
+  // (proc 3) the better home for one consumer.
+  ropts.link_busy = true;
+  RepairResult busy = repair_schedule(g, nominal, partial, plan, ropts);
+  EXPECT_EQ(busy.used, RepairStrategy::kFlbResume);
+  int on_far = 0;
+  for (TaskId t = 1; t <= 3; ++t) {
+    if (busy.schedule.proc(t) == 3u) {
+      ++on_far;
+      EXPECT_EQ(busy.schedule.start(t), 8.5);
+    } else {
+      EXPECT_EQ(busy.schedule.proc(t), 1u);
+    }
+  }
+  EXPECT_EQ(on_far, 1) << "the contended link migrates exactly one consumer";
+  EXPECT_EQ(busy.schedule.makespan(), 9.0);
+  EXPECT_FALSE(busy.link_occupancies.empty());
+  for (const Violation& v :
+       validate_link_occupancies(topo, busy.link_occupancies))
+    ADD_FAILURE() << to_string(v);
+  // The continuation honors the durations oracle computed independently of
+  // the placement engine.
+  for (const Violation& v : validate_schedule(g, busy.schedule, busy.durations))
+    ADD_FAILURE() << to_string(v);
+}
+
+TEST(PlatformRepair, LinkBusyRequiresTopology) {
+  TaskGraph g = fan_out_graph();
+  Schedule nominal(2, g.num_tasks());
+  nominal.assign(0, 0, 0.0, 0.5);
+  nominal.assign(1, 0, 0.5, 1.0);
+  nominal.assign(2, 1, 4.5, 5.0);
+  nominal.assign(3, 0, 1.0, 1.5);
+  FaultPlan plan = FaultPlan::single_failure(1, 0.1);
+  SimOptions sopts;
+  sopts.faults = &plan;
+  SimResult partial = simulate(g, nominal, sopts);
+  RepairOptions ropts;
+  ropts.link_busy = true;  // but no topology
+  EXPECT_THROW((void)repair_schedule(g, nominal, partial, plan, ropts), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Comparison algorithms priced through the model.
+
+TEST(AlgoModelOverloads, EtfCliqueSelectionIdentical) {
+  for (std::size_t i = 0; i < 9; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    EtfScheduler etf;
+    Schedule base = etf.run(g, 4);
+    CostModel model = CostModel::clique(4);
+    Schedule via = etf.run_on(g, model);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_EQ(via.proc(t), base.proc(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.start(t), base.start(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.finish(t), base.finish(t)) << g.name() << " task " << t;
+    }
+  }
+}
+
+TEST(AlgoModelOverloads, DlsCliqueSelectionIdentical) {
+  for (std::size_t i = 0; i < 9; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    DlsScheduler dls;
+    Schedule base = dls.run(g, 4);
+    CostModel model = CostModel::clique(4);
+    Schedule via = dls.run_on(g, model);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_EQ(via.proc(t), base.proc(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.start(t), base.start(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.finish(t), base.finish(t)) << g.name() << " task " << t;
+    }
+  }
+}
+
+TEST(AlgoModelOverloads, HeftModelMatchesHeteroMachine) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 2.0};
+  for (std::size_t i = 0; i < 7; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    HeteroMachine machine(speeds);
+    Schedule base = heft(g, machine);
+    CostModel model = CostModel::clique(4);
+    model.set_speeds(speeds);
+    Schedule via = heft(g, model);
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      EXPECT_EQ(via.proc(t), base.proc(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.start(t), base.start(t)) << g.name() << " task " << t;
+      EXPECT_EQ(via.finish(t), base.finish(t)) << g.name() << " task " << t;
+    }
+  }
+}
+
+TEST(AlgoModelOverloads, LinkBusySchedulesAreFeasible) {
+  Topology topo = Topology::ring(4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    TaskGraph g = test::fuzz_graph(i);
+    {
+      CostModel m = CostModel::link_busy(topo);
+      EtfScheduler etf;
+      Schedule s = etf.run_on(g, m);
+      EXPECT_TRUE(is_valid_schedule(g, s))
+          << "ETF " << g.name() << "\n" << test::violations_to_string(g, s);
+      EXPECT_TRUE(validate_link_occupancies(topo, m.occupancies()).empty())
+          << "ETF " << g.name();
+    }
+    {
+      CostModel m = CostModel::link_busy(topo);
+      DlsScheduler dls;
+      Schedule s = dls.run_on(g, m);
+      EXPECT_TRUE(is_valid_schedule(g, s))
+          << "DLS " << g.name() << "\n" << test::violations_to_string(g, s);
+      EXPECT_TRUE(validate_link_occupancies(topo, m.occupancies()).empty())
+          << "DLS " << g.name();
+    }
+    {
+      CostModel m = CostModel::link_busy(topo);
+      Schedule s = heft(g, m);
+      EXPECT_TRUE(is_valid_schedule(g, s))
+          << "HEFT " << g.name() << "\n" << test::violations_to_string(g, s);
+      EXPECT_TRUE(validate_link_occupancies(topo, m.occupancies()).empty())
+          << "HEFT " << g.name();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HeteroMachine is now a thin facade over the model.
+
+TEST(HeteroFacade, DelegatesToCostModel) {
+  HeteroMachine machine({1.0, 0.5});
+  EXPECT_EQ(machine.num_procs(), 2u);
+  EXPECT_EQ(machine.speed(1), 0.5);
+  EXPECT_EQ(machine.exec_time(3.0, 1), 6.0);
+  EXPECT_EQ(machine.mean_exec_time(2.0), 3.0);
+  const CostModel& m = machine.cost_model();
+  EXPECT_EQ(m.mode(), CommMode::kClique);
+  EXPECT_EQ(m.exec_work(3.0, 1), machine.exec_time(3.0, 1));
+}
+
+}  // namespace
+}  // namespace flb

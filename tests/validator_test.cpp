@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "flb/core/flb.hpp"
+#include "flb/platform/cost_model.hpp"
+#include "flb/sim/topology.hpp"
 #include "flb/util/error.hpp"
 #include "test_support.hpp"
 
@@ -182,6 +184,74 @@ TEST(Validator, MutationFuzzing) {
           << g.name() << ")";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Link-occupancy auditing (platform link-busy commit logs).
+
+TEST(ValidatorLinks, AcceptsSerializedAndDisjointOccupancies) {
+  Topology line = Topology::from_links(3, {{0, 1}, {1, 2}});
+  std::vector<platform::LinkOccupancy> occ{
+      {0, 0.0, 4.0},  // back-to-back on link 0: fine
+      {0, 4.0, 8.0},
+      {1, 2.0, 6.0},  // overlaps both in time, but on a different link
+      {0, 8.0, 8.0},  // zero-length reservation carries no measure
+  };
+  auto v = validate_link_occupancies(line, occ);
+  EXPECT_TRUE(v.empty()) << to_string(v.front());
+}
+
+TEST(ValidatorLinks, DetectsOverlappingTransfers) {
+  Topology line = Topology::from_links(3, {{0, 1}, {1, 2}});
+  std::vector<platform::LinkOccupancy> occ{
+      {0, 0.0, 4.0},
+      {0, 2.0, 6.0},  // shares [2, 4) with the first transfer
+  };
+  auto v = validate_link_occupancies(line, occ);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.front().kind, Violation::Kind::kLinkBusyViolation);
+  EXPECT_EQ(v.front().task, kInvalidTask);
+  EXPECT_NE(to_string(v.front()).find("link-busy"), std::string::npos);
+}
+
+TEST(ValidatorLinks, EngulfedShortTransferIsCaught) {
+  // A long reservation swallowing a later short one must be caught even
+  // though the short one's immediate predecessor (by begin) is itself.
+  Topology line = Topology::from_links(2, {{0, 1}});
+  std::vector<platform::LinkOccupancy> occ{
+      {0, 0.0, 10.0},
+      {0, 2.0, 3.0},
+      {0, 4.0, 5.0},
+  };
+  auto v = validate_link_occupancies(line, occ);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ValidatorLinks, DetectsMalformedOccupancies) {
+  Topology line = Topology::from_links(2, {{0, 1}});
+  std::vector<platform::LinkOccupancy> occ{
+      {7, 0.0, 1.0},                  // link index out of range
+      {0, 0.0, kInfiniteTime},        // non-finite endpoint
+      {0, 5.0, 2.0},                  // ends before it begins
+  };
+  auto v = validate_link_occupancies(line, occ);
+  ASSERT_EQ(v.size(), 3u);
+  for (const Violation& violation : v) {
+    EXPECT_EQ(violation.kind, Violation::Kind::kLinkBusyViolation);
+    EXPECT_EQ(violation.task, kInvalidTask);
+  }
+  // Malformed entries are excluded from the sweep: none of them may also
+  // report a phantom overlap.
+}
+
+TEST(ValidatorLinks, ToleranceAbsorbsEndpointRoundoff) {
+  Topology line = Topology::from_links(2, {{0, 1}});
+  std::vector<platform::LinkOccupancy> occ{
+      {0, 0.0, 4.0},
+      {0, 4.0 - 1e-12, 8.0},  // a hair early: within tolerance
+  };
+  EXPECT_TRUE(validate_link_occupancies(line, occ).empty());
+  EXPECT_FALSE(validate_link_occupancies(line, occ, 0.0).empty());
 }
 
 }  // namespace
