@@ -1,0 +1,169 @@
+// flb_lint — semantic schedule linter CLI over flb::analysis.
+//
+// Feeds a (graph, schedule[, trace]) triple through the rule engine and
+// prints structured diagnostics: rule id, severity, offending task /
+// processor / trace step, expected vs actual value and a fix hint. Unlike
+// flb_verify (feasibility only), flb_lint also checks the paper's
+// *selection invariants* — ETF conformance, EP-type classification, PRT
+// monotonicity, trace/schedule consistency — when the schedule comes from
+// FLB and an execution trace is available (--algo FLB, the default).
+//
+// Graph sources (pick one):
+//   --paper-example          the Fig. 1 graph (default)
+//   --graph FILE             flb-taskgraph text (graph/serialize.hpp)
+//   --dot FILE               Graphviz DOT subset (graph/dot.hpp)
+//   --stg FILE               Standard Task Graph format (graph/stg.hpp)
+//   --workload NAME          generated workload (--tasks V, --seed S)
+//
+// Schedule sources (pick one):
+//   --algo NAME              run a registry scheduler (default FLB; FLB
+//                            additionally captures the trace and runs the
+//                            theorem tier)
+//   --schedule FILE          flb-schedule text of an external schedule
+//                            (feasibility + quality tiers only)
+//
+// Output and policy:
+//   --procs P                processor count (default 2)
+//   --json                   machine-readable report
+//   --no-quality             disable the warn/info tier
+//   --fail-on warn|error     exit-code threshold (default error)
+//   --list-rules             print the rule catalogue and exit
+//
+// Exit code: 0 = no diagnostic at/above --fail-on; otherwise the max
+// severity seen (1 = warn, 2 = error); 3 = usage or parse error.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "flb/analysis/lint.hpp"
+#include "flb/core/trace.hpp"
+#include "flb/graph/dot.hpp"
+#include "flb/graph/serialize.hpp"
+#include "flb/graph/stg.hpp"
+#include "flb/platform/cost_model.hpp"
+#include "flb/sched/export.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/util/cli.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cerr
+      << "usage: flb_lint [graph source] [schedule source] [options]\n"
+         "graph:    --paper-example | --graph FILE | --dot FILE |\n"
+         "          --stg FILE | --workload NAME [--tasks V] [--seed S]\n"
+         "schedule: --algo NAME (default FLB) | --schedule FILE\n"
+         "options:  --procs P (default 2), --json, --no-quality,\n"
+         "          --fail-on warn|error (default error), --list-rules\n";
+}
+
+flb::TaskGraph load_graph(const flb::CliArgs& args) {
+  const int sources = int(args.has("graph")) + int(args.has("dot")) +
+                      int(args.has("stg")) + int(args.has("workload")) +
+                      int(args.has("paper-example"));
+  FLB_REQUIRE(sources <= 1, "flb_lint: pick at most one graph source");
+  if (args.has("graph")) {
+    std::ifstream in(args.get("graph", ""));
+    FLB_REQUIRE(in.good(), "cannot open --graph file");
+    return flb::read_text(in);
+  }
+  if (args.has("dot")) {
+    std::ifstream in(args.get("dot", ""));
+    FLB_REQUIRE(in.good(), "cannot open --dot file");
+    return flb::read_dot(in);
+  }
+  if (args.has("stg")) {
+    std::ifstream in(args.get("stg", ""));
+    FLB_REQUIRE(in.good(), "cannot open --stg file");
+    return flb::read_stg(in);
+  }
+  if (args.has("workload")) {
+    flb::WorkloadParams params;
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto tasks =
+        static_cast<std::size_t>(args.get_int("tasks", 100));
+    return flb::make_workload(args.get("workload", "LU"), tasks, params);
+  }
+  return flb::paper_example_graph();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flb;
+  using namespace flb::analysis;
+  try {
+    CliArgs args(argc, argv);
+
+    if (args.has("help")) {
+      print_usage();
+      return 0;
+    }
+    if (args.has("list-rules")) {
+      for (const RuleInfo& r : rule_catalogue())
+        std::cout << r.id << " [" << to_string(r.severity) << "] "
+                  << r.summary << "\n";
+      return 0;
+    }
+
+    const std::string fail_on = args.get("fail-on", "error");
+    FLB_REQUIRE(fail_on == "warn" || fail_on == "error",
+                "flb_lint: --fail-on must be 'warn' or 'error'");
+    const Severity threshold =
+        fail_on == "warn" ? Severity::kWarn : Severity::kError;
+
+    const TaskGraph g = load_graph(args);
+    const auto procs = static_cast<ProcId>(args.get_int("procs", 2));
+    FLB_REQUIRE(procs >= 1, "flb_lint: --procs must be >= 1");
+
+    LintOptions options;
+    options.quality = !args.has("no-quality");
+
+    const platform::CostModel model = platform::CostModel::clique(procs);
+    LintReport report;
+    if (args.has("schedule")) {
+      FLB_REQUIRE(!args.has("algo"),
+                  "flb_lint: --schedule and --algo are mutually exclusive");
+      std::ifstream in(args.get("schedule", ""));
+      FLB_REQUIRE(in.good(), "cannot open --schedule file");
+      const Schedule s = read_schedule_text(in);
+      FLB_REQUIRE(s.num_tasks() == g.num_tasks(),
+                  "schedule and graph disagree on the task count");
+      FLB_REQUIRE(s.num_procs() == procs,
+                  "schedule disagrees with --procs (use --procs " +
+                      std::to_string(s.num_procs()) + ")");
+      report = lint_schedule(g, s, model, options);
+    } else {
+      const std::string algo = args.get("algo", "FLB");
+      if (algo == "FLB") {
+        // Trace capture gives the theorem tier its evidence; the traced
+        // run and FlbScheduler::run produce identical schedules.
+        const std::vector<FlbTraceRow> rows = trace_flb(g, procs);
+        Schedule s(procs, static_cast<TaskId>(g.num_tasks()));
+        for (const FlbTraceRow& row : rows)
+          s.assign(row.task, row.proc, row.start, row.finish);
+        report = lint_flb(g, s, rows, model, options);
+      } else {
+        const Schedule s = make_scheduler(algo)->run(g, procs);
+        report = lint_schedule(g, s, model, options);
+      }
+    }
+
+    if (args.has("json"))
+      write_report_json(std::cout, report);
+    else
+      write_report(std::cout, report);
+
+    const Severity worst = report.max_severity();
+    if (report.diagnostics.empty() || worst < threshold) return 0;
+    return worst == Severity::kError ? 2 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -1,0 +1,25 @@
+// libFuzzer harness for the flb-faultplan text reader
+// (sim/fault_plan_io.cpp). Arbitrary bytes must parse or throw
+// flb::Error — never crash or trip ASan/UBSan. Accepted plans are
+// round-tripped through the writer and put through validate() (which may
+// itself throw on semantic problems the line parser cannot see). Seed
+// corpus: tests/corpus/faultplan.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "flb/sim/faults.hpp"
+#include "flb/util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const flb::FaultPlan plan = flb::fault_plan_from_text(text);
+    (void)flb::to_fault_plan_text(plan);
+    plan.validate(8);
+  } catch (const flb::Error&) {
+  }
+  return 0;
+}

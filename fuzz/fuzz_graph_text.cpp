@@ -1,0 +1,23 @@
+// libFuzzer harness for the flb-taskgraph text reader
+// (graph/serialize.cpp). Arbitrary bytes must parse or throw flb::Error —
+// never crash or trip ASan/UBSan. Round-trips accepted inputs through the
+// writer to also exercise the serialization path. Seed corpus:
+// tests/corpus/graph_text.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "flb/graph/serialize.hpp"
+#include "flb/util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const flb::TaskGraph g = flb::from_text(text);
+    (void)flb::to_text(g);
+  } catch (const flb::Error&) {
+  }
+  return 0;
+}

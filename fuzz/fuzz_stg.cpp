@@ -1,0 +1,23 @@
+// libFuzzer harness for the Standard Task Graph (STG) reader
+// (graph/stg.cpp). Arbitrary bytes must parse or throw flb::Error —
+// never crash or trip ASan/UBSan. Seed corpus: tests/corpus/stg.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "flb/graph/stg.hpp"
+#include "flb/util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    flb::WorkloadParams params;
+    params.random_weights = false;  // deterministic edge synthesis
+    const flb::TaskGraph g = flb::stg_from_text(text, params);
+    (void)g.num_edges();
+  } catch (const flb::Error&) {
+  }
+  return 0;
+}

@@ -49,6 +49,23 @@ done
 echo "== table 1 trace"
 "$build/examples/trace_paper_example" | tee "$out/table1_trace.txt"
 
+# Semantic lint gate: the schedules behind the tables above must satisfy
+# the paper's selection invariants, not just feasibility. FLB runs the
+# full theorem tier (ETF conformance, EP classification, PRT monotone,
+# trace/schedule consistency); the baselines run the feasibility tier.
+# Any error-severity diagnostic aborts the reproduction (exit 2).
+echo "== semantic lint (flb_lint)"
+{
+  "$build/examples/flb_lint" --paper-example --procs 2
+  for algo in FLB ETF MCP FCP DSC-LLB; do
+    for procs in 2 8 32; do
+      echo "-- $algo on LU V~2000 P=$procs"
+      "$build/examples/flb_lint" --workload LU --tasks 2000 \
+        --procs "$procs" --algo "$algo"
+    done
+  done
+} | tee "$out/lint_report.txt"
+
 # bench_micro is a google-benchmark binary, not a table printer; the
 # persisted slice is the platform cost-model pricing hot path (ns/query of
 # clique vs routed vs link-busy), which guards the constant in front of

@@ -1,9 +1,14 @@
 #include "flb/graph/dot.hpp"
 
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
 #include "flb/sched/schedule.hpp"
+#include "flb/util/error.hpp"
 #include "flb/util/table.hpp"
 
 namespace flb {
@@ -58,6 +63,311 @@ std::string to_dot(const TaskGraph& g) {
   std::ostringstream os;
   write_dot(os, g);
   return os.str();
+}
+
+namespace {
+
+// --- DOT reader ------------------------------------------------------------
+
+/// Token stream over the DOT subset: punctuation ({ } [ ] = ; ,), the edge
+/// arrow, quoted strings (escapes kept raw, so a label's "\n" survives as
+/// the two characters backslash + n) and bare identifier/number words.
+class DotLexer {
+ public:
+  explicit DotLexer(std::istream& is) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    text_ = buf.str();
+  }
+
+  struct Token {
+    enum class Kind { kPunct, kArrow, kWord, kString, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string value;
+  };
+
+  Token next() {
+    skip_blank_and_comments();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (c == '{' || c == '}' || c == '[' || c == ']' || c == '=' ||
+        c == ';' || c == ',') {
+      ++pos_;
+      return {Token::Kind::kPunct, std::string(1, c)};
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      return {Token::Kind::kArrow, "->"};
+    }
+    if (c == '"') return quoted();
+    return word();
+  }
+
+ private:
+  void skip_blank_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        std::size_t end = text_.find("*/", pos_ + 2);
+        FLB_REQUIRE(end != std::string::npos,
+                    "read_dot: unterminated /* comment");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token quoted() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        // Keep the escape verbatim except for \" and \\ so labels keep
+        // their literal "\n" separator.
+        const char esc = text_[pos_ + 1];
+        if (esc == '"' || esc == '\\') {
+          out += esc;
+          pos_ += 2;
+          continue;
+        }
+        out += text_[pos_];
+        ++pos_;
+        continue;
+      }
+      out += text_[pos_];
+      ++pos_;
+    }
+    FLB_REQUIRE(pos_ < text_.size(), "read_dot: unterminated string literal");
+    ++pos_;  // closing quote
+    return {Token::Kind::kString, std::move(out)};
+  }
+
+  Token word() {
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool word_char =
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '+' ||
+          (c == '-' && !(pos_ + 1 < text_.size() && text_[pos_ + 1] == '>'));
+      if (!word_char) break;
+      out += c;
+      ++pos_;
+    }
+    FLB_REQUIRE(!out.empty(), "read_dot: unexpected character '" +
+                                  std::string(1, text_[pos_]) + "'");
+    return {Token::Kind::kWord, std::move(out)};
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+using DotToken = DotLexer::Token;
+
+double parse_cost(const std::string& text, const char* what) {
+  FLB_REQUIRE(!text.empty(), std::string("read_dot: empty ") + what);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  FLB_REQUIRE(end == text.c_str() + text.size(),
+              std::string("read_dot: malformed ") + what + " '" + text + "'");
+  FLB_REQUIRE(std::isfinite(v) && v >= 0.0,
+              std::string("read_dot: ") + what +
+                  " must be finite and non-negative, got '" + text + "'");
+  return v;
+}
+
+/// "t<digits>" -> id. Anything else is rejected.
+TaskId parse_node_id(const std::string& word) {
+  FLB_REQUIRE(word.size() >= 2 && word[0] == 't',
+              "read_dot: node ids must have the form t<number>, got '" +
+                  word + "'");
+  std::uint64_t id = 0;
+  for (std::size_t i = 1; i < word.size(); ++i) {
+    const char c = word[i];
+    FLB_REQUIRE(c >= '0' && c <= '9',
+                "read_dot: node ids must have the form t<number>, got '" +
+                    word + "'");
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    FLB_REQUIRE(id <= 0xffffffffull, "read_dot: node id out of range in '" +
+                                         word + "'");
+  }
+  return static_cast<TaskId>(id);
+}
+
+struct DotAttrs {
+  bool has_label = false;
+  std::string label;
+  bool has_cost = false;  // explicit comp= / comm= attribute
+  double cost = 0.0;
+};
+
+}  // namespace
+
+TaskGraph read_dot(std::istream& is) {
+  DotLexer lexer(is);
+  DotToken tok = lexer.next();
+
+  // Header: [strict] digraph [name] {
+  if (tok.kind == DotToken::Kind::kWord && tok.value == "strict")
+    tok = lexer.next();
+  FLB_REQUIRE(tok.kind == DotToken::Kind::kWord && tok.value == "digraph",
+              "read_dot: input must start with 'digraph'");
+  tok = lexer.next();
+  std::string name;
+  if (tok.kind == DotToken::Kind::kWord ||
+      tok.kind == DotToken::Kind::kString) {
+    name = tok.value;
+    tok = lexer.next();
+  }
+  FLB_REQUIRE(tok.kind == DotToken::Kind::kPunct && tok.value == "{",
+              "read_dot: expected '{' after digraph header");
+
+  // One attribute block: [key=value, key=value ...]. Unknown keys are
+  // ignored; label / comp / comm feed the weights.
+  auto read_attrs = [&](const char* cost_key) -> DotAttrs {
+    DotAttrs attrs;
+    DotToken t = lexer.next();
+    while (!(t.kind == DotToken::Kind::kPunct && t.value == "]")) {
+      FLB_REQUIRE(t.kind == DotToken::Kind::kWord ||
+                      t.kind == DotToken::Kind::kString,
+                  "read_dot: expected attribute name inside [...]");
+      const std::string key = t.value;
+      t = lexer.next();
+      FLB_REQUIRE(t.kind == DotToken::Kind::kPunct && t.value == "=",
+                  "read_dot: expected '=' after attribute '" + key + "'");
+      t = lexer.next();
+      FLB_REQUIRE(t.kind == DotToken::Kind::kWord ||
+                      t.kind == DotToken::Kind::kString,
+                  "read_dot: expected a value for attribute '" + key + "'");
+      if (key == "label") {
+        attrs.has_label = true;
+        attrs.label = t.value;
+      } else if (key == cost_key) {
+        attrs.has_cost = true;
+        attrs.cost = parse_cost(t.value, cost_key);
+      }
+      t = lexer.next();
+      if (t.kind == DotToken::Kind::kPunct &&
+          (t.value == "," || t.value == ";"))
+        t = lexer.next();
+    }
+    return attrs;
+  };
+
+  std::map<TaskId, double> nodes;
+  std::vector<Edge> edges;
+
+  tok = lexer.next();
+  while (!(tok.kind == DotToken::Kind::kPunct && tok.value == "}")) {
+    FLB_REQUIRE(tok.kind != DotToken::Kind::kEnd,
+                "read_dot: missing closing '}'");
+    if (tok.kind == DotToken::Kind::kPunct && tok.value == ";") {
+      tok = lexer.next();
+      continue;
+    }
+    FLB_REQUIRE(tok.kind == DotToken::Kind::kWord ||
+                    tok.kind == DotToken::Kind::kString,
+                "read_dot: expected a statement");
+    const std::string head = tok.value;
+    tok = lexer.next();
+
+    // Defaults (node [...]; edge [...]; graph [...]) and bare graph
+    // attributes (rankdir=TB) carry no task data — skip them.
+    if (head == "node" || head == "edge" || head == "graph") {
+      FLB_REQUIRE(tok.kind == DotToken::Kind::kPunct && tok.value == "[",
+                  "read_dot: expected '[' after '" + head + "'");
+      (void)read_attrs("");
+      tok = lexer.next();
+      continue;
+    }
+    if (tok.kind == DotToken::Kind::kPunct && tok.value == "=") {
+      tok = lexer.next();
+      FLB_REQUIRE(tok.kind == DotToken::Kind::kWord ||
+                      tok.kind == DotToken::Kind::kString,
+                  "read_dot: expected a value after '" + head + " ='");
+      tok = lexer.next();
+      continue;
+    }
+
+    const TaskId from = parse_node_id(head);
+    if (tok.kind == DotToken::Kind::kArrow) {
+      tok = lexer.next();
+      FLB_REQUIRE(tok.kind == DotToken::Kind::kWord,
+                  "read_dot: expected a node id after '->'");
+      const TaskId to = parse_node_id(tok.value);
+      double comm = 0.0;
+      tok = lexer.next();
+      if (tok.kind == DotToken::Kind::kPunct && tok.value == "[") {
+        const DotAttrs attrs = read_attrs("comm");
+        if (attrs.has_cost)
+          comm = attrs.cost;
+        else if (attrs.has_label)
+          comm = parse_cost(attrs.label, "edge label");
+        tok = lexer.next();
+      }
+      edges.push_back({from, to, comm});
+      continue;
+    }
+
+    // Node statement. The computation cost comes from comp= or from the
+    // label's second line ("t3\n2.5" with a literal backslash-n).
+    FLB_REQUIRE(tok.kind == DotToken::Kind::kPunct && tok.value == "[",
+                "read_dot: node t" + std::to_string(from) +
+                    " needs an attribute list with its computation cost");
+    const DotAttrs attrs = read_attrs("comp");
+    double comp = 0.0;
+    if (attrs.has_cost) {
+      comp = attrs.cost;
+    } else {
+      FLB_REQUIRE(attrs.has_label, "read_dot: node t" + std::to_string(from) +
+                                       " has neither comp= nor a label");
+      const std::size_t sep = attrs.label.find("\\n");
+      FLB_REQUIRE(sep != std::string::npos,
+                  "read_dot: node label '" + attrs.label +
+                      "' lacks the \\n cost separator");
+      comp = parse_cost(attrs.label.substr(sep + 2), "node label cost");
+    }
+    FLB_REQUIRE(nodes.emplace(from, comp).second,
+                "read_dot: node t" + std::to_string(from) +
+                    " declared twice");
+    tok = lexer.next();
+  }
+
+  FLB_REQUIRE(!nodes.empty(), "read_dot: graph declares no tasks");
+  // Dense ids 0..V-1: the map is ordered, so it suffices to check the span.
+  const auto last = std::prev(nodes.end());
+  FLB_REQUIRE(last->first == nodes.size() - 1,
+              "read_dot: node ids must be dense 0..V-1, got " +
+                  std::to_string(nodes.size()) + " nodes with max id t" +
+                  std::to_string(last->first));
+
+  TaskGraphBuilder b;
+  b.set_name(name.empty() || name == "taskgraph" ? "" : name);
+  for (const auto& [id, comp] : nodes) {
+    (void)id;
+    b.add_task(comp);
+  }
+  for (const Edge& e : edges) {
+    FLB_REQUIRE(e.from < nodes.size() && e.to < nodes.size(),
+                "read_dot: edge references undeclared node");
+    b.add_edge(e.from, e.to, e.comm);
+  }
+  return std::move(b).build();
+}
+
+TaskGraph dot_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_dot(is);
 }
 
 }  // namespace flb

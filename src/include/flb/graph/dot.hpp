@@ -7,7 +7,8 @@
 
 /// \file dot.hpp
 /// Graphviz DOT export of task graphs, optionally annotated with a schedule
-/// (processor assignment as node colour class).
+/// (processor assignment as node colour class), and a reader for the
+/// well-defined subset this library emits.
 
 namespace flb {
 
@@ -24,5 +25,27 @@ void write_dot(std::ostream& os, const TaskGraph& g, const Schedule& s);
 
 /// Convenience: DOT text as a string.
 std::string to_dot(const TaskGraph& g);
+
+/// Parse a task graph from the DOT subset write_dot produces (and from
+/// hand-written files of the same shape):
+///
+///     digraph "name" { ... }
+///     t3 [label="t3\n2.5"];          node: comp from the label's second
+///                                    line, or from a comp=<num> attribute
+///     t0 -> t3 [label="1.5"];        edge: comm from the numeric label,
+///                                    or from a comm=<num> attribute
+///                                    (0 when the edge has no label)
+///
+/// Node ids must be t<number> and dense (0..V-1, any order). Unknown
+/// attributes (proc, style, fillcolor, rankdir...), `node`/`edge`/`graph`
+/// default statements, semicolons/commas and //, /* */ and # comments are
+/// tolerated and ignored. Throws flb::Error on anything else — malformed
+/// tokens, missing costs, non-finite or negative weights, unknown node
+/// references, duplicate edges, cycles. This reader is fuzzed
+/// (fuzz/fuzz_dot.cpp) and replayed over tests/corpus/dot in plain ctest.
+TaskGraph read_dot(std::istream& is);
+
+/// Convenience: parse DOT from a string.
+TaskGraph dot_from_text(const std::string& text);
 
 }  // namespace flb

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "flb/core/flb.hpp"
@@ -113,6 +114,8 @@ struct RepairOptions {
 
 /// Outcome of one repair.
 struct RepairResult {
+  explicit RepairResult(Schedule s) : schedule(std::move(s)) {}
+
   Schedule schedule;             ///< full continuation (prefix + new work)
   RepairStrategy used =
       RepairStrategy::kFlbResume;  ///< strategy actually applied

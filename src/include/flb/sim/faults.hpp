@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -255,5 +256,41 @@ MessageOutcome resolve_message(const FaultPlan& plan, std::size_t edge_slot);
 /// The deterministic runtime-perturbation factor for task `t` (1.0 when the
 /// plan has runtime_spread == 0).
 Cost runtime_factor(const FaultPlan& plan, TaskId t);
+
+// --- Text serialization -----------------------------------------------------
+//
+// Line-oriented round-trippable plan format, so fault scenarios can be
+// saved, diffed and replayed (and fuzzed — fuzz/fuzz_fault_plan.cpp):
+//
+//     flb-faultplan 1
+//     seed 42
+//     runtime-spread 0.1
+//     checkpoint <interval> <overhead>
+//     message <loss> <delay_prob> <delay_factor> <max_retries> <timeout> <backoff>
+//     fail <proc> <time>
+//     rejoin <proc> <time>
+//     slowdown <proc> <time> <factor> [until]      (until defaults to inf)
+//     domain <name> <member> [member...]
+//     burst <domain> <time> <window> [prob] [slowdown] [cascade_prob]
+//           [cascade_delay] [recovery_delay]       (defaults 1 0 0 0 0)
+//
+// '#' comment lines and blank lines are allowed; directives may repeat
+// (fail/rejoin/slowdown/domain/burst append, the scalar ones overwrite).
+
+/// Parse the text format. Throws flb::Error naming the offending line on
+/// malformed input (unknown directive, missing or non-finite fields). The
+/// parser checks syntax and local field sanity only; call
+/// FaultPlan::validate(num_procs) afterwards for the semantic rules.
+FaultPlan read_fault_plan(std::istream& is);
+
+/// Convenience: parse a plan from a string.
+FaultPlan fault_plan_from_text(const std::string& text);
+
+/// Write `plan` in the text format above (round-trips through
+/// read_fault_plan).
+void write_fault_plan(std::ostream& os, const FaultPlan& plan);
+
+/// Convenience: serialize a plan to a string.
+std::string to_fault_plan_text(const FaultPlan& plan);
 
 }  // namespace flb

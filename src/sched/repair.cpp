@@ -71,7 +71,7 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   const ResolvedFaults resolved = resolve_faults(plan);
 
   Stopwatch sw;
-  RepairResult out{Schedule(nominal.num_procs(), n)};
+  RepairResult out(Schedule(nominal.num_procs(), n));
 
   const ProcId procs = nominal.num_procs();
   FLB_REQUIRE(options.topology == nullptr ||

@@ -1,0 +1,147 @@
+// Replays the checked-in fuzz seed corpus (tests/corpus/*) through the
+// four text ingestion paths that fuzz/ hammers with libFuzzer. This runs
+// in the plain GCC ctest sweep, so the corpus is a cross-compiler
+// regression suite even where libFuzzer is unavailable: every seed whose
+// name starts with "bad_" must be rejected with flb::Error, every other
+// seed must parse, and no input may crash. New fuzzer-found inputs get
+// minimized, named for what they exercise, and dropped into the corpus
+// directory — this test then pins the fix forever.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flb/analysis/lint.hpp"
+#include "flb/core/flb.hpp"
+#include "flb/graph/dot.hpp"
+#include "flb/graph/serialize.hpp"
+#include "flb/graph/stg.hpp"
+#include "flb/platform/cost_model.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/util/error.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir(const std::string& family) {
+  return fs::path(FLB_SOURCE_DIR) / "tests" / "corpus" / family;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open corpus seed " << p;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Feed every seed of `family` to `parse`. Seeds named bad_* must throw
+/// flb::Error; the rest must parse cleanly. Returns the number of seeds
+/// so callers can assert the corpus was actually found.
+std::size_t replay(const std::string& family,
+                   const std::function<void(const std::string&)>& parse) {
+  std::vector<fs::path> seeds;
+  for (const auto& entry : fs::directory_iterator(corpus_dir(family)))
+    if (entry.is_regular_file()) seeds.push_back(entry.path());
+  std::sort(seeds.begin(), seeds.end());
+
+  for (const fs::path& seed : seeds) {
+    const std::string text = slurp(seed);
+    const bool expect_reject =
+        seed.filename().string().rfind("bad_", 0) == 0;
+    if (expect_reject) {
+      EXPECT_THROW(parse(text), flb::Error)
+          << family << " seed " << seed.filename()
+          << " should have been rejected";
+    } else {
+      EXPECT_NO_THROW(parse(text))
+          << family << " seed " << seed.filename()
+          << " should have parsed";
+    }
+  }
+  return seeds.size();
+}
+
+// Any graph a reader accepts must be schedulable: FLB's output passes the
+// validator and the linter's feasibility tier. This is the end-to-end leg
+// of the fuzz contract — "parses" must imply "usable".
+void expect_schedulable(const flb::TaskGraph& g) {
+  const flb::Schedule s = flb::FlbScheduler().run(g, 2);
+  EXPECT_TRUE(flb::validate_schedule(g, s).empty());
+  const flb::analysis::LintReport report = flb::analysis::lint_schedule(
+      g, s, flb::platform::CostModel::clique(2));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(CorpusReplay, Dot) {
+  const std::size_t n = replay("dot", [](const std::string& text) {
+    const flb::TaskGraph g = flb::dot_from_text(text);
+    (void)flb::to_dot(g);  // writer must accept whatever the reader built
+    expect_schedulable(g);
+  });
+  EXPECT_GE(n, 8u) << "dot corpus went missing";
+}
+
+TEST(CorpusReplay, Stg) {
+  const std::size_t n = replay("stg", [](const std::string& text) {
+    flb::WorkloadParams params;
+    params.random_weights = false;
+    expect_schedulable(flb::stg_from_text(text, params));
+  });
+  EXPECT_GE(n, 5u) << "stg corpus went missing";
+}
+
+TEST(CorpusReplay, GraphText) {
+  const std::size_t n = replay("graph_text", [](const std::string& text) {
+    const flb::TaskGraph g = flb::from_text(text);
+    // The text format round-trips: write(read(x)) must re-parse to the
+    // same graph.
+    const flb::TaskGraph again = flb::from_text(flb::to_text(g));
+    ASSERT_EQ(again.num_tasks(), g.num_tasks());
+    ASSERT_EQ(again.num_edges(), g.num_edges());
+    expect_schedulable(g);
+  });
+  EXPECT_GE(n, 5u) << "graph_text corpus went missing";
+}
+
+TEST(CorpusReplay, FaultPlan) {
+  const std::size_t n = replay("faultplan", [](const std::string& text) {
+    const flb::FaultPlan plan = flb::fault_plan_from_text(text);
+    // Round-trip: the writer's output must parse back to a plan the
+    // writer renders identically (text-level fixed point).
+    const std::string once = flb::to_fault_plan_text(plan);
+    const std::string twice =
+        flb::to_fault_plan_text(flb::fault_plan_from_text(once));
+    ASSERT_EQ(once, twice);
+  });
+  EXPECT_GE(n, 6u) << "faultplan corpus went missing";
+}
+
+// The DOT reader accepts exactly what write_dot emits, including the
+// schedule-annotated variant with proc/fillcolor attributes — the two
+// generated seeds in the corpus pin that contract. Guard the semantic
+// half here: the parsed graph matches the flb-taskgraph twin saved from
+// the same generator run.
+TEST(CorpusReplay, DotMatchesGraphTextTwin) {
+  const flb::TaskGraph from_dot = flb::dot_from_text(
+      slurp(corpus_dir("dot") / "random_12_sched.dot"));
+  const flb::TaskGraph from_text = flb::from_text(
+      slurp(corpus_dir("graph_text") / "random_12.flb"));
+  ASSERT_EQ(from_dot.num_tasks(), from_text.num_tasks());
+  ASSERT_EQ(from_dot.num_edges(), from_text.num_edges());
+  for (flb::TaskId t = 0; t < from_dot.num_tasks(); ++t) {
+    // DOT labels carry 4 decimal places; the text format is exact.
+    EXPECT_NEAR(from_dot.comp(t), from_text.comp(t), 1e-4);
+    ASSERT_EQ(from_dot.successors(t).size(), from_text.successors(t).size());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Unit tests for the DOT reader (graph/dot.cpp): round-trips against the
+// library's own writer, the documented hand-written subset, and the
+// structured rejections the fuzzer (fuzz/fuzz_dot.cpp) relies on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/dot.hpp"
+#include "flb/graph/serialize.hpp"
+#include "flb/util/error.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "flb/workloads/workloads.hpp"
+
+namespace {
+
+using namespace flb;
+
+void expect_same_graph(const TaskGraph& a, const TaskGraph& b,
+                       double tol = 0.0) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId t = 0; t < a.num_tasks(); ++t) {
+    EXPECT_NEAR(a.comp(t), b.comp(t), tol) << "comp of t" << t;
+    const auto succ_a = a.successors(t);
+    const auto succ_b = b.successors(t);
+    ASSERT_EQ(succ_a.size(), succ_b.size()) << "out-degree of t" << t;
+    for (std::size_t i = 0; i < succ_a.size(); ++i) {
+      EXPECT_EQ(succ_a[i].node, succ_b[i].node) << "successor of t" << t;
+      EXPECT_NEAR(succ_a[i].comm, succ_b[i].comm, tol)
+          << "comm t" << t << "->t" << succ_a[i].node;
+    }
+  }
+}
+
+TEST(DotReader, RoundTripsPaperExample) {
+  const TaskGraph g = paper_example_graph();
+  expect_same_graph(g, dot_from_text(to_dot(g)));
+}
+
+TEST(DotReader, RoundTripsScheduleAnnotatedExport) {
+  const TaskGraph g = paper_example_graph();
+  const Schedule s = FlbScheduler().run(g, 2);
+  std::ostringstream os;
+  write_dot(os, g, s);  // adds proc=, style=, fillcolor= attributes
+  expect_same_graph(g, dot_from_text(os.str()));
+}
+
+TEST(DotReader, RoundTripsGeneratedWorkloads) {
+  WorkloadParams params;
+  params.seed = 3;
+  for (const std::string& name : workload_names()) {
+    const TaskGraph g = make_workload(name, 80, params);
+    // The writer prints costs with 4 decimal places (display format).
+    expect_same_graph(g, dot_from_text(to_dot(g)), 1e-4);
+  }
+}
+
+TEST(DotReader, ParsesDocumentedHandWrittenSubset) {
+  const TaskGraph g = dot_from_text(R"(
+    // line comment
+    strict digraph "my graph" {
+      rankdir=TB;            # graph attribute: ignored
+      node [shape=circle];   /* default statement: ignored */
+      t0 [comp=2];
+      t1 [label="t1\n3.5", shape=box]
+      t2 [comp=1.25];
+      t0 -> t1 [label="4"];
+      t0 -> t2;              // no label: zero communication
+      t1 -> t2 [comm=0.5];
+    })");
+  ASSERT_EQ(g.num_tasks(), 3u);
+  ASSERT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.name(), "my graph");
+  EXPECT_DOUBLE_EQ(g.comp(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.comp(1), 3.5);  // from the label's second line
+  EXPECT_DOUBLE_EQ(g.comp(2), 1.25);
+  EXPECT_DOUBLE_EQ(g.successors(0)[0].comm, 4.0);
+  EXPECT_DOUBLE_EQ(g.successors(0)[1].comm, 0.0);
+  EXPECT_DOUBLE_EQ(g.successors(1)[0].comm, 0.5);
+}
+
+TEST(DotReader, AcceptsNodesInAnyOrder) {
+  const TaskGraph g = dot_from_text(
+      "digraph { t2 [comp=3]; t0 [comp=1]; t1 [comp=2];"
+      " t0 -> t2 [label=\"1\"]; }");
+  ASSERT_EQ(g.num_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(g.comp(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.comp(2), 3.0);
+}
+
+TEST(DotReader, RejectsMalformedInput) {
+  // One representative per rejection class; the full set lives in
+  // tests/corpus/dot and is swept by corpus_replay_test.
+  EXPECT_THROW(dot_from_text(""), Error);
+  EXPECT_THROW(dot_from_text("graph { t0 [comp=1]; }"), Error);  // undirected
+  EXPECT_THROW(dot_from_text("digraph { t0 [comp=1]"), Error);   // truncated
+  EXPECT_THROW(dot_from_text("digraph { x0 [comp=1]; }"), Error);  // bad id
+  EXPECT_THROW(dot_from_text("digraph { t0 [shape=box]; }"),
+               Error);  // no cost
+  EXPECT_THROW(dot_from_text("digraph { t0 [comp=nope]; }"), Error);
+  EXPECT_THROW(dot_from_text("digraph { t0 [comp=inf]; }"), Error);
+  EXPECT_THROW(dot_from_text("digraph { t0 [comp=-1]; }"), Error);
+  EXPECT_THROW(dot_from_text("digraph { t0 [comp=1]; t5 [comp=1]; }"),
+               Error);  // sparse ids
+  EXPECT_THROW(
+      dot_from_text("digraph { t0 [comp=1]; t0 -> t9 [label=\"1\"]; }"),
+      Error);  // unknown node
+  EXPECT_THROW(
+      dot_from_text("digraph { t0 [comp=1]; t1 [comp=1];"
+                    " t0 -> t1 [label=\"1\"]; t0 -> t1 [label=\"2\"]; }"),
+      Error);  // duplicate edge
+  EXPECT_THROW(
+      dot_from_text("digraph { t0 [comp=1]; t1 [comp=1];"
+                    " t0 -> t1 [label=\"1\"]; t1 -> t0 [label=\"1\"]; }"),
+      Error);  // cycle
+}
+
+TEST(DotReader, AgreesWithTextFormatOnSameGraph) {
+  const TaskGraph g = make_workload("LU", 60, {});
+  expect_same_graph(from_text(to_text(g)), dot_from_text(to_dot(g)), 1e-4);
+}
+
+}  // namespace

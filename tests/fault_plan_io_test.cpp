@@ -1,0 +1,119 @@
+// Unit tests for the flb-faultplan text format (sim/fault_plan_io.cpp):
+// round-trips, defaults elision, the documented directive set, and the
+// structured rejections the fuzzer (fuzz/fuzz_fault_plan.cpp) relies on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "flb/sim/faults.hpp"
+#include "flb/util/error.hpp"
+
+namespace {
+
+using namespace flb;
+
+FaultPlan full_plan() {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.runtime_spread = 0.1;
+  plan.checkpoint.interval = 5.0;
+  plan.checkpoint.overhead = 0.25;
+  plan.message.loss_probability = 0.01;
+  plan.message.delay_probability = 0.05;
+  plan.message.delay_factor = 2.0;
+  plan.message.max_retries = 3;
+  plan.message.retry_timeout = 1.5;
+  plan.message.backoff = 2.0;
+  plan.failures.push_back({1, 3.5});
+  plan.rejoins.push_back({1, 9.0});
+  plan.slowdowns.push_back({0, 2.0, 0.5, 8.0});
+  plan.slowdowns.push_back({2, 4.0, 0.25, kInfiniteTime});
+  plan.domains.push_back({"rack0", {0, 1}});
+  DomainBurst burst;
+  burst.domain = "rack0";
+  burst.time = 6.0;
+  burst.window = 2.0;
+  burst.probability = 0.9;
+  burst.slowdown_factor = 0.5;
+  burst.cascade_probability = 0.1;
+  burst.cascade_delay = 0.5;
+  burst.recovery_delay = 1.0;
+  plan.bursts.push_back(burst);
+  return plan;
+}
+
+TEST(FaultPlanIo, RoundTripsEveryDirective) {
+  const FaultPlan plan = full_plan();
+  const FaultPlan back = fault_plan_from_text(to_fault_plan_text(plan));
+
+  EXPECT_EQ(back.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(back.runtime_spread, plan.runtime_spread);
+  EXPECT_DOUBLE_EQ(back.checkpoint.interval, plan.checkpoint.interval);
+  EXPECT_DOUBLE_EQ(back.checkpoint.overhead, plan.checkpoint.overhead);
+  EXPECT_DOUBLE_EQ(back.message.loss_probability,
+                   plan.message.loss_probability);
+  EXPECT_EQ(back.message.max_retries, plan.message.max_retries);
+  ASSERT_EQ(back.failures.size(), 1u);
+  EXPECT_EQ(back.failures[0].proc, 1u);
+  EXPECT_DOUBLE_EQ(back.failures[0].time, 3.5);
+  ASSERT_EQ(back.rejoins.size(), 1u);
+  ASSERT_EQ(back.slowdowns.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.slowdowns[0].until, 8.0);
+  EXPECT_EQ(back.slowdowns[1].until, kInfiniteTime);
+  ASSERT_EQ(back.domains.size(), 1u);
+  EXPECT_EQ(back.domains[0].name, "rack0");
+  EXPECT_EQ(back.domains[0].members, (std::vector<ProcId>{0, 1}));
+  ASSERT_EQ(back.bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.bursts[0].cascade_probability, 0.1);
+
+  // Text-level fixed point: writing the re-parsed plan reproduces the
+  // text byte for byte (precision 17 preserves every double).
+  EXPECT_EQ(to_fault_plan_text(back), to_fault_plan_text(plan));
+}
+
+TEST(FaultPlanIo, DefaultPlanWritesOnlySeed) {
+  EXPECT_EQ(to_fault_plan_text(FaultPlan{}), "flb-faultplan 1\nseed 1\n");
+}
+
+TEST(FaultPlanIo, ParsesCommentsBlanksAndInf) {
+  const FaultPlan plan = fault_plan_from_text(
+      "# header comment\n"
+      "flb-faultplan 1\n"
+      "\n"
+      "  seed 7\n"
+      "slowdown 0 2 0.5 inf\n"
+      "   # indented comment\n"
+      "fail 3 1.25\n");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.slowdowns.size(), 1u);
+  EXPECT_EQ(plan.slowdowns[0].until, kInfiniteTime);
+  ASSERT_EQ(plan.failures.size(), 1u);
+  EXPECT_EQ(plan.failures[0].proc, 3u);
+}
+
+TEST(FaultPlanIo, RejectsMalformedInput) {
+  EXPECT_THROW(fault_plan_from_text(""), Error);
+  EXPECT_THROW(fault_plan_from_text("flb-faultplan 2\n"), Error);
+  EXPECT_THROW(fault_plan_from_text("faultplan 1\n"), Error);
+  const std::string h = "flb-faultplan 1\n";
+  EXPECT_THROW(fault_plan_from_text(h + "explode 1 2\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "fail 0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "fail 0 1.5 extra\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "fail -1 1.5\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "fail 0 nan\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "slowdown 0 1 inf\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "domain rack0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "message 0.1 0.1 2 -3 1 2\n"),
+               Error);
+  EXPECT_THROW(fault_plan_from_text(h + "message 0.1 0.1 2 1.5 1 2\n"),
+               Error);
+}
+
+TEST(FaultPlanIo, ParsedPlanPassesSemanticValidation) {
+  const FaultPlan plan =
+      fault_plan_from_text(to_fault_plan_text(full_plan()));
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+}  // namespace

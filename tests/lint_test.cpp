@@ -1,0 +1,315 @@
+// Tests for the semantic schedule linter (src/analysis/lint.cpp).
+//
+// The heart is the *mutation self-test*: take a known-good FLB run of the
+// paper example, corrupt it in one targeted way, and assert the matching
+// rule fires — proving each error rule has actual detection power, not
+// just that good schedules pass. A registry-wide property sweep then
+// checks every algorithm's output over the seeded corpus stays
+// error-free.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flb/analysis/lint.hpp"
+#include "flb/core/trace.hpp"
+#include "flb/graph/task_graph.hpp"
+#include "flb/platform/cost_model.hpp"
+#include "flb/sched/scheduler.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/workloads/paper_example.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace flb;
+using namespace flb::analysis;
+
+bool has_rule(const LintReport& report, const std::string& rule) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::string rules_of(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += d.rule;
+    out += ' ';
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+Schedule schedule_from_rows(const std::vector<FlbTraceRow>& rows,
+                            ProcId procs, TaskId num_tasks) {
+  Schedule s(procs, num_tasks);
+  for (const FlbTraceRow& row : rows)
+    s.assign(row.task, row.proc, row.start, row.finish);
+  return s;
+}
+
+/// A known-good FLB run of the paper example on 2 processors: the graph,
+/// the trace and the schedule the trace reproduces.
+struct PaperRun {
+  TaskGraph g = paper_example_graph();
+  std::vector<FlbTraceRow> rows = trace_flb(g, 2);
+  Schedule s = schedule_from_rows(rows, 2, g.num_tasks());
+  platform::CostModel model = platform::CostModel::clique(2);
+};
+
+// --- Clean runs lint clean -------------------------------------------------
+
+TEST(Lint, PaperExampleIsClean) {
+  PaperRun run;
+  const LintReport report = lint_flb(run.g, run.s, run.rows, run.model);
+  EXPECT_EQ(report.errors(), 0u) << rules_of(report);
+  EXPECT_EQ(report.warnings(), 0u) << rules_of(report);
+  // The info-tier makespan summary is always present for a complete
+  // schedule, so the report is clean but not empty.
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(has_rule(report, "makespan-lower-bound"));
+  EXPECT_EQ(report.max_severity(), Severity::kInfo);
+}
+
+TEST(Lint, TheoremTierExercisesEpAndNonEpRows) {
+  // The paper run must contain both classifications, or the clean result
+  // above would be vacuous for one of the two EP branches.
+  PaperRun run;
+  bool any_ep = false, any_non_ep = false;
+  for (const FlbTraceRow& row : run.rows)
+    (row.ep_type ? any_ep : any_non_ep) = true;
+  EXPECT_TRUE(any_ep);
+  EXPECT_TRUE(any_non_ep);
+}
+
+// --- Mutation self-test: each error rule must fire -------------------------
+
+TEST(LintMutation, FlippedEpFlagTripsEpClassification) {
+  PaperRun run;
+  // Flip the classification bit of the last row (t7, EP-type in Table 1)
+  // without touching the placement: LMT >= PRT(EP) still holds, so the
+  // claimed non-EP contradicts the appendix theorem.
+  ASSERT_TRUE(run.rows.back().ep_type) << "Table 1: t7 is EP-type";
+  run.rows.back().ep_type = false;
+  const LintReport report = lint_flb(run.g, run.s, run.rows, run.model);
+  EXPECT_TRUE(has_rule(report, "ep-classification")) << rules_of(report);
+}
+
+TEST(LintMutation, SwappedPlacementTripsEpClassification) {
+  PaperRun run;
+  // Move the final EP-type task off its enabling processor (consistently
+  // in trace and schedule, into a free slot so only the *semantic* rule
+  // can object).
+  FlbTraceRow& last = run.rows.back();
+  ASSERT_TRUE(last.ep_type);
+  const Cost duration = last.finish - last.start;
+  const ProcId other = last.proc == 0 ? 1 : 0;
+  const Cost slot = run.s.earliest_gap(other, last.start, duration);
+  last.proc = other;
+  last.start = slot;
+  last.finish = slot + duration;
+  const Schedule mutated =
+      schedule_from_rows(run.rows, 2, run.g.num_tasks());
+  const LintReport report =
+      lint_flb(run.g, mutated, run.rows, run.model);
+  EXPECT_TRUE(has_rule(report, "ep-classification")) << rules_of(report);
+  // The mutation was applied consistently, so the consistency rule must
+  // NOT fire — this is a semantic violation, not a bookkeeping one.
+  EXPECT_FALSE(has_rule(report, "trace-schedule-consistency"))
+      << rules_of(report);
+}
+
+TEST(LintMutation, DelayedStartTripsEtfConformance) {
+  PaperRun run;
+  // Delay the last task (consistently in trace and schedule): at that
+  // step the delayed task itself could start earlier, violating the ETF
+  // criterion.
+  FlbTraceRow& last = run.rows.back();
+  const Cost duration = last.finish - last.start;
+  last.start += 5.0;
+  last.finish = last.start + duration;
+  const Schedule mutated =
+      schedule_from_rows(run.rows, 2, run.g.num_tasks());
+  const LintReport report =
+      lint_flb(run.g, mutated, run.rows, run.model);
+  EXPECT_TRUE(has_rule(report, "etf-conformance")) << rules_of(report);
+  EXPECT_FALSE(has_rule(report, "trace-schedule-consistency"))
+      << rules_of(report);
+}
+
+TEST(LintMutation, ReorderedRowsTripPrtMonotone) {
+  // Two independent tasks on one processor: swapping their trace rows
+  // keeps precedence valid and leaves the schedule unchanged (same
+  // placements, order-free), but the replayed second row now starts
+  // before the processor is free.
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(2);
+  const TaskId c = b.add_task(3);
+  (void)a;
+  (void)c;
+  const TaskGraph g = std::move(b).build();
+  std::vector<FlbTraceRow> rows = trace_flb(g, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  std::swap(rows[0], rows[1]);
+  const Schedule s = schedule_from_rows(rows, 1, g.num_tasks());
+  const LintReport report =
+      lint_flb(g, s, rows, platform::CostModel::clique(1));
+  EXPECT_TRUE(has_rule(report, "prt-monotone")) << rules_of(report);
+}
+
+TEST(LintMutation, TamperedScheduleTripsConsistency) {
+  PaperRun run;
+  // Rebuild the schedule with the last task shifted, leaving the trace
+  // untouched: the trace no longer reproduces the schedule bit-for-bit.
+  std::vector<FlbTraceRow> shifted = run.rows;
+  shifted.back().start += 1.0;
+  shifted.back().finish += 1.0;
+  const Schedule tampered =
+      schedule_from_rows(shifted, 2, run.g.num_tasks());
+  const LintReport report =
+      lint_flb(run.g, tampered, run.rows, run.model);
+  EXPECT_TRUE(has_rule(report, "trace-schedule-consistency"))
+      << rules_of(report);
+}
+
+TEST(LintMutation, PrecedenceRespectingRowOrderIsEnforced) {
+  PaperRun run;
+  // Moving the first row (an entry task) to the end keeps the schedule
+  // identical but makes successors replay before their predecessor — an
+  // invalid execution order.
+  std::rotate(run.rows.begin(), run.rows.begin() + 1, run.rows.end());
+  const LintReport report = lint_flb(run.g, run.s, run.rows, run.model);
+  EXPECT_TRUE(has_rule(report, "trace-schedule-consistency"))
+      << rules_of(report);
+}
+
+// --- Feasibility tier (validator lift) -------------------------------------
+
+TEST(LintFeasibility, UnscheduledTaskAndWrongDurationAndPrecedence) {
+  const TaskGraph g = test::small_diamond();  // a->b, a->c, b->d, c->d
+  const platform::CostModel model = platform::CostModel::clique(2);
+
+  Schedule partial(2, g.num_tasks());
+  partial.assign(0, 0, 0.0, 1.0);
+  const LintReport r1 = lint_schedule(g, partial, model);
+  EXPECT_TRUE(has_rule(r1, "unscheduled-task")) << rules_of(r1);
+
+  Schedule padded(2, g.num_tasks());
+  padded.assign(0, 0, 0.0, 2.5);  // comp(a) = 1: duration is wrong
+  const LintReport r2 = lint_schedule(g, padded, model);
+  EXPECT_TRUE(has_rule(r2, "wrong-duration")) << rules_of(r2);
+
+  Schedule eager(2, g.num_tasks());
+  eager.assign(0, 0, 0.0, 1.0);
+  eager.assign(1, 1, 0.0, 3.0);  // b needs a's data: arrival 1 + 2 = 3
+  const LintReport r3 = lint_schedule(g, eager, model);
+  EXPECT_TRUE(has_rule(r3, "precedence")) << rules_of(r3);
+}
+
+// --- Quality tier ----------------------------------------------------------
+
+TEST(LintQuality, IdleGapWarnsAndCanBeDisabled) {
+  TaskGraphBuilder b;
+  (void)b.add_task(1);
+  const TaskGraph g = std::move(b).build();
+  Schedule s(1, 1);
+  s.assign(0, 0, 5.0, 6.0);  // legal, but the processor idled 5 units
+  const platform::CostModel model = platform::CostModel::clique(1);
+  const LintReport report = lint_schedule(g, s, model);
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(has_rule(report, "idle-gap")) << rules_of(report);
+  EXPECT_EQ(report.max_severity(), Severity::kWarn);
+
+  LintOptions quiet;
+  quiet.quality = false;
+  EXPECT_TRUE(lint_schedule(g, s, model, quiet).diagnostics.empty());
+}
+
+TEST(LintQuality, RemotePlacementWarnsWhenLocalSlotDominates) {
+  TaskGraphBuilder b;
+  const TaskId a = b.add_task(1);
+  const TaskId c = b.add_task(1);
+  b.add_edge(a, c, 2);
+  const TaskGraph g = std::move(b).build();
+  Schedule s(2, g.num_tasks());
+  s.assign(a, 0, 0.0, 1.0);
+  s.assign(c, 1, 3.0, 4.0);  // remote: pays comm 2; p0 was free from 1
+  const LintReport report =
+      lint_schedule(g, s, platform::CostModel::clique(2));
+  EXPECT_TRUE(report.clean());
+  EXPECT_TRUE(has_rule(report, "remote-placement")) << rules_of(report);
+}
+
+// --- Registry-wide property test -------------------------------------------
+
+TEST(LintProperty, EveryRegistryAlgorithmLintsCleanOnSeededCorpus) {
+  const std::vector<std::string> algos = extended_scheduler_names();
+  for (std::size_t index = 0; index < 20; ++index) {
+    const TaskGraph g = test::fuzz_graph(index);
+    for (ProcId procs : {ProcId{2}, ProcId{4}, ProcId{8}}) {
+      const platform::CostModel model = platform::CostModel::clique(procs);
+      for (const std::string& algo : algos) {
+        const Schedule s = make_scheduler(algo)->run(g, procs);
+        ASSERT_TRUE(validate_schedule(g, s).empty())
+            << algo << " infeasible on graph " << index << " P=" << procs
+            << "\n" << test::violations_to_string(g, s);
+        const LintReport report = lint_schedule(g, s, model);
+        EXPECT_TRUE(report.clean())
+            << algo << " on graph " << index << " P=" << procs << ": "
+            << rules_of(report);
+      }
+      // FLB additionally passes the full theorem tier on its own trace.
+      const std::vector<FlbTraceRow> rows = trace_flb(g, procs);
+      const Schedule s = schedule_from_rows(rows, procs, g.num_tasks());
+      const LintReport report = lint_flb(g, s, rows, model);
+      EXPECT_TRUE(report.clean())
+          << "FLB theorem tier on graph " << index << " P=" << procs
+          << ": " << rules_of(report);
+    }
+  }
+}
+
+// --- Reporting surfaces ----------------------------------------------------
+
+TEST(LintReporting, CatalogueCoversEveryEmittedRule) {
+  std::set<std::string> known;
+  for (const RuleInfo& r : rule_catalogue()) known.insert(r.id);
+  EXPECT_EQ(known.size(), rule_catalogue().size()) << "duplicate rule id";
+
+  // Collect rule ids from a pile of reports covering all three tiers.
+  PaperRun run;
+  std::vector<FlbTraceRow> broken = run.rows;
+  std::rotate(broken.begin(), broken.begin() + 1, broken.end());
+  broken.back().ep_type = !broken.back().ep_type;
+  for (const LintReport& report :
+       {lint_flb(run.g, run.s, run.rows, run.model),
+        lint_flb(run.g, run.s, broken, run.model)}) {
+    for (const Diagnostic& d : report.diagnostics)
+      EXPECT_TRUE(known.count(d.rule)) << "uncatalogued rule " << d.rule;
+  }
+}
+
+TEST(LintReporting, HumanAndJsonOutputs) {
+  PaperRun run;
+  const LintReport report = lint_flb(run.g, run.s, run.rows, run.model);
+
+  std::ostringstream human;
+  write_report(human, report);
+  EXPECT_NE(human.str().find("makespan-lower-bound"), std::string::npos);
+  EXPECT_NE(human.str().find("0 error(s)"), std::string::npos);
+
+  std::ostringstream json;
+  write_report_json(json, report);
+  EXPECT_NE(json.str().find("\"max_severity\":\"info\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"counts\":{\"error\":0"), std::string::npos);
+
+  EXPECT_STREQ(to_string(Severity::kError), "error");
+  EXPECT_STREQ(to_string(Severity::kWarn), "warn");
+  EXPECT_STREQ(to_string(Severity::kInfo), "info");
+}
+
+}  // namespace
