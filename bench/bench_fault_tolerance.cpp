@@ -20,7 +20,11 @@
 // now cut both ways — less work lost, more writes paid — and per workload
 // the sweep reports the break-even interval: the tightest interval whose
 // mean repaired/nominal makespan is still no worse than running without
-// checkpoints.
+// checkpoints. A companion table compares uniform placement against the
+// criticality-aware policy (CheckpointPolicy::min_downstream at the
+// workload's median bottom level): protecting only the tasks whose loss
+// would stall the longest chains buys most of the uniform policy's
+// resilience with a fraction of the durable writes.
 //
 // Sweep 4 (recovery give-back): the victim processor is killed at 10% of
 // the nominal makespan and rejoins, rebooted with cold caches, at 35%.
@@ -29,21 +33,37 @@
 // algorithm, under the paper's clique and under a routed 2-D mesh:
 // no-give-back ratio | give-back ratio | mean work given back.
 //
+// Sweep 5 (--online): the sweep-4 kill/rejoin episode replayed without the
+// fault oracle. The one-shot repair above reads the full FaultPlan; the
+// online controller (flb::runtime) only ever sees the simulator's event
+// stream, re-repairing at each observation. Reported per algorithm: oracle
+// planned ratio | online executed ratio | gap | mean repair invocations |
+// mean events observed, plus an FNV-1a digest of every episode's event-log
+// and final-schedule digests — byte-stable per seed, which is what the CI
+// online-determinism job diffs across two runs.
+//
 // Flags beyond bench_common's: --at-procs P, --victim p, --when f1,f2,...,
 // --ckpt f1,f2,... (checkpoint intervals as fractions of the nominal
 // makespan), --ckpt-overhead f (sweep 3's write cost as a fraction of the
 // mean task work), --stg path (schedule one STG instance instead of the
-// synthetic workloads), and --validate (durations-aware validation of every
-// repaired schedule, checkpoint-superiority and give-back-never-worse
-// enforcement, and byte-identical output: wall-clock columns are suppressed
-// so re-runs can be diffed — the CI fault-sweep smoke job).
+// synthetic workloads), --online (run sweep 5), and --validate
+// (durations-aware validation of every repaired schedule — including, with
+// --online, every per-event continuation the controller installs —
+// checkpoint-superiority, give-back-never-worse and online-determinism
+// enforcement, and byte-identical output: wall-clock columns are
+// suppressed so re-runs can be diffed — the CI fault-sweep smoke job).
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <iomanip>
 #include <map>
+#include <sstream>
 
 #include "bench_common.hpp"
+#include "flb/graph/properties.hpp"
 #include "flb/graph/stg.hpp"
+#include "flb/runtime/recovery_runtime.hpp"
 #include "flb/sched/repair.hpp"
 #include "flb/sim/machine_sim.hpp"
 #include "flb/sim/faults.hpp"
@@ -69,6 +89,24 @@ Topology mesh_for(ProcId procs) {
   for (ProcId r = 1; static_cast<std::size_t>(r) * r <= procs; ++r)
     if (procs % r == 0) rows = r;
   return Topology::mesh2d(rows, procs / rows);
+}
+
+std::string hex64(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << value;
+  return out.str();
+}
+
+// Median bottom level — the criticality threshold of the selective
+// checkpoint policy: the half of the tasks with the longest downstream
+// chains checkpoint, the rest run unprotected.
+Cost median_bottom_level(const TaskGraph& g) {
+  std::vector<Cost> levels = bottom_levels(g);
+  const std::size_t mid = levels.size() / 2;
+  std::nth_element(levels.begin(),
+                   levels.begin() + static_cast<std::ptrdiff_t>(mid),
+                   levels.end());
+  return levels[mid];
 }
 
 }  // namespace
@@ -256,13 +294,22 @@ int main(int argc, char** argv) {
   ov_headers.push_back("break-even");
   Table ov_table(ov_headers);
 
+  std::vector<std::string> cr_headers{"workload"};
+  for (double f : ckpt_fractions)
+    cr_headers.push_back("i=" + format_compact(f * 100) + "% u|c");
+  cr_headers.push_back("writes u|c");
+  Table cr_table(cr_headers);
+  const double tightest_interval =
+      *std::min_element(ckpt_fractions.begin(), ckpt_fractions.end());
+
   for (const std::string& workload : cfg.workloads) {
-    std::map<double, std::vector<double>> ov_degr;
+    std::map<double, std::vector<double>> ov_degr, cr_degr, wr_uni, wr_crit;
     for (double ccr : cfg.ccrs) {
       for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
         TaskGraph g = make_graph(workload, ccr, seed);
         const Cost mean_comp =
             g.total_comp() / static_cast<Cost>(g.num_tasks());
+        const Cost median_bl = median_bottom_level(g);
         auto sched = make_scheduler("FLB", seed);
         Schedule nominal = sched->run(g, procs);
         const Cost span = nominal.makespan();
@@ -292,9 +339,47 @@ int main(int argc, char** argv) {
                     g.name());
           RobustnessMetrics m = robustness_metrics(nominal, partial, repair);
           ov_degr[f].push_back(m.degradation_ratio);
+          if (f <= 0.0) continue;
+          wr_uni[f].push_back(
+              static_cast<double>(partial.checkpoints_taken));
+
+          // The criticality-aware variant of the same policy: identical
+          // interval and write cost, but only the half of the tasks with
+          // the longest downstream chains checkpoint at all.
+          FaultPlan crit = plan;
+          crit.checkpoint.min_downstream = median_bl;
+          SimOptions crit_opts;
+          crit_opts.faults = &crit;
+          SimResult crit_partial = simulate(g, nominal, crit_opts);
+          RepairResult crit_repair =
+              repair_schedule(g, nominal, crit_partial, crit);
+          if (validate) {
+            FLB_REQUIRE(is_valid_schedule(g, crit_repair.schedule,
+                                          crit_repair.durations),
+                        "FLB produced an infeasible repaired schedule "
+                        "under the criticality checkpoint policy on " +
+                            g.name());
+            FLB_REQUIRE(
+                crit_partial.checkpoints_taken <= partial.checkpoints_taken,
+                "the criticality policy wrote more checkpoints than the "
+                "uniform one on " + g.name());
+          }
+          RobustnessMetrics cm =
+              robustness_metrics(nominal, crit_partial, crit_repair);
+          cr_degr[f].push_back(cm.degradation_ratio);
+          wr_crit[f].push_back(
+              static_cast<double>(crit_partial.checkpoints_taken));
         }
       }
     }
+    std::vector<std::string> cr_row{workload};
+    for (double f : ckpt_fractions)
+      cr_row.push_back(format_fixed(mean(ov_degr[f]), 3) + " | " +
+                       format_fixed(mean(cr_degr[f]), 3));
+    cr_row.push_back(format_fixed(mean(wr_uni[tightest_interval]), 0) +
+                     " | " +
+                     format_fixed(mean(wr_crit[tightest_interval]), 0));
+    cr_table.add_row(cr_row);
     // Break-even: checkpointing pays for its writes down to this interval.
     const double off_ratio = mean(ov_degr[0.0]);
     double break_even = 0.0;
@@ -314,6 +399,20 @@ int main(int argc, char** argv) {
                "writes the curve turns — below the break-even interval the "
                "re-execution's checkpoint traffic outweighs the work "
                "saved)\n";
+
+  std::cout << "\nCriticality-aware checkpoint placement (FLB, same paid "
+            << "writes): uniform policy vs min_downstream at the median "
+            << "bottom level — only the half of the tasks with the longest "
+            << "downstream chains checkpoint. Cells: mean repaired/nominal "
+            << "makespan, uniform | criticality; the last column counts "
+            << "mean durable writes at the tightest interval.\n\n";
+  emit(cr_table, cfg);
+
+  std::cout << "\n(the selective policy spends its write budget where a "
+               "loss would stall the longest chains; tasks with little "
+               "downstream cost are cheap to re-execute unprotected, so "
+               "the resilience gap stays small while the write count "
+               "drops)\n";
 
   // --- Sweep 4: recovery give-back under the clique and a routed mesh ----
   const Topology mesh = mesh_for(procs);
@@ -403,5 +502,98 @@ int main(int argc, char** argv) {
                "work migrates back whenever the rejoined processor's "
                "admission instant plus cold re-fetches still beat the "
                "degraded queue)\n";
+
+  // --- Sweep 5 (--online): oracle repair vs the event-driven controller ---
+  if (args.has("online")) {
+    std::cout << "\nOnline recovery sweep: the same kill/rejoin episode, "
+              << "but the controller (flb::runtime) never reads the fault "
+              << "plan — it observes the simulator's event stream and "
+              << "re-repairs at each observation. Cells: oracle planned "
+              << "ratio (one-shot repair with the full plan) | online "
+              << "executed ratio | gap | mean repair invocations | mean "
+              << "events observed.\n\n";
+
+    Table on_table(
+        {"algorithm", "oracle", "online", "gap", "repairs", "events"});
+    std::map<std::string, std::vector<double>> on_oracle, on_online, on_reps,
+        on_evts;
+    std::string episode_digests;
+    std::size_t episodes = 0;
+    for (const std::string& workload : cfg.workloads) {
+      for (double ccr : cfg.ccrs) {
+        for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+          TaskGraph g = make_graph(workload, ccr, seed);
+          for (const std::string& algo : scheduler_names()) {
+            auto sched = make_scheduler(algo, seed);
+            Schedule nominal = sched->run(g, procs);
+            const Cost span = nominal.makespan();
+
+            FaultPlan plan;
+            plan.seed = seed;
+            plan.failures.push_back({victim, 0.1 * span});
+            plan.rejoins.push_back({victim, 0.35 * span});
+
+            // The oracle: one repair, computed with the whole plan.
+            SimOptions opts;
+            opts.faults = &plan;
+            SimResult partial = simulate(g, nominal, opts);
+            RepairResult oracle = repair_schedule(g, nominal, partial, plan);
+
+            runtime::RuntimeOptions ropts;
+            ropts.validate = validate;
+            runtime::RuntimeResult online =
+                runtime::run_online_recovery(g, nominal, plan, ropts);
+            if (validate) {
+              FLB_REQUIRE(online.complete,
+                          algo + ": online recovery left unfinished tasks "
+                                 "on " + g.name());
+              runtime::RuntimeResult again =
+                  runtime::run_online_recovery(g, nominal, plan, ropts);
+              FLB_REQUIRE(again.event_digest == online.event_digest &&
+                              again.schedule_digest == online.schedule_digest,
+                          algo + ": online recovery was not deterministic "
+                                 "on " + g.name());
+            }
+
+            on_oracle[algo].push_back(oracle.schedule.makespan() / span);
+            on_online[algo].push_back(online.makespan / span);
+            on_reps[algo].push_back(
+                static_cast<double>(online.repairs.size()));
+            on_evts[algo].push_back(
+                static_cast<double>(online.events_observed));
+            episode_digests += hex64(online.event_digest) + " " +
+                               hex64(online.schedule_digest) + "\n";
+            ++episodes;
+          }
+        }
+      }
+    }
+    for (const std::string& algo : scheduler_names()) {
+      std::vector<std::string> row{algo};
+      row.push_back(format_fixed(mean(on_oracle[algo]), 3));
+      row.push_back(format_fixed(mean(on_online[algo]), 3));
+      row.push_back(
+          format_fixed(mean(on_online[algo]) - mean(on_oracle[algo]), 3));
+      row.push_back(format_fixed(mean(on_reps[algo]), 1));
+      row.push_back(format_fixed(mean(on_evts[algo]), 1));
+      on_table.add_row(row);
+    }
+    emit(on_table, cfg);
+
+    std::cout << "\nonline sweep digest: "
+              << hex64(runtime::fnv1a_digest(episode_digests)) << " over "
+              << episodes << " episodes (chains every episode's event-log "
+              << "and final-schedule digests; byte-stable per seed — the "
+              << "CI determinism job diffs two runs)\n";
+    std::cout << "\n(the oracle column is the planned continuation of a "
+                 "repair that read the full plan; the online column is "
+                 "what actually executed under the controller that could "
+                 "not — two repairs instead of one: react to the death, "
+                 "then give back on the observed rejoin. The gap can run "
+                 "negative: the oracle commits its whole plan at the "
+                 "failure horizon, while the controller re-plans at the "
+                 "rejoin with the executed prefix in hand, so observed "
+                 "history can beat predicted history)\n";
+  }
   return 0;
 }

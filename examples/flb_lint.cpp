@@ -29,6 +29,18 @@
 //   --fail-on warn|error     exit-code threshold (default error)
 //   --list-rules             print the rule catalogue and exit
 //
+// Online-repair mode:
+//   --repair-at F            kill --victim (default 1) at fraction F of the
+//                            nominal makespan, repair the partial execution
+//                            (sched/repair.hpp) and lint the *continuation*
+//                            against its duration vector — the feasibility
+//                            tier the online recovery controller re-checks
+//                            on every installed schedule. The quality and
+//                            theorem tiers are off here: a continuation's
+//                            durations are stretched by the degraded
+//                            machine, so nominal-cost heuristics do not
+//                            apply. A repair regression exits 2.
+//
 // Exit code: 0 = no diagnostic at/above --fail-on; otherwise the max
 // severity seen (1 = warn, 2 = error); 3 = usage or parse error.
 
@@ -44,7 +56,10 @@
 #include "flb/graph/stg.hpp"
 #include "flb/platform/cost_model.hpp"
 #include "flb/sched/export.hpp"
+#include "flb/sched/repair.hpp"
 #include "flb/sched/scheduler.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
 #include "flb/util/cli.hpp"
 #include "flb/util/error.hpp"
 #include "flb/workloads/paper_example.hpp"
@@ -59,7 +74,9 @@ void print_usage() {
          "          --stg FILE | --workload NAME [--tasks V] [--seed S]\n"
          "schedule: --algo NAME (default FLB) | --schedule FILE\n"
          "options:  --procs P (default 2), --json, --no-quality,\n"
-         "          --fail-on warn|error (default error), --list-rules\n";
+         "          --fail-on warn|error (default error), --list-rules,\n"
+         "          --repair-at F [--victim p] (lint the repaired\n"
+         "          continuation after a fail-stop at F * makespan)\n";
 }
 
 flb::TaskGraph load_graph(const flb::CliArgs& args) {
@@ -126,7 +143,40 @@ int main(int argc, char** argv) {
 
     const platform::CostModel model = platform::CostModel::clique(procs);
     LintReport report;
-    if (args.has("schedule")) {
+    if (args.has("repair-at")) {
+      const double fraction = args.get_double("repair-at", 0.4);
+      FLB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                  "flb_lint: --repair-at must be a fraction in [0, 1]");
+      const auto victim = static_cast<ProcId>(args.get_int("victim", 1));
+      FLB_REQUIRE(victim < procs,
+                  "flb_lint: --victim must name a processor below --procs");
+      FLB_REQUIRE(procs >= 2,
+                  "flb_lint: --repair-at needs at least 2 processors");
+      FLB_REQUIRE(!args.has("schedule"),
+                  "flb_lint: --repair-at repairs a registry schedule; it "
+                  "cannot be combined with --schedule");
+      const std::string algo = args.get("algo", "FLB");
+      const Schedule nominal = make_scheduler(algo)->run(g, procs);
+
+      FaultPlan plan = FaultPlan::single_failure(
+          victim, fraction * nominal.makespan());
+      SimOptions sim_options;
+      sim_options.faults = &plan;
+      const SimResult partial = simulate(g, nominal, sim_options);
+      const RepairResult repair = repair_schedule(g, nominal, partial, plan);
+
+      if (!args.has("json"))
+        std::cout << "Linting the " << algo
+                  << " continuation repaired after processor " << victim
+                  << " failed at t = " << fraction * nominal.makespan()
+                  << " (" << repair.migrated_tasks << " tasks migrated onto "
+                  << repair.survivors << " survivors)\n";
+      LintOptions repair_options = options;
+      repair_options.theorems = false;
+      repair_options.quality = false;
+      report = lint_schedule(g, repair.schedule, repair.durations, model,
+                             repair_options);
+    } else if (args.has("schedule")) {
       FLB_REQUIRE(!args.has("algo"),
                   "flb_lint: --schedule and --algo are mutually exclusive");
       std::ifstream in(args.get("schedule", ""));

@@ -1,0 +1,138 @@
+// One mission of the online recovery runtime, narrated event by event.
+//
+// A schedule is dispatched onto a machine that fails while it runs: a
+// processor dies mid-flight, a survivor throttles to half speed for a
+// while, and the dead processor eventually reboots and rejoins with cold
+// caches. Nobody tells the controller any of this in advance — it watches
+// the simulator's event stream (the same SimEvent log a real runtime's
+// heartbeats would produce) and re-repairs the schedule after each
+// observation, validating every continuation before installing it.
+//
+// The episode prints as a timeline: each observed event, then the repair
+// it triggered — strategy, survivors, migrated work, the planned makespan
+// of the freshly installed continuation. At the end the executed outcome
+// is compared against the oracle: a single repair computed with the full
+// fault plan. The gap is the price of not knowing the future.
+//
+// Usage: flb_mission [tasks] [procs] [seed]
+//   tasks  graph size       (default 40)
+//   procs  processor count  (default 4)
+//   seed   workload + fault seed (default 7)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "flb/core/flb.hpp"
+#include "flb/runtime/recovery_runtime.hpp"
+#include "flb/sched/gantt.hpp"
+#include "flb/sched/repair.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
+#include "flb/workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flb;
+
+  const std::size_t tasks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  const ProcId procs =
+      argc > 2 ? static_cast<ProcId>(std::strtoul(argv[2], nullptr, 10)) : 4;
+  const std::size_t seed =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 7;
+  if (procs < 3) {
+    std::cerr << "flb_mission needs at least 3 processors\n";
+    return 1;
+  }
+
+  WorkloadParams params;
+  params.seed = seed;
+  params.ccr = 1.0;
+  TaskGraph g = make_workload("LU", tasks, params);
+
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, procs);
+  const Cost span = nominal.makespan();
+  std::cout << "Mission: " << g.name() << " on " << procs
+            << " processors, nominal makespan " << span << ".\n\n";
+  write_gantt(std::cout, g, nominal, 72);
+
+  // The world the controller does NOT get to read: processor 1 dies a
+  // quarter of the way in and reboots at 60%; processor 2 runs at half
+  // speed for a stretch; every task with enough downstream cost
+  // checkpoints a quarter of the mean task work apart.
+  const Cost mean_comp = g.total_comp() / static_cast<Cost>(g.num_tasks());
+  FaultPlan world;
+  world.seed = seed;
+  world.failures.push_back({1, 0.25 * span});
+  world.rejoins.push_back({1, 0.60 * span});
+  world.slowdowns.push_back({2, 0.10 * span, 0.5, 0.40 * span});
+  world.checkpoint = {0.25 * mean_comp, 0.01 * mean_comp,
+                      0.5 * mean_comp};
+
+  std::cout << "\nThe fault plan stays sealed; the controller sees only "
+               "the event stream.\n";
+
+  runtime::RuntimeOptions options;
+  options.validate = true;
+  runtime::RuntimeResult mission =
+      runtime::run_online_recovery(g, nominal, world, options);
+
+  // Timeline: each event in observation order, then the repair whose
+  // horizon it fell under. Events past the last horizon never triggered a
+  // reaction (the execution was already complete).
+  std::cout << "\n-- Timeline --\n";
+  std::size_t next_event = 0;
+  for (std::size_t r = 0; r < mission.repairs.size(); ++r) {
+    const runtime::RepairInvocation& inv = mission.repairs[r];
+    while (next_event < mission.events.size() &&
+           mission.events[next_event].time <= inv.horizon) {
+      std::cout << "  observed  " << to_string(mission.events[next_event])
+                << "\n";
+      ++next_event;
+    }
+    std::cout << "  repair #" << r + 1 << "  at t=" << inv.observed_at
+              << " horizon=" << inv.horizon << " events=" << inv.events
+              << " survivors=" << inv.survivors;
+    if (inv.deferred) {
+      std::cout << "  -> deferred (no survivor to repair onto)\n";
+      continue;
+    }
+    std::cout << "\n            "
+              << (inv.used == RepairStrategy::kFlbResume ? "FLB resume"
+                                                         : "greedy fallback")
+              << ", " << inv.migrated << " tasks migrated, "
+              << inv.reexecuted << " re-executed, planned makespan "
+              << inv.makespan;
+    if (inv.retry_attempt > 0)
+      std::cout << " (retry attempt " << inv.retry_attempt
+                << ", backed off)";
+    std::cout << "\n";
+  }
+  for (; next_event < mission.events.size(); ++next_event)
+    std::cout << "  observed  " << to_string(mission.events[next_event])
+              << "  (after completion; no reaction)\n";
+
+  std::cout << "\nFinal installed schedule:\n\n";
+  write_gantt(std::cout, g, mission.schedule, 72);
+
+  // The oracle: one repair computed with the sealed plan in hand.
+  SimOptions opts;
+  opts.faults = &world;
+  SimResult partial = simulate(g, nominal, opts);
+  RepairResult oracle = repair_schedule(g, nominal, partial, world);
+
+  std::cout << "\n-- Outcome --\n";
+  std::cout << "executed makespan:  " << mission.makespan << " ("
+            << mission.makespan / span << "x nominal)\n";
+  std::cout << "oracle planned:     " << oracle.schedule.makespan() << " ("
+            << oracle.schedule.makespan() / span << "x nominal)\n";
+  std::cout << "repairs invoked:    " << mission.repairs.size() << "\n";
+  std::cout << "events observed:    " << mission.events_observed << "\n";
+  std::cout << "complete:           " << (mission.complete ? "yes" : "NO")
+            << "\n";
+  std::cout << "degraded to greedy: " << (mission.degraded ? "yes" : "no")
+            << "\n";
+  std::cout << "event-log digest:   " << std::hex << mission.event_digest
+            << "\nschedule digest:    " << mission.schedule_digest
+            << std::dec << "\n";
+  return mission.complete ? 0 : 1;
+}

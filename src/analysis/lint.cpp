@@ -76,9 +76,9 @@ const char* feasibility_rule(Violation::Kind kind) {
 
 // --- Feasibility tier ------------------------------------------------------
 
-void feasibility_rules(const TaskGraph& g, const Schedule& s,
-                       const LintOptions& opt, Sink& sink) {
-  for (const Violation& v : validate_schedule(g, s, opt.tolerance)) {
+void emit_violations(const std::vector<Violation>& violations,
+                     const Schedule& s, Sink& sink) {
+  for (const Violation& v : violations) {
     Diagnostic& d = sink.emit(feasibility_rule(v.kind), Severity::kError);
     d.task = v.task;
     if (v.task != kInvalidTask && v.task < s.num_tasks() &&
@@ -88,6 +88,19 @@ void feasibility_rules(const TaskGraph& g, const Schedule& s,
     d.hint = "the schedule is not executable on the paper's machine model; "
              "re-derive it or fix the producing scheduler";
   }
+}
+
+void feasibility_rules(const TaskGraph& g, const Schedule& s,
+                       const LintOptions& opt, Sink& sink) {
+  emit_violations(validate_schedule(g, s, opt.tolerance), s, sink);
+}
+
+// Durations-aware variant for continuation schedules, where FT - ST may
+// legitimately differ from comp(t).
+void feasibility_rules(const TaskGraph& g, const Schedule& s,
+                       const std::vector<Cost>& durations,
+                       const LintOptions& opt, Sink& sink) {
+  emit_violations(validate_schedule(g, s, durations, opt.tolerance), s, sink);
 }
 
 // --- Quality tier ----------------------------------------------------------
@@ -584,6 +597,18 @@ LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
   LintReport report;
   Sink sink(report);
   if (options.feasibility) feasibility_rules(g, s, options, sink);
+  if (options.quality) quality_rules(g, s, model, options, sink);
+  return report;
+}
+
+LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
+                         const std::vector<Cost>& durations,
+                         const platform::CostModel& model,
+                         const LintOptions& options) {
+  LintReport report;
+  Sink sink(report);
+  if (options.feasibility)
+    feasibility_rules(g, s, durations, options, sink);
   if (options.quality) quality_rules(g, s, model, options, sink);
   return report;
 }

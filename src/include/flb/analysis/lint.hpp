@@ -103,6 +103,21 @@ LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
                          const platform::CostModel& model,
                          const LintOptions& options = {});
 
+/// Lint a *continuation* schedule (sched/repair.hpp) whose per-task wall
+/// times legitimately differ from comp(t): the feasibility tier runs the
+/// durations-aware validate_schedule overload against `durations`
+/// (slowdown-stretched remainders, checkpoint-write pauses, perturbed
+/// runtimes; an entry of kUndefinedTime skips the duration check for that
+/// task). Everything else matches lint_schedule above. This is how online
+/// repair regressions surface as lint errors rather than silent infeasible
+/// continuations — the flb::runtime loop and flb_lint --repair-at both
+/// funnel every repaired schedule through here. `durations` must have one
+/// entry per task.
+LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
+                         const std::vector<Cost>& durations,
+                         const platform::CostModel& model,
+                         const LintOptions& options = {});
+
 /// Lint an FLB run: everything lint_schedule checks plus the theorem tier,
 /// replaying `rows` (from trace_flb) step by step against `s`. The trace
 /// must describe the same run that produced `s`; rule

@@ -85,7 +85,11 @@ using FlbObserver = std::function<void(const Schedule&, const FlbStep&)>;
 
 /// Everything FlbScheduler::resume needs to know about the degraded machine
 /// it is continuing on. The plain alive/release resume is the special case
-/// with unit speeds and untouched work.
+/// with unit speeds and untouched work. The context describes an *observed*
+/// machine state, not a prediction: the online controller
+/// (runtime/recovery_runtime.hpp) rebuilds one from the event stream at
+/// every repair, so a resume never encodes faults that have not happened
+/// yet.
 struct FlbResumeContext {
   /// Which processors may receive new tasks; must have num_procs entries,
   /// at least one true.

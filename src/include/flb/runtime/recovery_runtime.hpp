@@ -1,0 +1,204 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "flb/sched/repair.hpp"
+#include "flb/sched/schedule.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
+
+/// \file recovery_runtime.hpp
+/// Online, event-driven recovery: closed-loop repair with no fault oracle.
+///
+/// repair_schedule() (sched/repair.hpp) consumes the *entire* FaultPlan up
+/// front — an oracle no real distributed-memory machine has. This module
+/// closes the loop the way a real runtime would: the fault-injecting
+/// simulator executes the current schedule and emits an observable event
+/// stream (SimOptions::event_log); the controller reacts to each observed
+/// event by repairing at a horizon truncated to observed history, installs
+/// the continuation, and resumes execution — re-repairing on every
+/// subsequent event, including opportunistic give-back when a rejoin is
+/// observed.
+///
+/// **The no-future-knowledge guarantee.** All fault information reaches the
+/// controller through HorizonFaultView, which is built exclusively from
+/// SimEvents whose timestamps lie at or before the current observation
+/// horizon. The view's plan() contains only observed failures, rejoins and
+/// slowdowns; an active slowdown whose end has not been observed is treated
+/// as permanent (until = kInfiniteTime), and a killed processor is treated
+/// as dead until its rejoin is observed — give-back therefore emerges
+/// naturally at the rejoin event instead of being scheduled in advance.
+/// The scalar configuration (seed, checkpoint policy, message-fault model,
+/// runtime spread) is copied from the world plan: those describe the
+/// machine's *configuration*, which a runtime legitimately knows, not the
+/// timing of future faults. The partial execution handed to each repair is
+/// likewise horizon-sliced: a task still in flight at the horizon is
+/// re-planned, because its eventual finish is not yet observable. A test
+/// poisons every plan entry beyond the horizon and asserts bit-identical
+/// repairs.
+///
+/// **Policy knobs** (RuntimeOptions) make the controller robust rather
+/// than naive:
+///  * *Debounce*: events within `debounce` of the batch's first unobserved
+///    event are coalesced into one repair, so a correlated-domain cascade
+///    triggers one repair, not one per strike — no repair storms. The
+///    repair horizon is the end of the debounce window (the controller
+///    waited that long to see the burst settle).
+///  * *Bounded retry with exponential backoff*: when a processor that just
+///    received migrated work fails again mid-recovery, the next repair's
+///    release is pushed back by backoff_base * 2^(attempt-1); after
+///    `max_retries` such re-strikes the controller stops trusting the
+///    optimizing engine and degrades permanently to the greedy fallback.
+///  * *Graceful degradation*: whenever fewer than `degrade_below`
+///    processors are observed alive, the repair uses the greedy
+///    topological min-EST fallback instead of the resumed FLB engine.
+///
+/// Every continuation emitted inside the loop is checked with the
+/// durations-aware validator and the linter's feasibility tier before it
+/// is installed. The whole loop is a pure function of (graph, schedule,
+/// world plan, options): two runs produce bit-identical event logs,
+/// repairs and final schedules — the digests in RuntimeResult exist to
+/// diff exactly that.
+
+namespace flb::runtime {
+
+/// Everything the controller may know about faults at a given observation
+/// horizon: a FaultPlan reconstructed purely from observed SimEvents plus
+/// the machine's scalar configuration. The view can only grow — advance()
+/// raises the horizon, observe() adds events at or before it.
+class HorizonFaultView {
+ public:
+  /// Copies only the configuration scalars of `world` (seed, checkpoint,
+  /// message model, runtime spread); no failure, rejoin, slowdown, domain
+  /// or burst entry is taken. `num_procs` sizes the liveness tracking.
+  HorizonFaultView(const FaultPlan& world, ProcId num_procs);
+
+  /// Raise the observation horizon (monotone; lowering throws).
+  void advance(Cost horizon);
+
+  /// Fold one observed event into the view. Throws if the event lies
+  /// beyond the horizon — that would be future knowledge. Machine-level
+  /// events extend the plan (an observed slowdown stays active until its
+  /// end event is observed; an observed failure keeps the processor dead
+  /// until its rejoin is observed); execution-level events (task kills,
+  /// message drops) only mark the key as seen — the horizon-sliced
+  /// SimResult carries their payload. Re-observing a key is a no-op.
+  void observe(const SimEvent& event);
+
+  /// True iff `event` has already been observed. A kMessageDropped event is
+  /// considered observed once *any* drop of its (producer, consumer) pair
+  /// has been — re-simulating a continuation shifts the producer's finish
+  /// and with it the drop's timestamp, but a deterministic message fate
+  /// makes it the same loss; keying drops by edge keeps the observation
+  /// space finite and the controller loop convergent.
+  [[nodiscard]] bool observed(const SimEvent& event) const;
+
+  [[nodiscard]] Cost horizon() const { return horizon_; }
+
+  /// The observed-history fault plan: passes FaultPlan::validate and feeds
+  /// repair_schedule directly.
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Processors not currently observed dead (failure seen, rejoin not).
+  [[nodiscard]] ProcId observed_alive() const;
+
+  /// Number of distinct events observed so far.
+  [[nodiscard]] std::size_t observed_events() const { return seen_.size(); }
+
+ private:
+  FaultPlan plan_;
+  ProcId num_procs_;
+  Cost horizon_ = 0.0;
+  std::vector<char> dead_;
+  std::set<std::tuple<Cost, int, ProcId, TaskId, TaskId>> seen_;
+  std::set<std::pair<TaskId, TaskId>> dropped_;
+};
+
+/// Policy knobs of the online controller.
+struct RuntimeOptions {
+  /// Coalescing window: a repair batch spans [t0, t0 + debounce] where t0
+  /// is the earliest unobserved event; the repair horizon is the window's
+  /// end. 0 still coalesces events at the same instant.
+  Cost debounce = 0.0;
+  /// Bounded retry: how often a repair-target processor may fail again
+  /// mid-recovery before the controller degrades to greedy for good.
+  std::size_t max_retries = 3;
+  /// First backoff delay added to the release when a repair target fails
+  /// again; doubles per further attempt (backoff_base * 2^(attempt-1)).
+  Cost backoff_base = 1.0;
+  /// Degrade to the greedy fallback when observed-alive drops below this.
+  ProcId degrade_below = 2;
+  /// Options forwarded to the resumed FLB engine inside repair_schedule.
+  FlbOptions flb;
+  /// Check every continuation with the durations-aware validator and the
+  /// linter's feasibility tier before installing it (throws on failure).
+  bool validate = true;
+  /// Network model and latency scaling of the simulated executions.
+  SimNetwork network = SimNetwork::kContentionFree;
+  Cost latency_factor = 1.0;
+};
+
+/// One reaction of the controller to a batch of observed events.
+struct RepairInvocation {
+  Cost observed_at = 0.0;   ///< timestamp of the batch's first new event
+  Cost horizon = 0.0;       ///< release horizon the repair ran at
+  std::size_t events = 0;   ///< events coalesced into this invocation
+  RepairStrategy used = RepairStrategy::kFlbResume;
+  ProcId survivors = 0;        ///< processors observed alive at the repair
+  std::size_t migrated = 0;    ///< tasks (re)placed by the repair
+  std::size_t reexecuted = 0;  ///< finished tasks rolled back (dropped data)
+  Cost makespan = 0.0;         ///< the continuation's planned makespan
+  /// > 0 when this repair was pushed back by the bounded-retry backoff
+  /// (the value is the attempt number).
+  std::size_t retry_attempt = 0;
+  /// True when every processor was observed dead: no repair is possible,
+  /// the controller waits for the next event (a rejoin) instead.
+  bool deferred = false;
+  /// FNV-1a digest of the continuation's schedule text (0 when deferred) —
+  /// the unit of the determinism and poisoned-future comparisons.
+  std::uint64_t schedule_digest = 0;
+};
+
+/// Outcome of one online recovery episode.
+struct RuntimeResult {
+  explicit RuntimeResult(Schedule s) : schedule(std::move(s)) {}
+
+  Schedule schedule;            ///< final installed continuation
+  /// Expected wall duration per task of the final continuation (the last
+  /// repair's durations); empty when no repair was ever needed. Doubles as
+  /// SimOptions::work_override for replays.
+  std::vector<Cost> durations;
+  SimResult execution;          ///< final simulated execution (world plan)
+  std::vector<SimEvent> events; ///< full event log of the final execution
+  std::vector<RepairInvocation> repairs;  ///< one entry per reaction
+  std::size_t events_observed = 0;  ///< distinct events the view consumed
+  bool degraded = false;  ///< the greedy fallback was engaged at least once
+  Cost makespan = 0.0;    ///< executed makespan of the final continuation
+  bool complete = false;  ///< every task ran to completion
+  std::uint64_t event_digest = 0;     ///< FNV-1a over the rendered event log
+  std::uint64_t schedule_digest = 0;  ///< FNV-1a over the final schedule text
+};
+
+/// Run one closed-loop online recovery episode: execute `nominal` for `g`
+/// under the (hidden) `world` plan, repairing at each observed event per
+/// `options`. Deterministic: same inputs, bit-identical result. Throws
+/// flb::Error on malformed input or — with options.validate — on any
+/// continuation that fails the validator or the lint feasibility tier.
+RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
+                                  const FaultPlan& world,
+                                  const RuntimeOptions& options = {});
+
+/// Render an event log as one line per event (to_string(SimEvent) joined
+/// with newlines) — the text the event digest is computed over.
+std::string event_log_text(const std::vector<SimEvent>& events);
+
+/// FNV-1a 64-bit digest of a string (schedule text, event log text).
+std::uint64_t fnv1a_digest(const std::string& text);
+
+}  // namespace flb::runtime

@@ -48,7 +48,10 @@
 ///    writes a durable checkpoint after each `interval` units of work
 ///    (costing `checkpoint.overhead` wall time per write); a killed task
 ///    loses only the work past its last durable checkpoint, and
-///    repair_schedule() resumes it from there instead of from zero.
+///    repair_schedule() resumes it from there instead of from zero. With
+///    `checkpoint.min_downstream > 0` the policy is criticality-aware:
+///    only tasks whose bottom level reaches the threshold checkpoint at
+///    all — see CheckpointPolicy.
 ///  * **Message loss with bounded retry.** Every remote transfer attempt is
 ///    lost independently with `loss_probability`; a lost attempt is
 ///    retransmitted after a timeout that grows by `backoff` per retry, up
@@ -133,11 +136,28 @@ struct DomainBurst {
 /// durable checkpoint after each T units of *work* (marks at T, 2T, ...
 /// strictly below its total work), pausing for `overhead` wall time per
 /// write; a checkpoint interrupted by a failure is not durable.
+///
+/// Criticality-aware placement: with `min_downstream > 0` only tasks whose
+/// downstream cost — the bottom level BL(t), the heaviest
+/// computation+communication path from t to an exit — reaches the
+/// threshold are checkpointed; the rest run unprotected. Losing a task
+/// with little work behind it is cheap to absorb, so spending writes on it
+/// buys almost nothing; the threshold concentrates the overhead budget on
+/// the tasks whose loss would stall the longest chains. 0 keeps the
+/// uniform policy: every task checkpoints.
 struct CheckpointPolicy {
   Cost interval = 0.0;  ///< work units between checkpoints; 0 disables
   Cost overhead = 0.0;  ///< wall time per durable checkpoint write
+  /// Checkpoint only tasks with bottom level >= this (0 = all tasks).
+  Cost min_downstream = 0.0;
 
   [[nodiscard]] bool enabled() const { return interval > 0.0; }
+
+  /// True iff a task with downstream cost (bottom level) `downstream` is
+  /// checkpointed under this policy.
+  [[nodiscard]] bool covers(Cost downstream) const {
+    return enabled() && downstream >= min_downstream;
+  }
 };
 
 /// Per-message loss/delay model with bounded retry.
@@ -186,8 +206,8 @@ struct FaultPlan {
   /// names are unique and non-empty with members below `num_procs`; every
   /// burst references a declared domain with finite, non-negative
   /// time/window/cascade_delay/recovery_delay and a slowdown_factor of 0
-  /// or in (0,1]; and checkpoint interval and overhead are finite and
-  /// non-negative.
+  /// or in (0,1]; and checkpoint interval, overhead and min_downstream are
+  /// finite and non-negative.
   void validate(ProcId num_procs) const;
 };
 
@@ -265,7 +285,7 @@ Cost runtime_factor(const FaultPlan& plan, TaskId t);
 //     flb-faultplan 1
 //     seed 42
 //     runtime-spread 0.1
-//     checkpoint <interval> <overhead>
+//     checkpoint <interval> <overhead> [min_downstream]   (defaults to 0)
 //     message <loss> <delay_prob> <delay_factor> <max_retries> <timeout> <backoff>
 //     fail <proc> <time>
 //     rejoin <proc> <time>

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -41,6 +43,11 @@
 ///    predecessor outputs and already-delivered messages alike — must be
 ///    re-fetched, priced at rejoin_time + comm * latency_factor on the
 ///    consumer's start (not accounted as network traffic).
+///  * SimOptions::event_log turns the simulator into an *observable*
+///    machine: every fault and recovery is also emitted as a timestamped
+///    SimEvent, the input of the online recovery controller
+///    (runtime/recovery_runtime.hpp) which repairs with no knowledge of
+///    the plan beyond what the stream has surfaced so far.
 ///
 /// Dispatch discipline: each processor runs its tasks in the order the
 /// schedule placed them, each task starting as soon as the processor is
@@ -69,6 +76,51 @@ enum class SimNetwork {
   kSinglePortSendRecv ///< additionally one incoming transfer at a time
 };
 
+/// What an observer of the executing machine would see happen — the event
+/// stream a fault-injected simulation emits into SimOptions::event_log.
+/// This is the *online* face of the fault model: each entry carries only
+/// information available at its timestamp, so a controller consuming the
+/// stream in time order (flb::runtime) learns about faults exactly when a
+/// real runtime would, never from the FaultPlan it cannot see.
+enum class SimEventKind {
+  kFailure = 0,        ///< a processor died (fail-stop)
+  kRejoin = 1,         ///< a killed processor finished rebooting (cold)
+  kSlowdownBegin = 2,  ///< a slowdown struck; `value` is the speed factor
+  kSlowdownEnd = 3,    ///< a transient slowdown cleared (factor lifted)
+  kTaskKilled = 4,     ///< a dispatched task was lost with its processor;
+                       ///< `value` is the durably checkpointed work
+  kMessageDropped = 5, ///< a message exhausted its retry budget; task ->
+                       ///< task2 will never be delivered
+};
+
+/// One observed event. Machine-level events (failure, rejoin, slowdown
+/// begin/end) leave task fields at kInvalidTask; kTaskKilled names the lost
+/// task, kMessageDropped the producer (`task`) and starved consumer
+/// (`task2`). `time` for a dropped message is the instant the *sender*
+/// learns the transfer is lost — the emission instant plus the exhausted
+/// retry timeouts — not the instant of the first attempt.
+struct SimEvent {
+  Cost time = 0.0;
+  SimEventKind kind = SimEventKind::kFailure;
+  ProcId proc = kInvalidProc;
+  TaskId task = kInvalidTask;
+  TaskId task2 = kInvalidTask;
+  double value = 0.0;  ///< slowdown factor / checkpointed work, else 0
+
+  /// Identity key and deterministic log order: (time, kind, proc, tasks).
+  [[nodiscard]] auto key() const {
+    return std::make_tuple(time, static_cast<int>(kind), proc, task, task2);
+  }
+  bool operator<(const SimEvent& other) const { return key() < other.key(); }
+  bool operator==(const SimEvent& other) const {
+    return key() == other.key() && value == other.value;
+  }
+};
+
+/// Render one event as a stable, diffable log line, e.g.
+/// "t=12.5 failure p2" or "t=20 message-dropped p1 t7->t9".
+std::string to_string(const SimEvent& event);
+
 /// Simulation options.
 struct SimOptions {
   SimNetwork network = SimNetwork::kContentionFree;
@@ -86,6 +138,25 @@ struct SimOptions {
   /// migrated tasks resume from a checkpoint with only their remaining
   /// work. Must have num_tasks entries when set.
   const std::vector<Cost>* work_override = nullptr;
+  /// Optional observer stream (not owned). When set and a fault plan is
+  /// active, the simulation appends every observable event — failures,
+  /// rejoins, slowdown onsets and recoveries, task kills, permanent message
+  /// drops — sorted by SimEvent::key(), so two runs of the same plan yield
+  /// byte-identical logs. The vector is cleared first. Without a plan the
+  /// log is just cleared (a fault-free run has nothing to observe).
+  std::vector<SimEvent>* event_log = nullptr;
+  /// Treat the schedule's start times as *earliest-start constraints*
+  /// instead of replaying as-soon-as-possible: no task starts before its
+  /// ST(t), and a task that had not yet started when its processor died is
+  /// returned to the queue (nothing of it is lost) and re-dispatched if the
+  /// processor rejoins, rather than counted as killed. This is the causal
+  /// execution mode for *continuation* schedules (sched/repair.hpp), whose
+  /// start times encode repair release instants and rejoin admissions —
+  /// without it a replay would start migrated work before the failure it
+  /// reacts to was even observable, and would kill given-back tasks that
+  /// are scheduled after their processor's reboot. Default off: plain
+  /// replays keep the dispatch-ASAP semantics.
+  bool honor_start_times = false;
 };
 
 /// Simulation outcome. With fault injection, tasks that never ran keep

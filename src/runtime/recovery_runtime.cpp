@@ -1,0 +1,346 @@
+#include "flb/runtime/recovery_runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flb/analysis/lint.hpp"
+#include "flb/platform/cost_model.hpp"
+#include "flb/sched/export.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/util/error.hpp"
+
+namespace flb::runtime {
+
+// --- HorizonFaultView -------------------------------------------------------
+
+HorizonFaultView::HorizonFaultView(const FaultPlan& world, ProcId num_procs)
+    : num_procs_(num_procs), dead_(num_procs, 0) {
+  FLB_REQUIRE(num_procs > 0, "HorizonFaultView: need at least one processor");
+  // Configuration scalars only: the timing of faults (failures, rejoins,
+  // slowdowns, domains, bursts) stays hidden until observed.
+  plan_.seed = world.seed;
+  plan_.checkpoint = world.checkpoint;
+  plan_.message = world.message;
+  plan_.runtime_spread = world.runtime_spread;
+}
+
+void HorizonFaultView::advance(Cost horizon) {
+  FLB_REQUIRE(horizon >= horizon_,
+              "HorizonFaultView: the observation horizon cannot move "
+              "backwards");
+  horizon_ = horizon;
+}
+
+bool HorizonFaultView::observed(const SimEvent& event) const {
+  if (event.kind == SimEventKind::kMessageDropped &&
+      dropped_.count({event.task, event.task2}) != 0)
+    return true;
+  return seen_.count(event.key()) != 0;
+}
+
+void HorizonFaultView::observe(const SimEvent& event) {
+  FLB_REQUIRE(event.time <= horizon_,
+              "HorizonFaultView: an event beyond the horizon cannot be "
+              "observed — that would be future knowledge");
+  if (observed(event)) return;
+  seen_.insert(event.key());
+  switch (event.kind) {
+    case SimEventKind::kFailure:
+      plan_.failures.push_back({event.proc, event.time});
+      dead_[event.proc] = 1;
+      break;
+    case SimEventKind::kRejoin:
+      plan_.rejoins.push_back({event.proc, event.time});
+      dead_[event.proc] = 0;
+      break;
+    case SimEventKind::kSlowdownBegin:
+      // Until the end is observed the throttling must be assumed permanent.
+      plan_.slowdowns.push_back(
+          {event.proc, event.time, event.value, kInfiniteTime});
+      break;
+    case SimEventKind::kSlowdownEnd: {
+      // Close the earliest still-open slowdown of this processor with the
+      // matching factor. The onset always precedes the end, so it has been
+      // observed already (batches are consumed in time order).
+      SlowdownFault* open = nullptr;
+      for (SlowdownFault& f : plan_.slowdowns)
+        if (f.proc == event.proc && f.factor == event.value &&
+            f.until == kInfiniteTime && (open == nullptr || f.time < open->time))
+          open = &f;
+      FLB_REQUIRE(open != nullptr,
+                  "HorizonFaultView: slowdown end without an observed onset");
+      open->until = event.time;
+      break;
+    }
+    case SimEventKind::kTaskKilled:
+      break;  // payload lives in the horizon-sliced SimResult
+    case SimEventKind::kMessageDropped:
+      dropped_.insert({event.task, event.task2});
+      break;
+  }
+}
+
+ProcId HorizonFaultView::observed_alive() const {
+  ProcId alive = 0;
+  for (ProcId p = 0; p < num_procs_; ++p)
+    if (dead_[p] == 0) ++alive;
+  return alive;
+}
+
+// --- Digests ----------------------------------------------------------------
+
+std::uint64_t fnv1a_digest(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string event_log_text(const std::vector<SimEvent>& events) {
+  std::string text;
+  for (const SimEvent& event : events) {
+    text += to_string(event);
+    text += '\n';
+  }
+  return text;
+}
+
+// --- The controller loop ----------------------------------------------------
+
+namespace {
+
+/// The slice of one simulated execution the controller is allowed to see at
+/// `horizon`: placements of tasks that *finished* by then; everything else
+/// (including work in flight at the horizon, whose eventual finish is not
+/// yet observable) is re-planned. `checkpointed` is reconstructed from the
+/// accumulated work-override bookkeeping, `dropped_edges` from the observed
+/// drop events — never from the world's SimResult fields directly, which
+/// embed post-horizon knowledge.
+SimResult observed_slice(const TaskGraph& g, const SimResult& sim,
+                         Cost horizon, const std::vector<Cost>& remaining,
+                         const FaultPlan& world,
+                         const HorizonFaultView& view) {
+  const TaskId n = g.num_tasks();
+  SimResult obs;
+  obs.start.assign(n, kUndefinedTime);
+  obs.finish.assign(n, kUndefinedTime);
+  obs.checkpointed.assign(n, 0.0);
+  for (TaskId t = 0; t < n; ++t) {
+    if (sim.finish[t] != kUndefinedTime && sim.finish[t] <= horizon) {
+      obs.start[t] = sim.start[t];
+      obs.finish[t] = sim.finish[t];
+      obs.makespan = std::max(obs.makespan, obs.finish[t]);
+    } else {
+      obs.unfinished.push_back(t);
+    }
+    // Work already durably saved for tasks resuming from a checkpoint:
+    // repair subtracts this from the full (perturbed) computation, landing
+    // exactly on the remainder the simulator's work override executes.
+    if (remaining[t] != kUndefinedTime)
+      obs.checkpointed[t] = std::max(
+          0.0, g.comp(t) * runtime_factor(world, t) - remaining[t]);
+  }
+  for (const auto& edge : sim.dropped_edges)
+    if (view.observed({0.0, SimEventKind::kMessageDropped, kInvalidProc,
+                       edge.first, edge.second, 0.0}))
+      obs.dropped_edges.push_back(edge);
+  obs.dropped_messages = obs.dropped_edges.size();
+  return obs;
+}
+
+void check_continuation(const TaskGraph& g, const RepairResult& rep,
+                        ProcId procs, Cost horizon) {
+  const std::vector<Violation> violations =
+      validate_schedule(g, rep.schedule, rep.durations);
+  FLB_REQUIRE(violations.empty(),
+              "online recovery: the continuation repaired at horizon " +
+                  std::to_string(horizon) + " is infeasible: " +
+                  to_string(violations.front()));
+  analysis::LintOptions lint_options;
+  lint_options.theorems = false;
+  lint_options.quality = false;
+  const analysis::LintReport report =
+      analysis::lint_schedule(g, rep.schedule, rep.durations,
+                              platform::CostModel::clique(procs), lint_options);
+  FLB_REQUIRE(report.clean(),
+              "online recovery: the continuation repaired at horizon " +
+                  std::to_string(horizon) + " fails lint rule " +
+                  report.diagnostics.front().rule + ": " +
+                  report.diagnostics.front().message);
+}
+
+}  // namespace
+
+RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
+                                  const FaultPlan& world,
+                                  const RuntimeOptions& options) {
+  const TaskId n = g.num_tasks();
+  const ProcId procs = nominal.num_procs();
+  FLB_REQUIRE(nominal.complete(),
+              "run_online_recovery: the nominal schedule must be complete");
+  FLB_REQUIRE(nominal.num_tasks() == n,
+              "run_online_recovery: schedule and graph disagree on the task "
+              "count");
+  FLB_REQUIRE(options.debounce >= 0.0 && options.backoff_base >= 0.0,
+              "run_online_recovery: debounce and backoff_base must be "
+              "non-negative");
+  world.validate(procs);
+
+  HorizonFaultView view(world, procs);
+  Schedule current = nominal;
+  // Effective remaining work per task, fed back to the simulator as
+  // SimOptions::work_override: once a kill with durably checkpointed work is
+  // observed, the re-executed task carries only its unprotected remainder —
+  // the world honors checkpoint resume across repairs.
+  std::vector<Cost> remaining(n, kUndefinedTime);
+  std::vector<Cost> last_durations;
+  std::vector<RepairInvocation> repairs;
+  std::vector<char> repair_targets(procs, 0);
+  std::size_t retry_attempts = 0;
+  bool force_greedy = false;
+  bool degraded = false;
+
+  std::vector<SimEvent> log;
+  SimOptions sim_options;
+  sim_options.network = options.network;
+  sim_options.latency_factor = options.latency_factor;
+  sim_options.faults = &world;
+  sim_options.work_override = &remaining;
+  sim_options.event_log = &log;
+  // Causal continuation replay: repaired start times encode release
+  // instants and rejoin admissions, so they are hard earliest-start
+  // constraints — and a task that had not started when its processor died
+  // must return to the queue, not count as killed, or give-back after a
+  // rejoin could never execute.
+  sim_options.honor_start_times = true;
+
+  SimResult sim;
+  // Every iteration observes at least one new event (or breaks), and the
+  // observation space is finite — machine events are fixed by the plan,
+  // task kills are keyed by the plan's finite death instants, message drops
+  // by edge. The cap is a runaway backstop, far above any real episode.
+  const std::size_t cap = 1000 + 32 * (static_cast<std::size_t>(n) +
+                                       g.num_edges() + procs);
+  for (std::size_t iter = 0;; ++iter) {
+    FLB_REQUIRE(iter < cap,
+                "run_online_recovery: controller failed to converge");
+    sim = simulate(g, current, sim_options);
+
+    // Fresh events, in time order. Once the execution runs to completion,
+    // events at or beyond its makespan can no longer affect anything — a
+    // controller that has seen every task finish stops reacting.
+    std::vector<SimEvent> fresh;
+    for (const SimEvent& event : log) {
+      if (view.observed(event)) continue;
+      if (sim.complete() && event.time >= sim.makespan) continue;
+      fresh.push_back(event);
+    }
+    if (fresh.empty()) break;
+
+    // Debounce: coalesce everything within the window opened by the first
+    // unobserved event into one reaction.
+    const Cost observed_at = fresh.front().time;
+    const Cost batch_end = observed_at + options.debounce;
+    std::vector<SimEvent> batch;
+    for (const SimEvent& event : fresh)
+      if (event.time <= batch_end) batch.push_back(event);
+
+    // Bounded retry: a failure striking a processor the previous repair
+    // migrated work onto pushes the next repair back exponentially; past
+    // the retry budget the optimizing engine is no longer trusted.
+    std::size_t attempt = 0;
+    for (const SimEvent& event : batch)
+      if (event.kind == SimEventKind::kFailure &&
+          repair_targets[event.proc] != 0) {
+        attempt = ++retry_attempts;
+        if (retry_attempts > options.max_retries) force_greedy = true;
+        break;
+      }
+    Cost horizon = std::max(view.horizon(), batch_end);
+    if (attempt > 0)
+      horizon += options.backoff_base *
+                 std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(
+                                     attempt - 1, 30)));
+
+    view.advance(horizon);
+    for (const SimEvent& event : batch) {
+      view.observe(event);
+      if (event.kind == SimEventKind::kTaskKilled && event.value > 0.0) {
+        const Cost before = remaining[event.task] != kUndefinedTime
+                                ? remaining[event.task]
+                                : g.comp(event.task) *
+                                      runtime_factor(world, event.task);
+        remaining[event.task] = std::max(0.0, before - event.value);
+      }
+    }
+
+    RepairInvocation inv;
+    inv.observed_at = observed_at;
+    inv.horizon = horizon;
+    inv.events = batch.size();
+    inv.survivors = view.observed_alive();
+    inv.retry_attempt = attempt;
+
+    if (inv.survivors == 0) {
+      // Nothing to repair onto: hold the current schedule and wait for the
+      // next observable event (a rejoin, if one ever comes).
+      inv.deferred = true;
+      repairs.push_back(inv);
+      continue;
+    }
+
+    const SimResult obs =
+        observed_slice(g, sim, horizon, remaining, world, view);
+    RepairOptions repair_options;
+    repair_options.strategy =
+        (force_greedy || inv.survivors < options.degrade_below)
+            ? RepairStrategy::kGreedy
+            : RepairStrategy::kAuto;
+    repair_options.flb = options.flb;
+    repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
+    repair_options.horizon = horizon;
+    const RepairResult rep =
+        repair_schedule(g, current, obs, view.plan(), repair_options);
+    if (options.validate) check_continuation(g, rep, procs, horizon);
+
+    inv.used = rep.used;
+    inv.migrated = rep.migrated_tasks;
+    inv.reexecuted = rep.reexecuted_tasks;
+    inv.makespan = rep.schedule.makespan();
+    inv.schedule_digest = fnv1a_digest(to_schedule_text(rep.schedule));
+    repairs.push_back(inv);
+    if (rep.used == RepairStrategy::kGreedy) degraded = true;
+
+    repair_targets.assign(procs, 0);
+    for (ProcId p = 0; p < procs; ++p)
+      for (const TaskId t : rep.schedule.tasks_on(p))
+        if (rep.schedule.start(t) >= rep.release_time - 1e-9) {
+          repair_targets[p] = 1;
+          break;
+        }
+
+    current = rep.schedule;
+    last_durations = rep.durations;
+  }
+
+  RuntimeResult result(std::move(current));
+  result.durations = std::move(last_durations);
+  result.makespan = sim.makespan;
+  result.complete = sim.complete();
+  result.execution = std::move(sim);
+  result.events = std::move(log);
+  result.repairs = std::move(repairs);
+  result.events_observed = view.observed_events();
+  result.degraded = degraded;
+  result.event_digest = fnv1a_digest(event_log_text(result.events));
+  result.schedule_digest = fnv1a_digest(to_schedule_text(result.schedule));
+  return result;
+}
+
+}  // namespace flb::runtime

@@ -166,15 +166,25 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   // Remaining work of every migrated task: its (deterministically
   // perturbed) total minus what its last durable checkpoint protects, plus
   // the wall time of the checkpoint writes the re-execution itself will
-  // perform.
+  // perform. Under a criticality-aware policy (min_downstream > 0) tasks
+  // below the bottom-level threshold neither saved anything nor pay for
+  // writes — mirroring the simulator's per-task gating.
+  std::vector<Cost> downstream;
+  if (plan.checkpoint.enabled() && plan.checkpoint.min_downstream > 0.0)
+    downstream = bottom_levels(g);
   std::vector<Cost> work(n, kUndefinedTime), extra(n, 0.0);
   for (TaskId t = 0; t < n; ++t) {
     if (fixed[t]) continue;
+    const bool covered =
+        downstream.empty() ? plan.checkpoint.enabled()
+                           : plan.checkpoint.covers(downstream[t]);
     Cost saved = partial.checkpointed.empty() ? 0.0 : partial.checkpointed[t];
     Cost remaining = g.comp(t) * runtime_factor(plan, t) - saved;
     work[t] = remaining;
-    extra[t] = static_cast<Cost>(checkpoint_count(plan.checkpoint, remaining)) *
-               plan.checkpoint.overhead;
+    if (covered)
+      extra[t] =
+          static_cast<Cost>(checkpoint_count(plan.checkpoint, remaining)) *
+          plan.checkpoint.overhead;
     out.checkpoint_work_saved += saved;
   }
 

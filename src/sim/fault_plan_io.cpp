@@ -96,6 +96,8 @@ FaultPlan read_fault_plan(std::istream& is) {
           field(ls, line, "missing or malformed checkpoint interval");
       plan.checkpoint.overhead =
           field(ls, line, "missing or malformed checkpoint overhead");
+      plan.checkpoint.min_downstream =
+          opt_field(ls, line, "malformed checkpoint min-downstream", 0.0);
       expect_end(ls, line);
     } else if (directive == "message") {
       MessageFaults& m = plan.message;
@@ -174,9 +176,14 @@ void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
   os << "seed " << plan.seed << "\n";
   if (plan.runtime_spread != 0.0)
     os << "runtime-spread " << plan.runtime_spread << "\n";
-  if (plan.checkpoint.enabled() || plan.checkpoint.overhead != 0.0)
+  if (plan.checkpoint.enabled() || plan.checkpoint.overhead != 0.0 ||
+      plan.checkpoint.min_downstream != 0.0) {
     os << "checkpoint " << plan.checkpoint.interval << " "
-       << plan.checkpoint.overhead << "\n";
+       << plan.checkpoint.overhead;
+    if (plan.checkpoint.min_downstream != 0.0)
+      os << " " << plan.checkpoint.min_downstream;
+    os << "\n";
+  }
   {
     const MessageFaults defaults;
     const MessageFaults& m = plan.message;

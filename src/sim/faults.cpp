@@ -274,6 +274,9 @@ void FaultPlan::validate(ProcId num_procs) const {
   FLB_REQUIRE(finite_nonneg(checkpoint.overhead),
               "FaultPlan: checkpoint overhead must be finite and "
               "non-negative");
+  FLB_REQUIRE(finite_nonneg(checkpoint.min_downstream),
+              "FaultPlan: checkpoint min_downstream must be finite and "
+              "non-negative");
 }
 
 Cost ResolvedFaults::death_time(ProcId p) const {

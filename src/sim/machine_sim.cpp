@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <queue>
+#include <sstream>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "flb/graph/properties.hpp"
 #include "flb/platform/cost_model.hpp"
 #include "flb/util/error.hpp"
+#include "flb/util/table.hpp"
 
 namespace flb {
 
@@ -23,6 +26,10 @@ struct Event {
   int kind;
   std::size_t seq;
   TaskId task;  ///< completing task, or the processor for kFailure/kRejoin
+  /// Dispatch generation of a completion: a task returned to the queue by a
+  /// failure (honor_start_times mode) bumps its epoch, so the stale
+  /// completion of the canceled dispatch is ignored when it surfaces.
+  std::size_t epoch = 0;
   bool operator>(const Event& other) const {
     return std::tie(time, kind, seq) >
            std::tie(other.time, other.kind, other.seq);
@@ -30,6 +37,36 @@ struct Event {
 };
 
 }  // namespace
+
+std::string to_string(const SimEvent& event) {
+  std::ostringstream os;
+  os << "t=" << format_compact(event.time) << " ";
+  switch (event.kind) {
+    case SimEventKind::kFailure:
+      os << "failure p" << event.proc;
+      break;
+    case SimEventKind::kRejoin:
+      os << "rejoin p" << event.proc;
+      break;
+    case SimEventKind::kSlowdownBegin:
+      os << "slowdown-begin p" << event.proc << " x"
+         << format_compact(event.value);
+      break;
+    case SimEventKind::kSlowdownEnd:
+      os << "slowdown-end p" << event.proc << " x"
+         << format_compact(event.value);
+      break;
+    case SimEventKind::kTaskKilled:
+      os << "task-killed p" << event.proc << " t" << event.task
+         << " saved=" << format_compact(event.value);
+      break;
+    case SimEventKind::kMessageDropped:
+      os << "message-dropped p" << event.proc << " t" << event.task << "->t"
+         << event.task2;
+      break;
+  }
+  return os.str();
+}
 
 SimResult simulate(const TaskGraph& g, const Schedule& s,
                    const SimOptions& options) {
@@ -49,6 +86,20 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   }
   const CheckpointPolicy ckpt =
       plan != nullptr ? plan->checkpoint : CheckpointPolicy{};
+
+  // Criticality-aware checkpoint placement: with min_downstream > 0 only
+  // tasks whose bottom level reaches the threshold write checkpoints; the
+  // rest run with the policy disabled.
+  std::vector<Cost> downstream;
+  if (plan != nullptr && ckpt.enabled() && ckpt.min_downstream > 0.0)
+    downstream = bottom_levels(g);
+  auto ckpt_of = [&](TaskId t) -> CheckpointPolicy {
+    if (downstream.empty() || ckpt.covers(downstream[t])) return ckpt;
+    return CheckpointPolicy{};
+  };
+
+  std::vector<SimEvent>* const log = options.event_log;
+  if (log != nullptr) log->clear();
 
   SimResult result;
   result.start.assign(n, kUndefinedTime);
@@ -92,6 +143,10 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   std::vector<bool> dispatched(n, false);
   std::vector<bool> killed(n, false);   // dispatched, then lost to a failure
   std::vector<bool> starved(n, false);  // an input message was dropped
+  // Dispatch generation per task (see Event::epoch); only ever bumped in
+  // honor_start_times mode, when a failure returns unstarted work to the
+  // queue.
+  std::vector<std::size_t> epoch(n, 0);
   std::vector<std::size_t> pending_preds(n);
   for (TaskId t = 0; t < n; ++t) pending_preds[t] = g.in_degree(t);
 
@@ -124,6 +179,23 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       events.push({f.time, Event::kFailure, seq++, f.proc});
     for (const ProcRejoin& r : resolved.rejoins)
       events.push({r.time, Event::kRejoin, seq++, r.proc});
+    if (log != nullptr) {
+      // Machine-level events are schedule-independent: they surface from
+      // the resolved plan alone, observed at their strike instants.
+      for (const ProcFailure& f : resolved.failures)
+        log->push_back({f.time, SimEventKind::kFailure, f.proc,
+                        kInvalidTask, kInvalidTask, 0.0});
+      for (const ProcRejoin& r : resolved.rejoins)
+        log->push_back({r.time, SimEventKind::kRejoin, r.proc, kInvalidTask,
+                        kInvalidTask, 0.0});
+      for (const SlowdownFault& f : resolved.slowdowns) {
+        log->push_back({f.time, SimEventKind::kSlowdownBegin, f.proc,
+                        kInvalidTask, kInvalidTask, f.factor});
+        if (f.until != kInfiniteTime)
+          log->push_back({f.until, SimEventKind::kSlowdownEnd, f.proc,
+                          kInvalidTask, kInvalidTask, f.factor});
+      }
+    }
   }
 
   // Try to dispatch the head task of processor p. All arrival times are
@@ -143,6 +215,8 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       if (starved[t]) return;            // its message will never come
       if (pending_preds[t] > 0) return;  // retried when the last pred ends
       Cost start = proc_free[p];
+      // Continuation mode: ST(t) is a release instant, not a replayed time.
+      if (options.honor_start_times) start = std::max(start, s.start(t));
       const Cost cold = rejoined_at[p];
       for (const Adj& a : g.predecessors(t)) {
         Cost avail;
@@ -161,14 +235,15 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       dispatched[t] = true;
       result.start[t] = start;
       if (plan != nullptr) {
-        platform::SpeedProfile::Trace tr = profiles[p].run(start, work_of(t), ckpt);
+        platform::SpeedProfile::Trace tr =
+            profiles[p].run(start, work_of(t), ckpt_of(t));
         FLB_ASSERT(tr.finished);
         result.finish[t] = tr.end;
       } else {
         result.finish[t] = start + work_of(t);
       }
       proc_free[p] = result.finish[t];
-      events.push({result.finish[t], Event::kCompletion, seq++, t});
+      events.push({result.finish[t], Event::kCompletion, seq++, t, epoch[t]});
       ++dispatch_idx[p];
     }
   };
@@ -188,11 +263,27 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       // executing at ev.time (its unprotected work is lost; durable
       // checkpoints survive) and tasks whose planned start lies beyond the
       // failure.
+      bool requeued = false;
       for (TaskId t : s.tasks_on(p)) {
         if (!dispatched[t] || finished[t] || killed[t]) continue;
+        // Continuation mode: a task that had not yet *started* when the
+        // processor died loses nothing — it returns to the queue and is
+        // re-dispatched if the processor rejoins. Only work physically in
+        // flight at the strike is lost.
+        if (options.honor_start_times && result.start[t] >= ev.time) {
+          dispatched[t] = false;
+          ++epoch[t];
+          result.start[t] = kUndefinedTime;
+          result.finish[t] = kUndefinedTime;
+          requeued = true;
+          continue;
+        }
         killed[t] = true;
         platform::SpeedProfile::Trace tr =
-            profiles[p].run(result.start[t], work_of(t), ckpt, ev.time);
+            profiles[p].run(result.start[t], work_of(t), ckpt_of(t), ev.time);
+        if (log != nullptr)
+          log->push_back({ev.time, SimEventKind::kTaskKilled, p, t,
+                          kInvalidTask, tr.saved});
         result.work_lost += tr.done - tr.saved;
         result.proc_work_lost[p] += tr.done - tr.saved;
         result.work_saved += tr.saved;
@@ -202,6 +293,9 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         result.start[t] = kUndefinedTime;
         result.finish[t] = kUndefinedTime;
       }
+      // Returned tasks sit before dispatch_idx; rewind so a rejoin's
+      // try_dispatch reconsiders them (already-dispatched ones are skipped).
+      if (requeued) dispatch_idx[p] = 0;
       continue;
     }
 
@@ -211,7 +305,8 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
       dead[p] = false;
       rejoined_at[p] = ev.time;
       // Every dispatched-but-unfinished task on p was killed at the kill
-      // instant, so the processor is genuinely idle at the reboot.
+      // instant (or, in honor_start_times mode, returned to the queue), so
+      // the processor is genuinely idle at the reboot.
       proc_free[p] = ev.time;
       ++result.rejoins;
       try_dispatch(p);
@@ -220,12 +315,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
 
     TaskId t = ev.task;
     if (killed[t]) continue;  // stale completion of a task lost to a failure
+    if (ev.epoch != epoch[t]) continue;  // canceled dispatch, re-queued
     finished[t] = true;
     ++completed;
     const ProcId p = s.proc(t);
-    if (ckpt.enabled()) {
+    if (const CheckpointPolicy cp = ckpt_of(t); cp.enabled()) {
       platform::SpeedProfile::Trace tr =
-          profiles[p].run(result.start[t], work_of(t), ckpt);
+          profiles[p].run(result.start[t], work_of(t), cp);
       result.checkpoints_taken += tr.checkpoints;
       result.checkpoint_overhead += tr.overhead;
     }
@@ -244,6 +340,12 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
           ++result.dropped_messages;
           result.dropped_edges.emplace_back(t, a.node);
           starved[a.node] = true;
+          // The sender observes the loss once the exhausted retry timeouts
+          // have all expired — not at the first attempt.
+          if (log != nullptr)
+            log->push_back({ev.time + fate.retry_delay,
+                            SimEventKind::kMessageDropped, p, t, a.node,
+                            0.0});
           ++slot;
           continue;
         }
@@ -289,6 +391,10 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   if (plan != nullptr)
     for (ProcId p = 0; p < procs; ++p)
       result.dead_proc_idle += resolved.downtime(p, result.makespan);
+  // Canonical log order: events are collected as the simulation encounters
+  // them; the sorted stream is a pure value of (plan, schedule), so two
+  // runs diff byte-identically.
+  if (log != nullptr) std::sort(log->begin(), log->end());
   return result;
 }
 

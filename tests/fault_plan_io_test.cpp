@@ -19,6 +19,7 @@ FaultPlan full_plan() {
   plan.runtime_spread = 0.1;
   plan.checkpoint.interval = 5.0;
   plan.checkpoint.overhead = 0.25;
+  plan.checkpoint.min_downstream = 12.5;
   plan.message.loss_probability = 0.01;
   plan.message.delay_probability = 0.05;
   plan.message.delay_factor = 2.0;
@@ -51,6 +52,8 @@ TEST(FaultPlanIo, RoundTripsEveryDirective) {
   EXPECT_DOUBLE_EQ(back.runtime_spread, plan.runtime_spread);
   EXPECT_DOUBLE_EQ(back.checkpoint.interval, plan.checkpoint.interval);
   EXPECT_DOUBLE_EQ(back.checkpoint.overhead, plan.checkpoint.overhead);
+  EXPECT_DOUBLE_EQ(back.checkpoint.min_downstream,
+                   plan.checkpoint.min_downstream);
   EXPECT_DOUBLE_EQ(back.message.loss_probability,
                    plan.message.loss_probability);
   EXPECT_EQ(back.message.max_retries, plan.message.max_retries);
@@ -92,6 +95,39 @@ TEST(FaultPlanIo, ParsesCommentsBlanksAndInf) {
   EXPECT_EQ(plan.failures[0].proc, 3u);
 }
 
+// A plan made of kill/rejoin recovery windows — the episodes the online
+// runtime replays — survives the text format, and the two-field checkpoint
+// form stays parseable (min_downstream defaults to 0: the uniform policy).
+TEST(FaultPlanIo, RecoveryWindowsRoundTrip) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.failures.push_back({2, 1.0});
+  plan.rejoins.push_back({2, 3.0});
+  plan.failures.push_back({2, 6.0});
+  plan.rejoins.push_back({2, 8.0});
+  plan.slowdowns.push_back({0, 2.0, 0.5, 4.0});
+
+  const FaultPlan back = fault_plan_from_text(to_fault_plan_text(plan));
+  ASSERT_EQ(back.failures.size(), 2u);
+  ASSERT_EQ(back.rejoins.size(), 2u);
+  EXPECT_NO_THROW(back.validate(4));
+
+  // The windows resolve to the same alternating kill/rejoin availability:
+  // the processor ends the episode alive from its second rejoin, having
+  // been dark for the two windows [1,3) and [6,8).
+  const ResolvedFaults resolved = resolve_faults(back);
+  EXPECT_DOUBLE_EQ(resolved.death_time(2), 1.0);
+  EXPECT_DOUBLE_EQ(resolved.available_from(2), 8.0);
+  EXPECT_DOUBLE_EQ(resolved.downtime(2, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(resolved.downtime(2, 7.0), 3.0);
+  EXPECT_EQ(to_fault_plan_text(back), to_fault_plan_text(plan));
+
+  const FaultPlan two_field =
+      fault_plan_from_text("flb-faultplan 1\ncheckpoint 5 0.2\n");
+  EXPECT_DOUBLE_EQ(two_field.checkpoint.interval, 5.0);
+  EXPECT_DOUBLE_EQ(two_field.checkpoint.min_downstream, 0.0);
+}
+
 TEST(FaultPlanIo, RejectsMalformedInput) {
   EXPECT_THROW(fault_plan_from_text(""), Error);
   EXPECT_THROW(fault_plan_from_text("flb-faultplan 2\n"), Error);
@@ -103,6 +139,7 @@ TEST(FaultPlanIo, RejectsMalformedInput) {
   EXPECT_THROW(fault_plan_from_text(h + "fail -1 1.5\n"), Error);
   EXPECT_THROW(fault_plan_from_text(h + "fail 0 nan\n"), Error);
   EXPECT_THROW(fault_plan_from_text(h + "slowdown 0 1 inf\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "checkpoint 5 0.2 nan\n"), Error);
   EXPECT_THROW(fault_plan_from_text(h + "domain rack0\n"), Error);
   EXPECT_THROW(fault_plan_from_text(h + "message 0.1 0.1 2 -3 1 2\n"),
                Error);

@@ -634,6 +634,83 @@ TEST(FaultSim, InterruptedCheckpointWriteIsNotDurable) {
   EXPECT_DOUBLE_EQ(r.work_saved, 0.5);
 }
 
+// Criticality-aware placement: min_downstream gates which tasks checkpoint
+// by their bottom level. On the 4-task chain (comp 2, comm 1) the bottom
+// levels are 11, 8, 5, 2, and the kill at t=3.4 catches task 1 at 1.4
+// units of work.
+TEST(FaultSim, CriticalityThresholdGatesWhichTasksCheckpoint) {
+  TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_task(2.0);
+  for (int i = 0; i < 3; ++i)
+    b.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1), 1.0);
+  TaskGraph g = std::move(b).build();
+  Schedule s(2, 4);
+  for (TaskId t = 0; t < 4; ++t)
+    s.assign(t, 0, 2.0 * t, 2.0 * t + 2.0);
+
+  CheckpointPolicy policy{0.5, 0.0, 6.0};
+  EXPECT_TRUE(policy.covers(8.0));
+  EXPECT_FALSE(policy.covers(5.0));
+
+  auto run_with_threshold = [&](Cost min_downstream) {
+    FaultPlan plan = FaultPlan::single_failure(0, 3.4);
+    plan.checkpoint = {0.5, 0.0, min_downstream};
+    return simulate(g, s, with_faults(plan));
+  };
+
+  // Uniform (threshold 0): tasks 0 and 1 write 3 + 2 marks before the
+  // kill; the mark at 1.0 into task 1 is durable.
+  SimResult uniform = run_with_threshold(0.0);
+  EXPECT_EQ(uniform.checkpoints_taken, 5u);
+  EXPECT_DOUBLE_EQ(uniform.work_saved, 1.0);
+  EXPECT_DOUBLE_EQ(uniform.work_lost, 0.4);
+
+  // Threshold 6 covers tasks 0 (BL 11) and 1 (BL 8) — the same protection
+  // at the same write count, since tasks 2 and 3 never ran.
+  SimResult selective = run_with_threshold(6.0);
+  EXPECT_EQ(selective.checkpoints_taken, 5u);
+  EXPECT_DOUBLE_EQ(selective.work_saved, 1.0);
+  EXPECT_DOUBLE_EQ(selective.work_lost, 0.4);
+
+  // Threshold 9 covers only task 0, which finishes — its writes protect
+  // nothing, and the killed task 1 restarts from zero.
+  SimResult head_only = run_with_threshold(9.0);
+  EXPECT_EQ(head_only.checkpoints_taken, 3u);
+  EXPECT_DOUBLE_EQ(head_only.work_saved, 0.0);
+  EXPECT_DOUBLE_EQ(head_only.work_lost, 1.4);
+
+  // An unreachable threshold disables checkpointing outright.
+  SimResult none = run_with_threshold(100.0);
+  EXPECT_EQ(none.checkpoints_taken, 0u);
+  EXPECT_DOUBLE_EQ(none.work_lost, 1.4);
+}
+
+// Repair honors the same gate: a covered kill victim resumes from its
+// durable mark, an uncovered one re-executes in full — and both
+// continuations stay feasible against their duration vectors.
+TEST(Repair, CriticalityCheckpointResumesOnlyCoveredTasks) {
+  TaskGraphBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_task(2.0);
+  for (int i = 0; i < 3; ++i)
+    b.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1), 1.0);
+  TaskGraph g = std::move(b).build();
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, 2);
+
+  for (Cost threshold : {6.0, 9.0}) {
+    FaultPlan plan = FaultPlan::single_failure(0, 3.4);
+    plan.checkpoint = {0.5, 0.0, threshold};
+    SimResult partial = simulate(g, nominal, with_faults(plan));
+    RepairResult repair = repair_schedule(g, nominal, partial, plan);
+    EXPECT_TRUE(is_valid_schedule(g, repair.schedule, repair.durations))
+        << "threshold " << threshold;
+    if (threshold <= 8.0)
+      EXPECT_GT(repair.checkpoint_work_saved, 0.0);
+    else
+      EXPECT_DOUBLE_EQ(repair.checkpoint_work_saved, 0.0);
+  }
+}
+
 // With zero write overhead the execution timeline is identical across
 // checkpoint intervals, and halving the interval can only move each task's
 // last durable mark closer to its kill point: work lost is non-increasing

@@ -19,8 +19,11 @@
 #include "flb/core/trace.hpp"
 #include "flb/graph/task_graph.hpp"
 #include "flb/platform/cost_model.hpp"
+#include "flb/sched/repair.hpp"
 #include "flb/sched/scheduler.hpp"
 #include "flb/sched/validator.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
 #include "flb/workloads/paper_example.hpp"
 #include "test_support.hpp"
 
@@ -268,6 +271,39 @@ TEST(LintProperty, EveryRegistryAlgorithmLintsCleanOnSeededCorpus) {
       EXPECT_TRUE(report.clean())
           << "FLB theorem tier on graph " << index << " P=" << procs
           << ": " << rules_of(report);
+    }
+  }
+}
+
+// The same registry sweep through the online-repair path: kill a processor
+// mid-execution, repair the partial run, and lint the *continuation*
+// against its stretched duration vector. This is the feasibility gate the
+// recovery controller re-checks on every installed schedule — a repair
+// regression (overlap, precedence breach, wrong remainder duration) fails
+// here before it ever reaches the runtime loop.
+TEST(LintProperty, EveryRepairedContinuationLintsFeasibleOnSeededCorpus) {
+  const std::vector<std::string> algos = extended_scheduler_names();
+  LintOptions options;
+  options.quality = false;  // degraded durations invalidate nominal heuristics
+  for (std::size_t index = 0; index < 12; ++index) {
+    const TaskGraph g = test::fuzz_graph(index);
+    for (ProcId procs : {ProcId{2}, ProcId{4}}) {
+      const platform::CostModel model = platform::CostModel::clique(procs);
+      for (const std::string& algo : algos) {
+        const Schedule nominal = make_scheduler(algo)->run(g, procs);
+        FaultPlan plan =
+            FaultPlan::single_failure(1, 0.35 * nominal.makespan());
+        SimOptions sim_options;
+        sim_options.faults = &plan;
+        const SimResult partial = simulate(g, nominal, sim_options);
+        const RepairResult repair =
+            repair_schedule(g, nominal, partial, plan);
+        const LintReport report = lint_schedule(
+            g, repair.schedule, repair.durations, model, options);
+        EXPECT_TRUE(report.clean())
+            << algo << " continuation on graph " << index << " P=" << procs
+            << ": " << rules_of(report);
+      }
     }
   }
 }

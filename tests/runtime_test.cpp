@@ -1,0 +1,417 @@
+// The online recovery runtime (flb::runtime): the simulator's observable
+// event stream, the horizon-sliced fault view, and the closed-loop
+// controller that repairs with no knowledge of future faults — debounce
+// coalescing, bounded retry with backoff, graceful degradation, give-back
+// on observed rejoins, per-seed determinism, and the poisoned-future
+// guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "flb/core/flb.hpp"
+#include "flb/graph/task_graph.hpp"
+#include "flb/runtime/recovery_runtime.hpp"
+#include "flb/sched/validator.hpp"
+#include "flb/sim/faults.hpp"
+#include "flb/sim/machine_sim.hpp"
+#include "flb/util/error.hpp"
+#include "test_support.hpp"
+
+namespace flb {
+namespace {
+
+using runtime::HorizonFaultView;
+using runtime::RuntimeOptions;
+using runtime::RuntimeResult;
+using runtime::event_log_text;
+using runtime::fnv1a_digest;
+using runtime::run_online_recovery;
+
+std::size_t count_kind(const std::vector<SimEvent>& events, SimEventKind k) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const SimEvent& e) { return e.kind == k; }));
+}
+
+/// `tasks` independent unit tasks scheduled round-robin-free: `per_proc`
+/// tasks appended per processor in id order — the deterministic fixture of
+/// the controller tests.
+Schedule strip_schedule(TaskId tasks, ProcId procs, TaskId per_proc) {
+  Schedule s(procs, tasks);
+  for (TaskId t = 0; t < tasks; ++t) {
+    const ProcId p = static_cast<ProcId>(t / per_proc);
+    const Cost start = static_cast<Cost>(t % per_proc);
+    s.assign(t, p, start, start + 1.0);
+  }
+  return s;
+}
+
+TaskGraph unit_tasks(TaskId n) {
+  TaskGraphBuilder b;
+  for (TaskId t = 0; t < n; ++t) b.add_task(1.0);
+  return std::move(b).build();
+}
+
+// --- The simulator's event stream --------------------------------------------
+
+TEST(SimEventLog, StreamsEveryObservableFaultSortedAndDeterministic) {
+  TaskGraph g = unit_tasks(4);
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 0, 1.0, 2.0);
+  s.assign(2, 1, 0.0, 1.0);
+  s.assign(3, 1, 1.0, 2.0);
+
+  FaultPlan plan;
+  plan.slowdowns.push_back({0, 0.25, 0.5, 1.5});
+  plan.failures.push_back({1, 0.5});
+  plan.rejoins.push_back({1, 3.0});
+
+  std::vector<SimEvent> log;
+  SimOptions options;
+  options.faults = &plan;
+  options.event_log = &log;
+  SimResult r = simulate(g, s, options);
+
+  EXPECT_EQ(count_kind(log, SimEventKind::kFailure), 1u);
+  EXPECT_EQ(count_kind(log, SimEventKind::kRejoin), 1u);
+  EXPECT_EQ(count_kind(log, SimEventKind::kSlowdownBegin), 1u);
+  EXPECT_EQ(count_kind(log, SimEventKind::kSlowdownEnd), 1u);
+  // Dispatch runs ahead, so the kill at t=0.5 takes both of proc 1's tasks.
+  EXPECT_EQ(count_kind(log, SimEventKind::kTaskKilled), 2u);
+  EXPECT_TRUE(std::is_sorted(log.begin(), log.end()));
+  EXPECT_EQ(r.unfinished.size(), 2u);
+
+  // Byte-identical across runs: the log is a pure value of (plan, schedule).
+  std::vector<SimEvent> log2;
+  options.event_log = &log2;
+  (void)simulate(g, s, options);
+  EXPECT_EQ(event_log_text(log), event_log_text(log2));
+  EXPECT_EQ(fnv1a_digest(event_log_text(log)),
+            fnv1a_digest(event_log_text(log2)));
+
+  // A fault-free run has nothing to observe; the log is cleared.
+  options.faults = nullptr;
+  (void)simulate(g, s, options);
+  EXPECT_TRUE(log2.empty());
+}
+
+// --- HorizonFaultView --------------------------------------------------------
+
+TEST(HorizonView, CopiesConfigurationButNoFutureFaults) {
+  FaultPlan world;
+  world.seed = 77;
+  world.runtime_spread = 0.1;
+  world.checkpoint = {5.0, 0.25, 2.0};
+  world.message.loss_probability = 0.5;
+  world.failures.push_back({1, 4.0});
+  world.slowdowns.push_back({0, 1.0, 0.5});
+
+  HorizonFaultView view(world, 4);
+  EXPECT_EQ(view.plan().seed, 77u);
+  EXPECT_DOUBLE_EQ(view.plan().runtime_spread, 0.1);
+  EXPECT_DOUBLE_EQ(view.plan().checkpoint.min_downstream, 2.0);
+  EXPECT_DOUBLE_EQ(view.plan().message.loss_probability, 0.5);
+  EXPECT_TRUE(view.plan().failures.empty());
+  EXPECT_TRUE(view.plan().slowdowns.empty());
+  EXPECT_EQ(view.observed_alive(), 4u);
+}
+
+TEST(HorizonView, ObservationsGrowThePlanAndLivenessTracks) {
+  HorizonFaultView view(FaultPlan{}, 4);
+  view.advance(5.0);
+
+  const SimEvent fail{1.0, SimEventKind::kFailure, 1};
+  view.observe(fail);
+  EXPECT_TRUE(view.observed(fail));
+  ASSERT_EQ(view.plan().failures.size(), 1u);
+  EXPECT_EQ(view.observed_alive(), 3u);
+  view.observe(fail);  // re-observation is a no-op
+  EXPECT_EQ(view.plan().failures.size(), 1u);
+
+  // An open slowdown is permanent until its end is observed.
+  view.observe({2.0, SimEventKind::kSlowdownBegin, 0, kInvalidTask,
+                kInvalidTask, 0.5});
+  ASSERT_EQ(view.plan().slowdowns.size(), 1u);
+  EXPECT_EQ(view.plan().slowdowns[0].until, kInfiniteTime);
+  view.observe({4.0, SimEventKind::kSlowdownEnd, 0, kInvalidTask,
+                kInvalidTask, 0.5});
+  EXPECT_DOUBLE_EQ(view.plan().slowdowns[0].until, 4.0);
+
+  view.observe({4.5, SimEventKind::kRejoin, 1});
+  EXPECT_EQ(view.observed_alive(), 4u);
+  EXPECT_EQ(view.observed_events(), 4u);
+
+  // Message drops are keyed by edge: a re-simulated drop of the same pair
+  // at a shifted instant counts as observed.
+  view.observe({3.0, SimEventKind::kMessageDropped, 2, 7, 9});
+  EXPECT_TRUE(view.observed({3.25, SimEventKind::kMessageDropped, 2, 7, 9}));
+  EXPECT_FALSE(view.observed({3.0, SimEventKind::kMessageDropped, 2, 7, 8}));
+
+  // The horizon is monotone, and nothing beyond it can be observed.
+  EXPECT_THROW(view.advance(4.0), Error);
+  EXPECT_THROW(view.observe({6.0, SimEventKind::kFailure, 2}), Error);
+  EXPECT_NO_THROW(view.plan().validate(4));
+}
+
+// --- The controller loop -----------------------------------------------------
+
+TEST(OnlineRecovery, FaultFreeWorldInstallsTheNominalScheduleUnchanged) {
+  TaskGraph g = test::fuzz_graph(0);
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, 4);
+  RuntimeResult r = run_online_recovery(g, nominal, FaultPlan{});
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.repairs.empty());
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_TRUE(r.durations.empty());
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    EXPECT_EQ(r.schedule.proc(t), nominal.proc(t));
+}
+
+TEST(OnlineRecovery, KillThenRejoinRepairsTwiceAndGivesBack) {
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 2, 6);
+  FaultPlan world;
+  world.failures.push_back({1, 0.5});
+  world.rejoins.push_back({1, 1.0});
+
+  RuntimeResult r = run_online_recovery(g, nominal, world);
+  EXPECT_TRUE(r.complete);
+  // One reaction to the kill, one to the observed rejoin (give-back).
+  ASSERT_EQ(r.repairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.repairs[0].observed_at, 0.5);
+  EXPECT_DOUBLE_EQ(r.repairs[1].observed_at, 1.0);
+  EXPECT_EQ(r.repairs[0].survivors, 1u);
+  EXPECT_EQ(r.repairs[1].survivors, 2u);
+  EXPECT_GT(r.repairs[1].migrated, 0u);
+  EXPECT_FALSE(r.repairs[0].deferred);
+  ASSERT_EQ(r.durations.size(), g.num_tasks());
+  EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+  // The give-back continuation uses the rejoined processor again.
+  bool rejoined_used = false;
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    if (r.schedule.proc(t) == 1 && r.schedule.start(t) >= 1.0 - 1e-9)
+      rejoined_used = true;
+  EXPECT_TRUE(rejoined_used);
+  // Executed strictly worse than fault-free, strictly better than the
+  // one-processor worst case.
+  EXPECT_GT(r.makespan, 6.0 - 1e-9);
+  EXPECT_LT(r.makespan, 12.0);
+}
+
+TEST(OnlineRecovery, DebounceCoalescesABurstIntoOneRepair) {
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 4, 3);
+  FaultPlan world;
+  world.failures.push_back({1, 1.0});
+  world.failures.push_back({2, 1.4});
+
+  RuntimeOptions one_shot;
+  one_shot.debounce = 0.5;
+  RuntimeResult coalesced = run_online_recovery(g, nominal, world, one_shot);
+  ASSERT_EQ(coalesced.repairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(coalesced.repairs[0].observed_at, 1.0);
+  EXPECT_DOUBLE_EQ(coalesced.repairs[0].horizon, 1.5);
+  EXPECT_TRUE(coalesced.complete);
+
+  RuntimeOptions eager;  // debounce 0: one reaction per strike instant
+  RuntimeResult split = run_online_recovery(g, nominal, world, eager);
+  ASSERT_EQ(split.repairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(split.repairs[0].observed_at, 1.0);
+  EXPECT_DOUBLE_EQ(split.repairs[1].observed_at, 1.4);
+  EXPECT_TRUE(split.complete);
+}
+
+TEST(OnlineRecovery, RepairTargetReStrikeBacksOffThenDegrades) {
+  TaskGraph g = unit_tasks(9);
+  Schedule nominal = strip_schedule(9, 3, 3);
+  FaultPlan world;
+  world.failures.push_back({0, 0.5});
+  world.failures.push_back({1, 2.5});
+
+  RuntimeResult r = run_online_recovery(g, nominal, world);
+  ASSERT_EQ(r.repairs.size(), 2u);
+  EXPECT_EQ(r.repairs[0].retry_attempt, 0u);
+  // Proc 1 received migrated work at the first repair and then failed:
+  // attempt 1, horizon pushed back by backoff_base * 2^0.
+  EXPECT_EQ(r.repairs[1].retry_attempt, 1u);
+  EXPECT_DOUBLE_EQ(r.repairs[1].horizon, 2.5 + 1.0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+
+  // With a zero retry budget the same re-strike exhausts it: the controller
+  // stops trusting the optimizing engine and degrades to greedy.
+  RuntimeOptions strict;
+  strict.max_retries = 0;
+  RuntimeResult d = run_online_recovery(g, nominal, world, strict);
+  ASSERT_EQ(d.repairs.size(), 2u);
+  EXPECT_EQ(d.repairs[1].used, RepairStrategy::kGreedy);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_TRUE(d.complete);
+}
+
+TEST(OnlineRecovery, TotalBlackoutDefersUntilTheRejoinIsObserved) {
+  TaskGraph g = test::small_diamond();
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, 2);
+  FaultPlan world;
+  world.failures.push_back({0, 0.1});
+  world.failures.push_back({1, 0.1});
+  world.rejoins.push_back({0, 0.6});
+
+  RuntimeResult r = run_online_recovery(g, nominal, world);
+  ASSERT_EQ(r.repairs.size(), 2u);
+  EXPECT_TRUE(r.repairs[0].deferred);
+  EXPECT_EQ(r.repairs[0].survivors, 0u);
+  EXPECT_EQ(r.repairs[0].schedule_digest, 0u);
+  EXPECT_FALSE(r.repairs[1].deferred);
+  EXPECT_TRUE(r.complete);
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    EXPECT_EQ(r.schedule.proc(t), 0u);
+}
+
+TEST(OnlineRecovery, CheckpointedWorkResumesAcrossTheRepair) {
+  // One long task killed at 3.5 with durable marks every 1.0: the online
+  // continuation re-executes only the unprotected remainder. Raising
+  // min_downstream beyond the task's bottom level disables its checkpoints
+  // and the remainder grows back to the full computation.
+  TaskGraphBuilder b;
+  b.add_task(4.0);
+  b.add_task(1.0);
+  TaskGraph g = std::move(b).build();
+  Schedule nominal(2, 2);
+  nominal.assign(0, 0, 0.0, 4.0);
+  nominal.assign(1, 1, 0.0, 1.0);
+
+  FaultPlan world;
+  world.failures.push_back({0, 3.5});
+  world.checkpoint = {1.0, 0.0};
+
+  RuntimeResult saved = run_online_recovery(g, nominal, world);
+  EXPECT_TRUE(saved.complete);
+  // 3 units were durable: the migrated remainder runs 1 unit from t=3.5.
+  EXPECT_DOUBLE_EQ(saved.makespan, 4.5);
+
+  world.checkpoint.min_downstream = 100.0;
+  RuntimeResult unsaved = run_online_recovery(g, nominal, world);
+  EXPECT_TRUE(unsaved.complete);
+  EXPECT_DOUBLE_EQ(unsaved.makespan, 7.5);
+}
+
+TEST(OnlineRecovery, SameSeedIsBitIdenticalAcrossRuns) {
+  TaskGraph g = test::fuzz_graph(1);
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, 4);
+  const Cost span = nominal.makespan();
+
+  FaultPlan world;
+  world.seed = 29;
+  world.runtime_spread = 0.05;
+  world.checkpoint = {0.25 * span, 0.01 * span};
+  world.message.loss_probability = 0.2;
+  world.failures.push_back({1, 0.2 * span});
+  world.rejoins.push_back({1, 0.5 * span});
+  world.slowdowns.push_back({0, 0.1 * span, 0.5, 0.6 * span});
+
+  RuntimeResult a = run_online_recovery(g, nominal, world);
+  RuntimeResult b = run_online_recovery(g, nominal, world);
+  EXPECT_EQ(a.event_digest, b.event_digest);
+  EXPECT_EQ(a.schedule_digest, b.schedule_digest);
+  EXPECT_EQ(event_log_text(a.events), event_log_text(b.events));
+  ASSERT_EQ(a.repairs.size(), b.repairs.size());
+  for (std::size_t i = 0; i < a.repairs.size(); ++i) {
+    EXPECT_EQ(a.repairs[i].schedule_digest, b.repairs[i].schedule_digest);
+    EXPECT_DOUBLE_EQ(a.repairs[i].horizon, b.repairs[i].horizon);
+    EXPECT_EQ(a.repairs[i].events, b.repairs[i].events);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events_observed, b.events_observed);
+}
+
+// The poisoned-future guarantee: two worlds identical up to a horizon T
+// produce bit-identical controller behavior for every repair at or before
+// T, no matter what happens after — the controller provably never reads
+// future plan entries. (Configuration scalars must match: they are the
+// machine's known setup, not future knowledge.)
+TEST(OnlineRecovery, PoisonedFutureCannotChangePastRepairs) {
+  TaskGraph g = test::fuzz_graph(2);
+  FlbScheduler flb;
+  Schedule nominal = flb.run(g, 4);
+  const Cost span = nominal.makespan();
+
+  FaultPlan clean;
+  clean.seed = 5;
+  clean.failures.push_back({1, 0.3 * span});
+  RuntimeResult base = run_online_recovery(g, nominal, clean);
+  ASSERT_GE(base.repairs.size(), 1u);
+  const Cost poison_at = base.repairs[0].horizon;
+
+  // Poison 1: extra faults strictly after the first repair's horizon.
+  FaultPlan poisoned = clean;
+  poisoned.failures.push_back({2, poison_at + 0.4 * span});
+  poisoned.slowdowns.push_back({0, poison_at + 0.45 * span, 0.5});
+  RuntimeResult p1 = run_online_recovery(g, nominal, poisoned);
+
+  // Poison 2: faults so late no execution ever reaches them.
+  FaultPlan late = clean;
+  late.failures.push_back({3, 1e6});
+  late.slowdowns.push_back({2, 1e6 + 1.0, 0.25});
+  RuntimeResult p2 = run_online_recovery(g, nominal, late);
+
+  // Every invocation at or before the poison instant is bit-identical.
+  for (const RuntimeResult* r : {&p1, &p2}) {
+    ASSERT_GE(r->repairs.size(), 1u);
+    for (std::size_t i = 0; i < r->repairs.size() &&
+                            r->repairs[i].horizon <= poison_at;
+         ++i) {
+      EXPECT_EQ(r->repairs[i].schedule_digest,
+                base.repairs[i].schedule_digest);
+      EXPECT_DOUBLE_EQ(r->repairs[i].horizon, base.repairs[i].horizon);
+      EXPECT_EQ(r->repairs[i].events, base.repairs[i].events);
+    }
+  }
+  // The never-reached poison changes nothing at all about the behavior;
+  // only the (world-owned) event log sees the extra machine events.
+  EXPECT_EQ(p2.schedule_digest, base.schedule_digest);
+  EXPECT_EQ(p2.repairs.size(), base.repairs.size());
+  EXPECT_DOUBLE_EQ(p2.makespan, base.makespan);
+}
+
+// Dropped messages surface as events and the controller re-executes the
+// producer without ever seeing the plan's message table.
+TEST(OnlineRecovery, MessageDropIsRepairedOnline) {
+  // Find a seed whose (deterministic) message fate drops the only remote
+  // edge, starving the consumer.
+  TaskGraphBuilder b;
+  TaskId a = b.add_task(1.0);
+  TaskId c = b.add_task(1.0);
+  b.add_edge(a, c, 2.0);
+  TaskGraph g = std::move(b).build();
+  Schedule nominal(2, 2);
+  nominal.assign(a, 0, 0.0, 1.0);
+  nominal.assign(c, 1, 3.0, 4.0);
+
+  for (std::uint64_t seed = 1; seed < 64; ++seed) {
+    FaultPlan world;
+    world.seed = seed;
+    world.message.loss_probability = 0.9;
+    world.message.max_retries = 0;
+    SimOptions probe;
+    probe.faults = &world;
+    if (simulate(g, nominal, probe).dropped_messages == 0) continue;
+
+    RuntimeResult r = run_online_recovery(g, nominal, world);
+    EXPECT_TRUE(r.complete) << "seed " << seed;
+    ASSERT_GE(r.repairs.size(), 1u);
+    EXPECT_GT(r.repairs[0].events, 0u);
+    EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+    return;
+  }
+  FAIL() << "no seed dropped the message";
+}
+
+}  // namespace
+}  // namespace flb
