@@ -44,6 +44,7 @@
 // Exit code: 0 = no diagnostic at/above --fail-on; otherwise the max
 // severity seen (1 = warn, 2 = error); 3 = usage or parse error.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -147,9 +148,13 @@ int main(int argc, char** argv) {
       const double fraction = args.get_double("repair-at", 0.4);
       FLB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
                   "flb_lint: --repair-at must be a fraction in [0, 1]");
-      const auto victim = static_cast<ProcId>(args.get_int("victim", 1));
-      FLB_REQUIRE(victim < procs,
-                  "flb_lint: --victim must name a processor below --procs");
+      const std::int64_t raw_victim = args.get_int("victim", 1);
+      FLB_REQUIRE(raw_victim >= 0 && raw_victim < static_cast<std::int64_t>(procs),
+                  "flb_lint: --victim " + std::to_string(raw_victim) +
+                      " is not a valid processor id; with --procs " +
+                      std::to_string(procs) +
+                      " the valid range is 0.." + std::to_string(procs - 1));
+      const auto victim = static_cast<ProcId>(raw_victim);
       FLB_REQUIRE(procs >= 2,
                   "flb_lint: --repair-at needs at least 2 processors");
       FLB_REQUIRE(!args.has("schedule"),

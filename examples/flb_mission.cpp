@@ -14,15 +14,26 @@
 // is compared against the oracle: a single repair computed with the full
 // fault plan. The gap is the price of not knowing the future.
 //
-// Usage: flb_mission [tasks] [procs] [seed]
+// With --detector the mission is flown on an *unreliable failure
+// detector* instead of the perfect event stream: liveness is inferred from
+// seeded heartbeats that can be lost or delayed, so the controller
+// suspects, sometimes wrongly (the narrated episode includes a false
+// alarm), launches speculative re-execution at suspicion, promotes it on
+// confirmation, cancels and reconciles on exoneration, and re-derives the
+// checkpoint interval from the observed failure rate.
+//
+// Usage: flb_mission [tasks] [procs] [seed] [--detector]
 //   tasks  graph size       (default 40)
 //   procs  processor count  (default 4)
 //   seed   workload + fault seed (default 7)
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "flb/core/flb.hpp"
+#include "flb/runtime/failure_detector.hpp"
 #include "flb/runtime/recovery_runtime.hpp"
 #include "flb/sched/gantt.hpp"
 #include "flb/sched/repair.hpp"
@@ -33,11 +44,21 @@
 int main(int argc, char** argv) {
   using namespace flb;
 
-  const std::size_t tasks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  bool detector = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--detector")
+      detector = true;
+    else
+      pos.push_back(argv[i]);
+  }
+  const std::size_t tasks =
+      pos.size() > 0 ? std::strtoul(pos[0], nullptr, 10) : 40;
   const ProcId procs =
-      argc > 2 ? static_cast<ProcId>(std::strtoul(argv[2], nullptr, 10)) : 4;
+      pos.size() > 1 ? static_cast<ProcId>(std::strtoul(pos[1], nullptr, 10))
+                     : 4;
   const std::size_t seed =
-      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 7;
+      pos.size() > 2 ? std::strtoul(pos[2], nullptr, 10) : 7;
   if (procs < 3) {
     std::cerr << "flb_mission needs at least 3 processors\n";
     return 1;
@@ -68,11 +89,26 @@ int main(int argc, char** argv) {
   world.checkpoint = {0.25 * mean_comp, 0.01 * mean_comp,
                       0.5 * mean_comp};
 
-  std::cout << "\nThe fault plan stays sealed; the controller sees only "
-               "the event stream.\n";
-
   runtime::RuntimeOptions options;
   options.validate = true;
+  if (detector) {
+    // Noisy sensing: heartbeats every 3% of the nominal span, one in ten
+    // lost — enough, at the default seed, for a false alarm on a
+    // perfectly healthy processor without drowning the timeline in them.
+    world.heartbeat.period = 0.03 * span;
+    world.heartbeat.loss_probability = 0.1;
+    options.use_detector = true;
+    options.speculate = true;
+    options.adapt_checkpoint = true;
+    std::cout << "\nThe fault plan stays sealed; liveness is *inferred* "
+                 "from lossy heartbeats\n(period "
+              << world.heartbeat.period << ", loss probability "
+              << world.heartbeat.loss_probability
+              << ") -- suspicions can be wrong.\n";
+  } else {
+    std::cout << "\nThe fault plan stays sealed; the controller sees only "
+                 "the event stream.\n";
+  }
   runtime::RuntimeResult mission =
       runtime::run_online_recovery(g, nominal, world, options);
 
@@ -81,6 +117,7 @@ int main(int argc, char** argv) {
   // reaction (the execution was already complete).
   std::cout << "\n-- Timeline --\n";
   std::size_t next_event = 0;
+  std::size_t next_belief = 0;
   for (std::size_t r = 0; r < mission.repairs.size(); ++r) {
     const runtime::RepairInvocation& inv = mission.repairs[r];
     while (next_event < mission.events.size() &&
@@ -88,6 +125,12 @@ int main(int argc, char** argv) {
       std::cout << "  observed  " << to_string(mission.events[next_event])
                 << "\n";
       ++next_event;
+    }
+    while (next_belief < mission.beliefs.size() &&
+           mission.beliefs[next_belief].time <= inv.horizon) {
+      std::cout << "  believed  " << to_string(mission.beliefs[next_belief])
+                << "\n";
+      ++next_belief;
     }
     std::cout << "  repair #" << r + 1 << "  at t=" << inv.observed_at
               << " horizon=" << inv.horizon << " events=" << inv.events
@@ -105,10 +148,19 @@ int main(int argc, char** argv) {
     if (inv.retry_attempt > 0)
       std::cout << " (retry attempt " << inv.retry_attempt
                 << ", backed off)";
+    if (inv.speculative) std::cout << " [speculation launched]";
+    if (inv.promoted) std::cout << " [speculation promoted]";
+    if (inv.cancelled) std::cout << " [speculation cancelled]";
+    if (inv.failure_rate > 0.0)
+      std::cout << " [checkpoint interval re-derived: "
+                << inv.checkpoint_interval << "]";
     std::cout << "\n";
   }
   for (; next_event < mission.events.size(); ++next_event)
     std::cout << "  observed  " << to_string(mission.events[next_event])
+              << "  (after completion; no reaction)\n";
+  for (; next_belief < mission.beliefs.size(); ++next_belief)
+    std::cout << "  believed  " << to_string(mission.beliefs[next_belief])
               << "  (after completion; no reaction)\n";
 
   std::cout << "\nFinal installed schedule:\n\n";
@@ -131,8 +183,18 @@ int main(int argc, char** argv) {
             << "\n";
   std::cout << "degraded to greedy: " << (mission.degraded ? "yes" : "no")
             << "\n";
-  std::cout << "event-log digest:   " << std::hex << mission.event_digest
-            << "\nschedule digest:    " << mission.schedule_digest
+  if (detector) {
+    std::cout << "false alarms:       " << mission.false_alarms << "\n";
+    std::cout << "confirmations:      " << mission.confirmations << "\n";
+    std::cout << "detection latency:  " << mission.mean_detection_latency
+              << " (mean, death to confirmation)\n";
+    std::cout << "speculative waste:  " << mission.speculative_waste << " ("
+              << mission.speculative_tasks << " cancelled placements)\n";
+  }
+  std::cout << "event-log digest:   " << std::hex << mission.event_digest;
+  if (detector)
+    std::cout << "\nbelief digest:      " << mission.belief_digest;
+  std::cout << "\nschedule digest:    " << mission.schedule_digest
             << std::dec << "\n";
   return mission.complete ? 0 : 1;
 }

@@ -50,7 +50,7 @@ done
 # flb::runtime re-repairing per observation), whose per-episode digests
 # make the saved output diffable against a re-run.
 echo "== bench_fault_tolerance"
-"$build/bench/bench_fault_tolerance" --online \
+"$build/bench/bench_fault_tolerance" --online --detector \
   | tee "$out/bench_fault_tolerance.txt"
 echo
 

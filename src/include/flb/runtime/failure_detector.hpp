@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "flb/sim/faults.hpp"
+#include "flb/util/types.hpp"
+
+/// \file failure_detector.hpp
+/// Unreliable, heartbeat-based failure detection.
+///
+/// The perfect-event controller (recovery_runtime.hpp) still trusts the
+/// simulator as a sensor: every SimEvent::kFailure is ground truth,
+/// delivered the instant it happens. A real distributed-memory machine has
+/// no such sensor — remote liveness is inferred from heartbeats that are
+/// late, lossy and sometimes wrong. This module models that inference as a
+/// deterministic φ-accrual-style monitor:
+///
+///  * Every processor emits a heartbeat at k·period (k = 1, 2, ...) while
+///    it is alive per the resolved fault plan. Emission timing is
+///    machine-level, so the belief stream is independent of whatever
+///    schedule is executing — re-simulating a repaired continuation never
+///    changes what the detector saw.
+///  * Each emission is independently lost with `loss_probability`, or
+///    arrives `delay_factor · period` late with `delay_probability`, drawn
+///    from the plan seed per (processor, beat index) with the same
+///    splitmix decorrelation the message-fault machinery uses. A heartbeat
+///    emitted just before a death may still arrive after it — the monitor
+///    can be *fresher than the truth*.
+///  * The suspicion score of a processor at time t is
+///    φ(t) = (t − last_arrival) / period — silence measured in expected
+///    beats, the first-order φ-accrual statistic. Crossing `suspect_after`
+///    emits kSuspected; crossing `confirm_after` emits kConfirmedDead; any
+///    later arrival emits kExonerated and resets the score. A rebooted
+///    processor resumes beating, so a rejoin surfaces as an exoneration.
+///
+/// False positives (a lossy streak suspends a live processor) and false
+/// negatives (a death whose rejoin lands inside the suspicion window) are
+/// both possible by construction. The stream is a pure function of
+/// (plan, num_procs): beliefs(until₁) is a prefix of beliefs(until₂) for
+/// until₁ ≤ until₂, which is what lets the controller consume it
+/// incrementally across re-simulations.
+
+namespace flb::runtime {
+
+/// What the detector came to believe about a processor.
+enum class BeliefKind : int {
+  kSuspected = 0,      ///< silent past the suspect threshold
+  kConfirmedDead = 1,  ///< silent past the confirm threshold
+  kExonerated = 2,     ///< a heartbeat arrived from a suspect
+};
+
+/// One entry of the belief stream.
+struct BeliefEvent {
+  Cost time = 0.0;
+  BeliefKind kind = BeliefKind::kSuspected;
+  ProcId proc = kInvalidProc;
+  /// Arrival instant of the last heartbeat the monitor had seen when this
+  /// belief formed (the silence started here).
+  Cost last_heard = 0.0;
+  /// Accrual score φ at emission: periods of silence for suspicions and
+  /// confirmations, 0 for exonerations.
+  double score = 0.0;
+
+  /// Deterministic sort/dedup key.
+  [[nodiscard]] auto key() const {
+    return std::tuple<Cost, int, ProcId>(time, static_cast<int>(kind), proc);
+  }
+};
+
+[[nodiscard]] std::string to_string(const BeliefEvent& belief);
+
+/// One line per belief (to_string joined with newlines) — the text the
+/// belief digest is computed over.
+[[nodiscard]] std::string belief_log_text(
+    const std::vector<BeliefEvent>& beliefs);
+
+/// The deterministic heartbeat monitor. Construction resolves the plan's
+/// faults once (validate(num_procs) is called); beliefs() then replays the
+/// per-processor arrival process against the accrual thresholds.
+class FailureDetector {
+ public:
+  /// Requires world.heartbeat.enabled(); throws flb::Error otherwise.
+  FailureDetector(const FaultPlan& world, ProcId num_procs);
+
+  /// The belief stream up to and including `until`, sorted by
+  /// (time, kind, proc). Pure and prefix-stable in `until`.
+  [[nodiscard]] std::vector<BeliefEvent> beliefs(Cost until) const;
+
+  /// Arrival time of processor `p`'s k-th heartbeat (k >= 1):
+  /// kInfiniteTime when the beat was lost or never emitted (the processor
+  /// was dead at k·period). Exposed so tests can search seeds for specific
+  /// arrival patterns (e.g. suspicion flaps).
+  [[nodiscard]] Cost arrival(ProcId p, std::uint64_t k) const;
+
+  [[nodiscard]] const HeartbeatConfig& config() const { return hb_; }
+
+ private:
+  HeartbeatConfig hb_;
+  std::uint64_t seed_ = 0;
+  ProcId num_procs_ = 0;
+  /// Per-processor dead intervals [death, rejoin) (last one may extend to
+  /// infinity), from the resolved plan.
+  std::vector<std::vector<std::pair<Cost, Cost>>> down_;
+
+  [[nodiscard]] bool alive_at(ProcId p, Cost t) const;
+};
+
+}  // namespace flb::runtime

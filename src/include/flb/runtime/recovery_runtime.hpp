@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "flb/runtime/failure_detector.hpp"
 #include "flb/sched/repair.hpp"
 #include "flb/sched/schedule.hpp"
 #include "flb/sim/faults.hpp"
@@ -142,6 +143,36 @@ struct RuntimeOptions {
   /// Network model and latency scaling of the simulated executions.
   SimNetwork network = SimNetwork::kContentionFree;
   Cost latency_factor = 1.0;
+
+  /// Unreliable-detector mode (requires world.heartbeat.enabled()): the
+  /// controller no longer sees the simulator's raw liveness events —
+  /// kFailure and kRejoin become invisible, and remote liveness is inferred
+  /// from the FailureDetector's belief stream instead, false positives and
+  /// all. Slowdowns, permanent message drops and task-kill telemetry stay
+  /// directly observable (local throttling counters, sender timeouts, and
+  /// durable-store lease expiry respectively — none of them require knowing
+  /// whether a *remote processor* is alive).
+  bool use_detector = false;
+  /// With use_detector: react to kSuspected by launching a speculative
+  /// continuation — the suspect's unfinished queue re-executes elsewhere
+  /// while its first in-flight task stays pinned in place
+  /// (RepairOptions::suspects). kConfirmedDead promotes the speculation
+  /// (the next repair simply drops the pin); kExonerated cancels it and
+  /// reconciles first-completion-wins, with the duplicate work priced into
+  /// RuntimeResult::speculative_waste. False waits for kConfirmedDead
+  /// before migrating anything — the confirm-then-repair baseline.
+  bool speculate = true;
+  /// With use_detector: re-derive the checkpoint interval each reaction
+  /// from the Young/Daly first-order optimum sqrt(2·overhead/λ̂), where λ̂
+  /// is a windowed per-processor MLE over confirmed kills. The adapted
+  /// interval applies to the tasks each repair re-plans (via
+  /// SimOptions::checkpoint_interval), still gated by min_downstream.
+  /// Requires world.checkpoint.enabled() to have any effect.
+  bool adapt_checkpoint = false;
+  /// Lookback window of the failure-rate estimator (time units); the MLE
+  /// counts confirmed kills within [horizon - window, horizon]. Infinite =
+  /// the whole observed history.
+  Cost failure_rate_window = kInfiniteTime;
 };
 
 /// One reaction of the controller to a batch of observed events.
@@ -163,6 +194,22 @@ struct RepairInvocation {
   /// FNV-1a digest of the continuation's schedule text (0 when deferred) —
   /// the unit of the determinism and poisoned-future comparisons.
   std::uint64_t schedule_digest = 0;
+  /// Detector mode: processors suspected but unconfirmed at this reaction.
+  ProcId suspects = 0;
+  /// Detector mode: this reaction launched a speculative continuation (a
+  /// new suspicion entered the batch and speculation is enabled).
+  bool speculative = false;
+  /// Detector mode: a confirmation promoted an active speculation — the
+  /// suspect's pin is dropped and its work migrates for good.
+  bool promoted = false;
+  /// Detector mode: an exoneration cancelled an active speculation; the
+  /// duplicate work it burned is in RuntimeResult::speculative_waste.
+  bool cancelled = false;
+  /// Adaptive checkpointing: interval installed for the tasks this repair
+  /// re-planned (0 = the plan's own interval, i.e. no estimate yet).
+  Cost checkpoint_interval = 0.0;
+  /// The windowed failure-rate MLE behind it (per processor per time unit).
+  double failure_rate = 0.0;
 };
 
 /// Outcome of one online recovery episode.
@@ -183,6 +230,28 @@ struct RuntimeResult {
   bool complete = false;  ///< every task ran to completion
   std::uint64_t event_digest = 0;     ///< FNV-1a over the rendered event log
   std::uint64_t schedule_digest = 0;  ///< FNV-1a over the final schedule text
+  /// Detector mode: every belief the controller consumed, in consumption
+  /// order (empty without use_detector).
+  std::vector<BeliefEvent> beliefs;
+  /// FNV-1a over belief_log_text(beliefs) — the belief-stream determinism
+  /// digest (0 without use_detector).
+  std::uint64_t belief_digest = 0;
+  /// Suspicions exonerated before confirmation — the detector cried wolf.
+  std::size_t false_alarms = 0;
+  /// kConfirmedDead beliefs consumed (includes wrong confirmations later
+  /// exonerated).
+  std::size_t confirmations = 0;
+  /// Wall time + communication the cancelled speculations burned on
+  /// duplicate placements that had already started when their suspect was
+  /// exonerated (priced through platform::CostModel; first-completion-wins
+  /// keeps whatever finished, this is the bill for the rest).
+  Cost speculative_waste = 0.0;
+  /// Duplicate placements counted into speculative_waste.
+  std::size_t speculative_tasks = 0;
+  /// Mean (first confirmation − true death time) over real deaths the
+  /// detector confirmed; 0 when none. Reporting only — computed against
+  /// the resolved world after the episode, never used for control.
+  Cost mean_detection_latency = 0.0;
 };
 
 /// Run one closed-loop online recovery episode: execute `nominal` for `g`

@@ -110,6 +110,22 @@ struct RepairOptions {
   /// restricts placement to never-killed processors — the baseline the
   /// give-back is measured against.
   bool give_back = true;
+  /// Suspected-dead processors (runtime/failure_detector.hpp): each one is
+  /// listed as failed in `plan` — the controller believes it died and
+  /// migrates its queue — but its belief may be wrong, so its in-flight
+  /// work is *hedged* rather than written off. For each suspect, the first
+  /// task that had started on it per `nominal` and is still unfinished at
+  /// the horizon keeps its placement and start (lifted as needed to stay
+  /// feasible against the fixed prefix, predecessor arrivals priced through
+  /// the platform cost model) instead of migrating. If the suspect is
+  /// exonerated the pinned task's progress was never lost; if the death is
+  /// confirmed, a later repair (without the suspect entry) migrates it like
+  /// any other unfinished task. Entries must be below the processor count.
+  std::vector<ProcId> suspects;
+  /// Tasks that must not be pinned on a suspect (not owned; one entry per
+  /// task when set): the controller excludes tasks it has already observed
+  /// killed — known-lost work is not worth hedging.
+  const std::vector<char>* pin_exclude = nullptr;
 };
 
 /// Outcome of one repair.
@@ -136,6 +152,9 @@ struct RepairResult {
   Cost time_recovered = 0.0;
   std::size_t reexecuted_tasks = 0;  ///< finished tasks rolled back & redone
   Cost checkpoint_work_saved = 0.0;  ///< killed work resumed from checkpoints
+  /// In-flight tasks kept on their suspected-dead processor as a
+  /// speculative hedge (RepairOptions::suspects), at most one per suspect.
+  std::vector<TaskId> pinned_tasks;
   Cost release_time = 0.0;  ///< earliest instant migrated work may start
   double repair_millis = 0.0;  ///< wall-clock cost of computing the repair
   /// Expected wall duration per task in `schedule`, computed independently

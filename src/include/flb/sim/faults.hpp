@@ -160,6 +160,30 @@ struct CheckpointPolicy {
   }
 };
 
+/// Heartbeat-based failure *sensing* (runtime/failure_detector.hpp). Unlike
+/// every other section of a FaultPlan this injects nothing into the
+/// simulated execution — it configures how an unreliable observer perceives
+/// it. Every processor emits a heartbeat each `period` units of wall time
+/// while it is alive; each emission is independently lost with
+/// `loss_probability` or delayed by `delay_factor * period` with
+/// `delay_probability` (seeded per (processor, beat index), like message
+/// faults). A φ-accrual-style monitor suspects a processor once it has
+/// been silent for `suspect_after` periods and confirms it dead after
+/// `confirm_after`; any later heartbeat exonerates it. False positives
+/// (lossy silence from a live processor) and false negatives (a death
+/// missed because the processor rejoins within the suspicion window) are
+/// both possible by construction.
+struct HeartbeatConfig {
+  Cost period = 0.0;               ///< emission period; 0 disables sensing
+  double loss_probability = 0.0;   ///< per heartbeat, i.i.d., seeded
+  double delay_probability = 0.0;  ///< per heartbeat, i.i.d., seeded
+  double delay_factor = 1.5;       ///< delayed arrival = emission + factor*period
+  double suspect_after = 2.0;      ///< accrual threshold (periods) to suspect
+  double confirm_after = 4.0;      ///< accrual threshold (periods) to confirm
+
+  [[nodiscard]] bool enabled() const { return period > 0.0; }
+};
+
 /// Per-message loss/delay model with bounded retry.
 struct MessageFaults {
   double loss_probability = 0.0;   ///< per transmission attempt
@@ -181,6 +205,7 @@ struct FaultPlan {
   std::vector<DomainBurst> bursts;
   CheckpointPolicy checkpoint;
   MessageFaults message;
+  HeartbeatConfig heartbeat;
   double runtime_spread = 0.0;  ///< comp scaled by uniform [1-s, 1+s], s < 1
 
   /// Convenience: a plan whose only fault is killing `proc` at `time`.
@@ -206,8 +231,11 @@ struct FaultPlan {
   /// names are unique and non-empty with members below `num_procs`; every
   /// burst references a declared domain with finite, non-negative
   /// time/window/cascade_delay/recovery_delay and a slowdown_factor of 0
-  /// or in (0,1]; and checkpoint interval, overhead and min_downstream are
-  /// finite and non-negative.
+  /// or in (0,1]; checkpoint interval, overhead and min_downstream are
+  /// finite and non-negative; and the heartbeat section has a finite,
+  /// non-negative period, probabilities in [0,1], a finite delay_factor
+  /// >= 1, and finite accrual thresholds with 0 < suspect_after <
+  /// confirm_after.
   void validate(ProcId num_procs) const;
 };
 
@@ -287,6 +315,7 @@ Cost runtime_factor(const FaultPlan& plan, TaskId t);
 //     runtime-spread 0.1
 //     checkpoint <interval> <overhead> [min_downstream]   (defaults to 0)
 //     message <loss> <delay_prob> <delay_factor> <max_retries> <timeout> <backoff>
+//     heartbeat <period> <loss> <delay_prob> <delay_factor> <suspect> <confirm>
 //     fail <proc> <time>
 //     rejoin <proc> <time>
 //     slowdown <proc> <time> <factor> [until]      (until defaults to inf)

@@ -138,6 +138,16 @@ struct SimOptions {
   /// migrated tasks resume from a checkpoint with only their remaining
   /// work. Must have num_tasks entries when set.
   const std::vector<Cost>* work_override = nullptr;
+  /// Optional per-task checkpoint-interval override (not owned). Entries
+  /// other than kUndefinedTime replace CheckpointPolicy::interval for that
+  /// task; the policy's overhead and min_downstream gating are unchanged,
+  /// and an entry of 0 disables the task's checkpoints. Used by the
+  /// adaptive-checkpointing controller (flb::runtime), which re-derives
+  /// the interval from its online failure-rate estimate and installs it
+  /// for the tasks each repair re-plans. Must have num_tasks entries with
+  /// finite, non-negative values (or kUndefinedTime) when set; ignored
+  /// without a fault plan.
+  const std::vector<Cost>* checkpoint_interval = nullptr;
   /// Optional observer stream (not owned). When set and a fault plan is
   /// active, the simulation appends every observable event — failures,
   /// rejoins, slowdown onsets and recoveries, task kills, permanent message

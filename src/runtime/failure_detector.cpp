@@ -1,0 +1,156 @@
+#include "flb/runtime/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "flb/util/error.hpp"
+#include "flb/util/rng.hpp"
+
+namespace flb::runtime {
+
+namespace {
+
+// Same splitmix-style finalizer as the fault-resolution streams in
+// sim/faults.cpp; domain tag 5 keeps the heartbeat draws decorrelated from
+// the task (1), edge (2), burst (3) and cascade (4) streams of one seed.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t domain,
+                  std::uint64_t index) {
+  std::uint64_t z = seed ^ (domain * 0x9e3779b97f4a7c15ULL) ^
+                    (index + 0xbf58476d1ce4e5b9ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kHeartbeatDomain = 5;
+
+const char* kind_name(BeliefKind kind) {
+  switch (kind) {
+    case BeliefKind::kSuspected: return "suspect";
+    case BeliefKind::kConfirmedDead: return "confirm-dead";
+    case BeliefKind::kExonerated: return "exonerate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(const BeliefEvent& belief) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "t=" << belief.time << " " << kind_name(belief.kind) << " proc "
+     << belief.proc << " last-heard " << belief.last_heard;
+  if (belief.kind != BeliefKind::kExonerated)
+    os << " phi " << belief.score;
+  return os.str();
+}
+
+std::string belief_log_text(const std::vector<BeliefEvent>& beliefs) {
+  std::string text;
+  for (const BeliefEvent& b : beliefs) {
+    text += to_string(b);
+    text += '\n';
+  }
+  return text;
+}
+
+FailureDetector::FailureDetector(const FaultPlan& world, ProcId num_procs)
+    : hb_(world.heartbeat), seed_(world.seed), num_procs_(num_procs) {
+  FLB_REQUIRE(hb_.enabled(),
+              "FailureDetector: the world plan has no heartbeat section "
+              "(heartbeat.period must be positive)");
+  world.validate(num_procs);
+  const ResolvedFaults resolved = resolve_faults(world);
+  down_.assign(num_procs, {});
+  // resolve_faults canonicalizes kill/rejoin into alternating disjoint
+  // windows sorted by time; pair them back up per processor.
+  for (const ProcFailure& f : resolved.failures)
+    down_[f.proc].push_back({f.time, kInfiniteTime});
+  for (const ProcRejoin& r : resolved.rejoins) {
+    auto& windows = down_[r.proc];
+    for (auto& w : windows)
+      if (w.second == kInfiniteTime && r.time > w.first) {
+        w.second = r.time;
+        break;
+      }
+  }
+  for (auto& windows : down_)
+    std::sort(windows.begin(), windows.end());
+}
+
+bool FailureDetector::alive_at(ProcId p, Cost t) const {
+  for (const auto& w : down_[p])
+    if (t >= w.first && t < w.second) return false;
+  return true;
+}
+
+Cost FailureDetector::arrival(ProcId p, std::uint64_t k) const {
+  FLB_REQUIRE(p < num_procs_ && k >= 1,
+              "FailureDetector::arrival: processor or beat index out of "
+              "range");
+  const Cost emit = static_cast<Cost>(k) * hb_.period;
+  if (!alive_at(p, emit)) return kInfiniteTime;
+  Rng rng(mix(seed_, kHeartbeatDomain,
+              (static_cast<std::uint64_t>(p) << 40) | k));
+  if (rng.bernoulli(hb_.loss_probability)) return kInfiniteTime;
+  if (rng.bernoulli(hb_.delay_probability))
+    return emit + hb_.delay_factor * hb_.period;
+  return emit;
+}
+
+std::vector<BeliefEvent> FailureDetector::beliefs(Cost until) const {
+  FLB_REQUIRE(std::isfinite(until) && until >= 0.0,
+              "FailureDetector::beliefs: horizon must be finite and "
+              "non-negative");
+  std::vector<BeliefEvent> out;
+  // Any threshold crossing at or before `until` depends only on arrivals
+  // at or before `until`; beats emitted up to `until` (plus the delay
+  // slack) cover every arrival that can matter.
+  const auto last_beat = static_cast<std::uint64_t>(
+      std::floor(until / hb_.period + hb_.delay_factor + 1.0));
+  for (ProcId p = 0; p < num_procs_; ++p) {
+    std::vector<Cost> arrivals;  // the monitor heard p at these instants
+    for (std::uint64_t k = 1; k <= last_beat; ++k) {
+      const Cost a = arrival(p, k);
+      if (a != kInfiniteTime && a <= until) arrivals.push_back(a);
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+
+    // Replay the accrual state machine: the processor "checked in" at
+    // t = 0 (startup handshake), then each silence window spawns its
+    // suspect/confirm crossings until the next arrival clears them.
+    Cost last_heard = 0.0;
+    int level = 0;  // 0 = trusted, 1 = suspected, 2 = confirmed
+    auto emit_crossings = [&](Cost next_arrival) {
+      const Cost suspect_at = last_heard + hb_.suspect_after * hb_.period;
+      const Cost confirm_at = last_heard + hb_.confirm_after * hb_.period;
+      if (level < 1 && suspect_at < next_arrival && suspect_at <= until) {
+        out.push_back({suspect_at, BeliefKind::kSuspected, p, last_heard,
+                       hb_.suspect_after});
+        level = 1;
+      }
+      if (level == 1 && confirm_at < next_arrival && confirm_at <= until) {
+        out.push_back({confirm_at, BeliefKind::kConfirmedDead, p, last_heard,
+                       hb_.confirm_after});
+        level = 2;
+      }
+    };
+    for (const Cost a : arrivals) {
+      if (a <= last_heard) continue;  // stale (delayed past a fresher beat)
+      emit_crossings(a);
+      if (level != 0)
+        out.push_back({a, BeliefKind::kExonerated, p, last_heard, 0.0});
+      level = 0;
+      last_heard = a;
+    }
+    emit_crossings(kInfiniteTime);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BeliefEvent& a, const BeliefEvent& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+}  // namespace flb::runtime

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -25,13 +27,16 @@ HorizonFaultView::HorizonFaultView(const FaultPlan& world, ProcId num_procs)
   plan_.seed = world.seed;
   plan_.checkpoint = world.checkpoint;
   plan_.message = world.message;
+  plan_.heartbeat = world.heartbeat;
   plan_.runtime_spread = world.runtime_spread;
 }
 
 void HorizonFaultView::advance(Cost horizon) {
   FLB_REQUIRE(horizon >= horizon_,
               "HorizonFaultView: the observation horizon cannot move "
-              "backwards");
+              "backwards (advance to " +
+                  std::to_string(horizon) + " with the horizon at " +
+                  std::to_string(horizon_) + ")");
   horizon_ = horizon;
 }
 
@@ -44,8 +49,9 @@ bool HorizonFaultView::observed(const SimEvent& event) const {
 
 void HorizonFaultView::observe(const SimEvent& event) {
   FLB_REQUIRE(event.time <= horizon_,
-              "HorizonFaultView: an event beyond the horizon cannot be "
-              "observed — that would be future knowledge");
+              "HorizonFaultView: an event at t=" + std::to_string(event.time) +
+                  " beyond the horizon " + std::to_string(horizon_) +
+                  " cannot be observed — that would be future knowledge");
   if (observed(event)) return;
   seen_.insert(event.key());
   switch (event.kind) {
@@ -175,6 +181,422 @@ void check_continuation(const TaskGraph& g, const RepairResult& rep,
                   report.diagnostics.front().message);
 }
 
+/// The unreliable-detector controller: identical skeleton to the
+/// perfect-event loop below, but the simulator's kFailure/kRejoin events
+/// are invisible — remote liveness is *inferred* from the FailureDetector's
+/// belief stream, and the plan handed to each repair lists the controller's
+/// hypotheses (suspicion-to-exoneration windows), not the truth. Slowdowns,
+/// permanent message drops and task-kill telemetry stay directly observable:
+/// throttling is a local counter, a drop is the sender's own retry budget,
+/// and a lost dispatched task surfaces through durable-store lease expiry —
+/// none of them requires knowing whether a remote *processor* is alive.
+RuntimeResult run_detector_recovery(const TaskGraph& g,
+                                    const Schedule& nominal,
+                                    const FaultPlan& world,
+                                    const RuntimeOptions& options) {
+  const TaskId n = g.num_tasks();
+  const ProcId procs = nominal.num_procs();
+  FLB_REQUIRE(world.heartbeat.enabled(),
+              "run_online_recovery: use_detector requires a heartbeat "
+              "section in the world plan (heartbeat.period > 0)");
+  const FailureDetector detector(world, procs);
+  const HeartbeatConfig& hb = world.heartbeat;
+
+  HorizonFaultView view(world, procs);
+  Schedule current = nominal;
+  std::vector<Cost> remaining(n, kUndefinedTime);
+  std::vector<Cost> last_durations;
+  std::vector<RepairInvocation> repairs;
+  std::vector<char> repair_targets(procs, 0);
+  std::vector<char> killed_observed(n, 0);
+  std::size_t retry_attempts = 0;
+  bool force_greedy = false;
+  bool degraded = false;
+
+  // The controller's belief per processor: 0 trusted, 1 suspected,
+  // 2 confirmed dead. open_since is the hypothesized death instant (the
+  // suspicion time); closed holds finished hypothesis windows — a
+  // confirmed death whose processor was later heard from again is treated
+  // as a reboot with cold caches.
+  std::vector<int> belief(procs, 0);
+  std::vector<Cost> open_since(procs, 0.0);
+  std::vector<std::vector<std::pair<Cost, Cost>>> closed(procs);
+  std::set<std::tuple<Cost, int, ProcId>> belief_seen;
+  std::vector<BeliefEvent> consumed;
+  // Active speculations: the placements each one moved off its suspect, so
+  // an exoneration can price what the cancelled hedge burned.
+  std::vector<std::vector<TaskId>> spec_moved(procs);
+  std::size_t false_alarms = 0, confirmations = 0, spec_tasks = 0;
+  Cost spec_waste = 0.0;
+  std::vector<Cost> confirm_times;
+
+  // Adaptive checkpointing: per-task interval overrides installed for the
+  // tasks each repair re-plans (those start at or after the reaction's
+  // horizon in every later simulation, so overriding them never perturbs
+  // already-observed history), and the current Young/Daly estimate.
+  std::vector<Cost> ckpt_interval(n, kUndefinedTime);
+  Cost current_tau = 0.0;  // 0 = no estimate yet: keep the plan's interval
+
+  platform::CostModel waste_model = platform::CostModel::clique(procs);
+  waste_model.set_latency_factor(options.latency_factor);
+
+  std::vector<SimEvent> log;
+  SimOptions sim_options;
+  sim_options.network = options.network;
+  sim_options.latency_factor = options.latency_factor;
+  sim_options.faults = &world;
+  sim_options.work_override = &remaining;
+  sim_options.checkpoint_interval = &ckpt_interval;
+  sim_options.event_log = &log;
+  sim_options.honor_start_times = true;
+
+  // One merged observation: a directly observable SimEvent or a belief.
+  struct Obs {
+    Cost time = 0.0;
+    bool is_belief = false;
+    SimEvent ev{};
+    BeliefEvent bel{};
+  };
+
+  SimResult sim;
+  const std::size_t cap = 1000 + 32 * (static_cast<std::size_t>(n) +
+                                       g.num_edges() + procs);
+  for (std::size_t iter = 0;; ++iter) {
+    FLB_REQUIRE(iter < cap,
+                "run_online_recovery: controller failed to converge");
+    sim = simulate(g, current, sim_options);
+
+    auto collect = [&](Cost until) {
+      std::vector<Obs> fresh;
+      for (const SimEvent& event : log) {
+        if (event.kind == SimEventKind::kFailure ||
+            event.kind == SimEventKind::kRejoin)
+          continue;  // remote liveness is exactly what cannot be sensed
+        if (view.observed(event)) continue;
+        if (sim.complete() && event.time >= sim.makespan) continue;
+        fresh.push_back({event.time, false, event, {}});
+      }
+      for (const BeliefEvent& b : detector.beliefs(until)) {
+        if (belief_seen.count(b.key()) != 0) continue;
+        if (sim.complete() && b.time >= sim.makespan) continue;
+        fresh.push_back({b.time, true, {}, b});
+      }
+      std::sort(fresh.begin(), fresh.end(), [](const Obs& a, const Obs& b) {
+        if (a.time != b.time) return a.time < b.time;
+        if (a.is_belief != b.is_belief) return !a.is_belief;
+        if (a.is_belief) return a.bel.key() < b.bel.key();
+        return a.ev.key() < b.ev.key();
+      });
+      return fresh;
+    };
+
+    // The belief stream is prefix-stable in its horizon, so any finite
+    // window works; start with enough slack past the latest activity to
+    // cover a full confirm window, and widen geometrically when an
+    // incomplete execution is waiting on a belief further out (the rescue
+    // confirmation of a silently dead processor, or the exoneration of a
+    // falsely suspected one).
+    const Cost slack =
+        hb.period * (hb.confirm_after + hb.delay_factor + 2.0);
+    Cost ref = std::max(view.horizon(), sim.makespan);
+    if (!log.empty()) ref = std::max(ref, log.back().time);
+    Cost until = ref + slack;
+    std::vector<Obs> fresh = collect(until);
+    for (int grow = 0; fresh.empty() && !sim.complete() && grow < 60;
+         ++grow) {
+      until *= 2.0;
+      fresh = collect(until);
+    }
+    if (fresh.empty()) break;
+
+    bool spec_launched = false, promoted = false, cancelled = false;
+    std::vector<ProcId> newly_suspected;
+    std::vector<char> exonerated_now(procs, 0);
+    auto consume_belief = [&](const BeliefEvent& b) {
+      belief_seen.insert(b.key());
+      consumed.push_back(b);
+      const ProcId p = b.proc;
+      switch (b.kind) {
+        case BeliefKind::kSuspected:
+          if (belief[p] == 0) {
+            belief[p] = 1;
+            open_since[p] = b.time;
+            if (options.speculate) {
+              spec_launched = true;
+              newly_suspected.push_back(p);
+            }
+          }
+          break;
+        case BeliefKind::kConfirmedDead:
+          if (belief[p] == 1) {
+            belief[p] = 2;
+            ++confirmations;
+            confirm_times.push_back(b.time);
+            if (!spec_moved[p].empty()) {
+              promoted = true;  // the speculation becomes the plan
+              spec_moved[p].clear();
+            }
+          }
+          break;
+        case BeliefKind::kExonerated:
+          if (belief[p] == 1) {
+            ++false_alarms;
+            if (options.speculate) exonerated_now[p] = 1;
+            if (!spec_moved[p].empty()) {
+              // Cancel the speculation, first-completion-wins: duplicate
+              // placements that finished before the exoneration are banked
+              // (they stay in the fixed prefix); ones still in flight are
+              // re-planned, so the wall time they burned — plus the input
+              // shipping their placement paid — is pure waste.
+              cancelled = true;
+              for (const TaskId t : spec_moved[p]) {
+                if (current.proc(t) == p) continue;
+                if (sim.start[t] == kUndefinedTime ||
+                    sim.start[t] >= b.time)
+                  continue;
+                if (sim.finish[t] != kUndefinedTime &&
+                    sim.finish[t] <= b.time)
+                  continue;  // completed elsewhere first: the hedge won
+                spec_waste += b.time - sim.start[t];
+                for (const Adj& in : g.predecessors(t))
+                  if (current.proc(in.node) != current.proc(t))
+                    spec_waste += waste_model.message_cost(in.comm);
+                ++spec_tasks;
+              }
+            }
+          } else if (belief[p] == 2) {
+            closed[p].push_back({open_since[p], b.time});
+          }
+          belief[p] = 0;
+          spec_moved[p].clear();
+          break;
+      }
+    };
+
+    // In confirm-then-repair mode a suspicion (or the exoneration of a
+    // mere suspect) changes nothing the controller would act on: consume
+    // such leading beliefs passively, without a reaction.
+    auto actionable = [&](const Obs& o) {
+      if (!o.is_belief || options.speculate) return true;
+      if (o.bel.kind == BeliefKind::kConfirmedDead) return true;
+      return o.bel.kind == BeliefKind::kExonerated &&
+             belief[o.bel.proc] == 2;
+    };
+    std::size_t idx = 0;
+    while (idx < fresh.size() && !actionable(fresh[idx])) {
+      consume_belief(fresh[idx].bel);
+      ++idx;
+    }
+    if (idx == fresh.size()) continue;  // only passive knowledge this round
+
+    const Cost observed_at = fresh[idx].time;
+    const Cost batch_end = observed_at + options.debounce;
+    std::vector<Obs> batch;
+    for (std::size_t i = idx; i < fresh.size(); ++i)
+      if (fresh[i].time <= batch_end) batch.push_back(fresh[i]);
+
+    // Bounded retry, keyed on the detector-mode analog of the perfect
+    // loop's re-strike: a *confirmation* hitting a processor the previous
+    // repair migrated work onto.
+    std::size_t attempt = 0;
+    for (const Obs& o : batch)
+      if (o.is_belief && o.bel.kind == BeliefKind::kConfirmedDead &&
+          repair_targets[o.bel.proc] != 0) {
+        attempt = ++retry_attempts;
+        if (retry_attempts > options.max_retries) force_greedy = true;
+        break;
+      }
+    Cost horizon = std::max(view.horizon(), batch_end);
+    if (attempt > 0)
+      horizon += options.backoff_base *
+                 std::ldexp(1.0, static_cast<int>(std::min<std::size_t>(
+                                     attempt - 1, 30)));
+
+    view.advance(horizon);
+    for (const Obs& o : batch) {
+      if (o.is_belief) {
+        consume_belief(o.bel);
+        continue;
+      }
+      view.observe(o.ev);
+      if (o.ev.kind == SimEventKind::kTaskKilled) {
+        killed_observed[o.ev.task] = 1;
+        if (o.ev.value > 0.0) {
+          const Cost before = remaining[o.ev.task] != kUndefinedTime
+                                  ? remaining[o.ev.task]
+                                  : g.comp(o.ev.task) *
+                                        runtime_factor(world, o.ev.task);
+          remaining[o.ev.task] = std::max(0.0, before - o.ev.value);
+        }
+      }
+    }
+
+    RepairInvocation inv;
+    inv.observed_at = observed_at;
+    inv.horizon = horizon;
+    inv.events = batch.size();
+    inv.retry_attempt = attempt;
+    inv.speculative = spec_launched;
+    inv.promoted = promoted;
+    inv.cancelled = cancelled;
+    ProcId usable = 0;
+    for (ProcId p = 0; p < procs; ++p) {
+      if (belief[p] == 1) ++inv.suspects;
+      const bool listed_dead =
+          options.speculate ? belief[p] != 0 : belief[p] == 2;
+      if (!listed_dead) ++usable;
+    }
+    inv.survivors = usable;
+
+    if (usable == 0) {
+      inv.deferred = true;
+      repairs.push_back(inv);
+      continue;
+    }
+
+    // The plan handed to the repair is the controller's *hypothesis*:
+    // observed slowdowns plus one failure window per belief — closed
+    // windows for confirmed-then-exonerated processors (a reboot with cold
+    // caches, as far as the controller can tell), an open failure at the
+    // suspicion instant for everything currently believed dead. In
+    // speculative mode suspects are listed dead too (their queue migrates)
+    // while RepairOptions::suspects pins their in-flight work in place.
+    FaultPlan bp = view.plan();
+    for (ProcId p = 0; p < procs; ++p) {
+      for (const auto& w : closed[p]) {
+        bp.failures.push_back({p, w.first});
+        bp.rejoins.push_back({p, w.second});
+      }
+      const bool listed_dead =
+          options.speculate ? belief[p] != 0 : belief[p] == 2;
+      if (listed_dead) bp.failures.push_back({p, open_since[p]});
+    }
+
+    // Windowed MLE over confirmed kills, re-deriving the Young/Daly
+    // first-order optimum tau = sqrt(2 * overhead / lambda). The estimate
+    // prices the repair's checkpoint pauses (bp) and is installed as the
+    // interval override of every task this repair re-plans.
+    if (options.adapt_checkpoint && world.checkpoint.enabled() &&
+        world.checkpoint.overhead > 0.0) {
+      const Cost span = std::min(options.failure_rate_window, horizon);
+      if (span > 0.0) {
+        std::size_t kills = 0;
+        for (const Cost ct : confirm_times)
+          if (ct > horizon - span) ++kills;
+        if (kills > 0) {
+          const double lambda = static_cast<double>(kills) /
+                                (span * static_cast<double>(procs));
+          current_tau =
+              std::sqrt(2.0 * world.checkpoint.overhead / lambda);
+          inv.failure_rate = lambda;
+        }
+      }
+    }
+    inv.checkpoint_interval = current_tau;
+    if (current_tau > 0.0) bp.checkpoint.interval = current_tau;
+
+    const SimResult obs =
+        observed_slice(g, sim, horizon, remaining, world, view);
+    RepairOptions repair_options;
+    repair_options.strategy =
+        (force_greedy || usable < options.degrade_below)
+            ? RepairStrategy::kGreedy
+            : RepairStrategy::kAuto;
+    repair_options.flb = options.flb;
+    repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
+    repair_options.horizon = horizon;
+    if (options.speculate) {
+      // Pin in-flight work on every currently suspected processor — and on
+      // every processor exonerated in this very batch: the reconciliation
+      // repair now knows it is alive, so keeping its running task's
+      // placement and start (first-completion-wins) is what preserves the
+      // progress the false alarm would otherwise throw away.
+      for (ProcId p = 0; p < procs; ++p)
+        if (belief[p] == 1 || exonerated_now[p] != 0)
+          repair_options.suspects.push_back(p);
+      repair_options.pin_exclude = &killed_observed;
+    }
+    const RepairResult rep =
+        repair_schedule(g, current, obs, bp, repair_options);
+    if (options.validate) check_continuation(g, rep, procs, horizon);
+
+    // Record what each just-launched speculation moved off its suspect, so
+    // a later exoneration can price the cancelled hedge.
+    for (const ProcId p : newly_suspected) {
+      spec_moved[p].clear();
+      for (const TaskId t : current.tasks_on(p))
+        if (!(sim.finish[t] != kUndefinedTime && sim.finish[t] <= horizon) &&
+            rep.schedule.proc(t) != p)
+          spec_moved[p].push_back(t);
+    }
+
+    // Install the adapted interval for the re-planned tasks only: they
+    // start at or after this horizon in every later simulation, so the
+    // already-observed prefix never changes under the new policy.
+    if (current_tau > 0.0)
+      for (TaskId t = 0; t < n; ++t)
+        if (rep.schedule.start(t) >= horizon - 1e-9)
+          ckpt_interval[t] = current_tau;
+
+    inv.used = rep.used;
+    inv.migrated = rep.migrated_tasks;
+    inv.reexecuted = rep.reexecuted_tasks;
+    inv.makespan = rep.schedule.makespan();
+    inv.schedule_digest = fnv1a_digest(to_schedule_text(rep.schedule));
+    repairs.push_back(inv);
+    if (rep.used == RepairStrategy::kGreedy) degraded = true;
+
+    repair_targets.assign(procs, 0);
+    for (ProcId p = 0; p < procs; ++p)
+      for (const TaskId t : rep.schedule.tasks_on(p))
+        if (rep.schedule.start(t) >= rep.release_time - 1e-9) {
+          repair_targets[p] = 1;
+          break;
+        }
+
+    current = rep.schedule;
+    last_durations = rep.durations;
+  }
+
+  RuntimeResult result(std::move(current));
+  result.durations = std::move(last_durations);
+  result.makespan = sim.makespan;
+  result.complete = sim.complete();
+  result.execution = std::move(sim);
+  result.events = std::move(log);
+  result.repairs = std::move(repairs);
+  result.events_observed = view.observed_events();
+  result.degraded = degraded;
+  result.event_digest = fnv1a_digest(event_log_text(result.events));
+  result.schedule_digest = fnv1a_digest(to_schedule_text(result.schedule));
+  result.beliefs = std::move(consumed);
+  result.belief_digest = fnv1a_digest(belief_log_text(result.beliefs));
+  result.false_alarms = false_alarms;
+  result.confirmations = confirmations;
+  result.speculative_waste = spec_waste;
+  result.speculative_tasks = spec_tasks;
+  // Reporting only (never used for control): detection latency against
+  // the resolved truth — mean gap between each real death and its first
+  // confirmation.
+  {
+    const ResolvedFaults truth = resolve_faults(world);
+    Cost total = 0.0;
+    std::size_t found = 0;
+    for (const ProcFailure& f : truth.failures) {
+      for (const BeliefEvent& b : result.beliefs)
+        if (b.kind == BeliefKind::kConfirmedDead && b.proc == f.proc &&
+            b.time >= f.time) {
+          total += b.time - f.time;
+          ++found;
+          break;
+        }
+    }
+    if (found > 0)
+      result.mean_detection_latency = total / static_cast<Cost>(found);
+  }
+  return result;
+}
+
 }  // namespace
 
 RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
@@ -191,6 +613,8 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
               "run_online_recovery: debounce and backoff_base must be "
               "non-negative");
   world.validate(procs);
+  if (options.use_detector)
+    return run_detector_recovery(g, nominal, world, options);
 
   HorizonFaultView view(world, procs);
   Schedule current = nominal;

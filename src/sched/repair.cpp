@@ -159,7 +159,6 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
       out.schedule.assign(t, nominal.proc(t), partial.start[t],
                           partial.finish[t]);
     }
-  out.migrated_tasks = n - out.schedule.num_scheduled();
   out.survivors = survivors;
   out.release_time = release;
 
@@ -187,6 +186,55 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
           plan.checkpoint.overhead;
     out.checkpoint_work_saved += saved;
   }
+
+  // Speculative hedging: each suspect is listed dead in the plan — its
+  // queue migrates below — but the belief may be wrong, so its first
+  // still-in-flight task keeps its placement instead of restarting
+  // elsewhere. The pin start is lifted to stay feasible against the fixed
+  // prefix, with predecessor arrivals priced through the platform cost
+  // model; a task later than the first unfinished one cannot have been in
+  // flight (one task executes at a time), so only that one is hedged.
+  if (!options.suspects.empty()) {
+    FLB_REQUIRE(options.pin_exclude == nullptr ||
+                    options.pin_exclude->size() == n,
+                "repair_schedule: pin_exclude must have one entry per task");
+    platform::CostModel probe =
+        options.topology == nullptr
+            ? platform::CostModel::clique(procs)
+            : platform::CostModel::routed(*options.topology);
+    for (ProcId sp : options.suspects) {
+      FLB_REQUIRE(sp < procs,
+                  "repair_schedule: suspect " + std::to_string(sp) +
+                      " is not below the processor count " +
+                      std::to_string(procs));
+      for (TaskId t : nominal.tasks_on(sp)) {
+        if (fixed[t]) continue;
+        if (rolled[t]) break;  // stale inputs: known re-execution, not hedge
+        if (nominal.start(t) >= options.horizon) break;  // never in flight
+        if (options.pin_exclude != nullptr && (*options.pin_exclude)[t])
+          break;  // observed killed: known-lost, nothing to hedge
+        bool preds_fixed = true;
+        Cost start =
+            std::max(nominal.start(t), out.schedule.proc_ready_time(sp));
+        for (const Adj& in : g.predecessors(t)) {
+          if (!fixed[in.node]) {
+            preds_fixed = false;
+            break;
+          }
+          start = std::max(
+              start, probe.arrival(out.schedule.proc(in.node), sp, in.comm,
+                                   out.schedule.finish(in.node)));
+        }
+        if (preds_fixed) {
+          out.schedule.assign(t, sp, start,
+                              start + work[t] / speeds[sp] + extra[t]);
+          out.pinned_tasks.push_back(t);
+        }
+        break;
+      }
+    }
+  }
+  out.migrated_tasks = n - out.schedule.num_scheduled();
 
   // One continuation over a given admission mask. `recovery` additionally
   // admits rejoined processors from their rejoin instant with cold caches

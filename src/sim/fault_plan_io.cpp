@@ -99,6 +99,19 @@ FaultPlan read_fault_plan(std::istream& is) {
       plan.checkpoint.min_downstream =
           opt_field(ls, line, "malformed checkpoint min-downstream", 0.0);
       expect_end(ls, line);
+    } else if (directive == "heartbeat") {
+      HeartbeatConfig& h = plan.heartbeat;
+      h.period = field(ls, line, "missing or malformed heartbeat period");
+      h.loss_probability =
+          field(ls, line, "malformed heartbeat loss probability");
+      h.delay_probability =
+          field(ls, line, "malformed heartbeat delay probability");
+      h.delay_factor = field(ls, line, "malformed heartbeat delay factor");
+      h.suspect_after =
+          field(ls, line, "malformed heartbeat suspect threshold");
+      h.confirm_after =
+          field(ls, line, "malformed heartbeat confirm threshold");
+      expect_end(ls, line);
     } else if (directive == "message") {
       MessageFaults& m = plan.message;
       m.loss_probability = field(ls, line, "malformed loss probability");
@@ -183,6 +196,19 @@ void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
     if (plan.checkpoint.min_downstream != 0.0)
       os << " " << plan.checkpoint.min_downstream;
     os << "\n";
+  }
+  {
+    const HeartbeatConfig defaults;
+    const HeartbeatConfig& h = plan.heartbeat;
+    if (h.period != defaults.period ||
+        h.loss_probability != defaults.loss_probability ||
+        h.delay_probability != defaults.delay_probability ||
+        h.delay_factor != defaults.delay_factor ||
+        h.suspect_after != defaults.suspect_after ||
+        h.confirm_after != defaults.confirm_after)
+      os << "heartbeat " << h.period << " " << h.loss_probability << " "
+         << h.delay_probability << " " << h.delay_factor << " "
+         << h.suspect_after << " " << h.confirm_after << "\n";
   }
   {
     const MessageFaults defaults;

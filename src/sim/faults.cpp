@@ -277,6 +277,26 @@ void FaultPlan::validate(ProcId num_procs) const {
   FLB_REQUIRE(finite_nonneg(checkpoint.min_downstream),
               "FaultPlan: checkpoint min_downstream must be finite and "
               "non-negative");
+
+  FLB_REQUIRE(finite_nonneg(heartbeat.period),
+              "FaultPlan: heartbeat period must be finite and non-negative");
+  FLB_REQUIRE(heartbeat.loss_probability >= 0.0 &&
+                  heartbeat.loss_probability <= 1.0,
+              "FaultPlan: heartbeat loss probability must be in [0, 1]");
+  FLB_REQUIRE(heartbeat.delay_probability >= 0.0 &&
+                  heartbeat.delay_probability <= 1.0,
+              "FaultPlan: heartbeat delay probability must be in [0, 1]");
+  FLB_REQUIRE(std::isfinite(heartbeat.delay_factor) &&
+                  heartbeat.delay_factor >= 1.0,
+              "FaultPlan: heartbeat delay factor must be finite and >= 1");
+  FLB_REQUIRE(std::isfinite(heartbeat.suspect_after) &&
+                  heartbeat.suspect_after > 0.0,
+              "FaultPlan: heartbeat suspect threshold must be finite and "
+              "positive");
+  FLB_REQUIRE(std::isfinite(heartbeat.confirm_after) &&
+                  heartbeat.confirm_after > heartbeat.suspect_after,
+              "FaultPlan: heartbeat confirm threshold must be finite and "
+              "strictly above the suspect threshold");
 }
 
 Cost ResolvedFaults::death_time(ProcId p) const {

@@ -1,6 +1,7 @@
 #include "flb/sim/machine_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <sstream>
 #include <tuple>
@@ -86,6 +87,17 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   }
   const CheckpointPolicy ckpt =
       plan != nullptr ? plan->checkpoint : CheckpointPolicy{};
+  const std::vector<Cost>* const ckpt_override =
+      plan != nullptr ? options.checkpoint_interval : nullptr;
+  if (ckpt_override != nullptr) {
+    FLB_REQUIRE(ckpt_override->size() == n,
+                "simulate: checkpoint-interval override must have one entry "
+                "per task");
+    for (const Cost iv : *ckpt_override)
+      FLB_REQUIRE(iv == kUndefinedTime || (std::isfinite(iv) && iv >= 0.0),
+                  "simulate: checkpoint-interval override entries must be "
+                  "finite and non-negative (or kUndefinedTime)");
+  }
 
   // Criticality-aware checkpoint placement: with min_downstream > 0 only
   // tasks whose bottom level reaches the threshold write checkpoints; the
@@ -94,8 +106,12 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   if (plan != nullptr && ckpt.enabled() && ckpt.min_downstream > 0.0)
     downstream = bottom_levels(g);
   auto ckpt_of = [&](TaskId t) -> CheckpointPolicy {
-    if (downstream.empty() || ckpt.covers(downstream[t])) return ckpt;
-    return CheckpointPolicy{};
+    if (!downstream.empty() && !ckpt.covers(downstream[t]))
+      return CheckpointPolicy{};
+    CheckpointPolicy p = ckpt;
+    if (ckpt_override != nullptr && (*ckpt_override)[t] != kUndefinedTime)
+      p.interval = (*ckpt_override)[t];
+    return p;
   };
 
   std::vector<SimEvent>* const log = options.event_log;

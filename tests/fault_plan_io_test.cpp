@@ -147,6 +147,46 @@ TEST(FaultPlanIo, RejectsMalformedInput) {
                Error);
 }
 
+// The heartbeat directive (failure-detector sensing): full round-trip,
+// default elision, parse-level rejections, and semantic validation.
+TEST(FaultPlanIo, HeartbeatRoundTripsAndValidates) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.heartbeat.period = 2.5;
+  plan.heartbeat.loss_probability = 0.1;
+  plan.heartbeat.delay_probability = 0.05;
+  plan.heartbeat.delay_factor = 2.0;
+  plan.heartbeat.suspect_after = 3.0;
+  plan.heartbeat.confirm_after = 6.0;
+
+  const FaultPlan back = fault_plan_from_text(to_fault_plan_text(plan));
+  EXPECT_DOUBLE_EQ(back.heartbeat.period, 2.5);
+  EXPECT_DOUBLE_EQ(back.heartbeat.loss_probability, 0.1);
+  EXPECT_DOUBLE_EQ(back.heartbeat.delay_probability, 0.05);
+  EXPECT_DOUBLE_EQ(back.heartbeat.delay_factor, 2.0);
+  EXPECT_DOUBLE_EQ(back.heartbeat.suspect_after, 3.0);
+  EXPECT_DOUBLE_EQ(back.heartbeat.confirm_after, 6.0);
+  EXPECT_TRUE(back.heartbeat.enabled());
+  EXPECT_NO_THROW(back.validate(4));
+  EXPECT_EQ(to_fault_plan_text(back), to_fault_plan_text(plan));
+
+  // A default (disabled) heartbeat writes no directive at all.
+  EXPECT_EQ(to_fault_plan_text(FaultPlan{}).find("heartbeat"),
+            std::string::npos);
+
+  const std::string h = "flb-faultplan 1\n";
+  // Parse-level rejections: missing fields, non-finite fields, trailers.
+  EXPECT_THROW(fault_plan_from_text(h + "heartbeat 5 0.1\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "heartbeat 5 nan 0 1.5 2 4\n"),
+               Error);
+  EXPECT_THROW(fault_plan_from_text(h + "heartbeat 5 0 0 1.5 2 4 9\n"),
+               Error);
+  // Semantically absurd thresholds parse but fail validation.
+  const FaultPlan inverted =
+      fault_plan_from_text(h + "heartbeat 5 0 0 1.5 4 2\n");
+  EXPECT_THROW(inverted.validate(4), Error);
+}
+
 TEST(FaultPlanIo, ParsedPlanPassesSemanticValidation) {
   const FaultPlan plan =
       fault_plan_from_text(to_fault_plan_text(full_plan()));

@@ -8,10 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "flb/core/flb.hpp"
 #include "flb/graph/task_graph.hpp"
+#include "flb/runtime/failure_detector.hpp"
 #include "flb/runtime/recovery_runtime.hpp"
 #include "flb/sched/validator.hpp"
 #include "flb/sim/faults.hpp"
@@ -22,9 +26,13 @@
 namespace flb {
 namespace {
 
+using runtime::BeliefEvent;
+using runtime::BeliefKind;
+using runtime::FailureDetector;
 using runtime::HorizonFaultView;
 using runtime::RuntimeOptions;
 using runtime::RuntimeResult;
+using runtime::belief_log_text;
 using runtime::event_log_text;
 using runtime::fnv1a_digest;
 using runtime::run_online_recovery;
@@ -411,6 +419,368 @@ TEST(OnlineRecovery, MessageDropIsRepairedOnline) {
     return;
   }
   FAIL() << "no seed dropped the message";
+}
+
+// --- Satellite: the fault view names the offending instants -----------------
+
+TEST(HorizonView, ErrorsNameTheOffendingTimeAndTheCurrentHorizon) {
+  HorizonFaultView view(FaultPlan{}, 2);
+  view.advance(5.0);
+  try {
+    view.advance(4.0);
+    FAIL() << "backwards advance must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("advance to 4.000000"), std::string::npos) << what;
+    EXPECT_NE(what.find("horizon at 5.000000"), std::string::npos) << what;
+  }
+  try {
+    view.observe({6.0, SimEventKind::kFailure, 1});
+    FAIL() << "future observation must throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("t=6.000000"), std::string::npos) << what;
+    EXPECT_NE(what.find("horizon 5.000000"), std::string::npos) << what;
+  }
+}
+
+// --- Satellite: debounce boundary semantics ----------------------------------
+
+TEST(OnlineRecovery, DebounceWindowEdgeIsInclusive) {
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 4, 3);
+  FaultPlan world;
+  world.failures.push_back({1, 1.0});
+  world.failures.push_back({2, 1.5});  // exactly on the window edge
+
+  RuntimeOptions exact;
+  exact.debounce = 0.5;
+  RuntimeResult one = run_online_recovery(g, nominal, world, exact);
+  ASSERT_EQ(one.repairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.repairs[0].observed_at, 1.0);
+  EXPECT_TRUE(one.complete);
+
+  RuntimeOptions shy;
+  shy.debounce = 0.49;  // the edge event now falls outside the window
+  RuntimeResult two = run_online_recovery(g, nominal, world, shy);
+  ASSERT_EQ(two.repairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(two.repairs[1].observed_at, 1.5);
+  EXPECT_TRUE(two.complete);
+}
+
+// --- The failure detector ----------------------------------------------------
+
+TEST(FailureDetection, QuietReliableWorldEmitsNoBeliefs) {
+  FaultPlan world;
+  world.heartbeat.period = 1.0;
+  FailureDetector det(world, 3);
+  EXPECT_TRUE(det.beliefs(100.0).empty());
+  // Sensing requires a heartbeat period.
+  EXPECT_THROW(FailureDetector(FaultPlan{}, 3), Error);
+}
+
+TEST(FailureDetection, DeathCrossesSuspectThenConfirmThresholds) {
+  FaultPlan world;
+  world.heartbeat.period = 1.0;  // suspect after 2 periods, confirm after 4
+  world.failures.push_back({1, 5.0});
+
+  FailureDetector det(world, 2);
+  const std::vector<BeliefEvent> beliefs = det.beliefs(20.0);
+  ASSERT_EQ(beliefs.size(), 2u);
+  // Last beat heard at t=4 (the t=5 emission dies with the processor):
+  // suspicion accrues at 4+2, confirmation at 4+4.
+  EXPECT_EQ(beliefs[0].kind, BeliefKind::kSuspected);
+  EXPECT_EQ(beliefs[0].proc, 1u);
+  EXPECT_DOUBLE_EQ(beliefs[0].time, 6.0);
+  EXPECT_DOUBLE_EQ(beliefs[0].last_heard, 4.0);
+  EXPECT_EQ(beliefs[1].kind, BeliefKind::kConfirmedDead);
+  EXPECT_DOUBLE_EQ(beliefs[1].time, 8.0);
+
+  // Prefix stability: a narrower horizon yields exactly the early prefix.
+  const std::vector<BeliefEvent> early = det.beliefs(7.0);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].key(), beliefs[0].key());
+}
+
+TEST(FailureDetection, RejoinExoneratesAConfirmedDeath) {
+  FaultPlan world;
+  world.heartbeat.period = 1.0;
+  world.failures.push_back({1, 5.0});
+  world.rejoins.push_back({1, 9.5});
+
+  FailureDetector det(world, 2);
+  const std::vector<BeliefEvent> beliefs = det.beliefs(20.0);
+  ASSERT_EQ(beliefs.size(), 3u);
+  EXPECT_EQ(beliefs[2].kind, BeliefKind::kExonerated);
+  // First beat after the rejoin is the k=10 emission.
+  EXPECT_DOUBLE_EQ(beliefs[2].time, 10.0);
+
+  // The belief stream is a pure value of the plan.
+  FailureDetector again(world, 2);
+  EXPECT_EQ(belief_log_text(again.beliefs(20.0)), belief_log_text(beliefs));
+}
+
+TEST(FailureDetection, LostHeartbeatsManufactureFalseAlarms) {
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    FaultPlan world;  // everybody is alive the whole time
+    world.seed = seed;
+    world.heartbeat.period = 1.0;
+    world.heartbeat.loss_probability = 0.35;
+    FailureDetector det(world, 2);
+    const std::vector<BeliefEvent> beliefs = det.beliefs(40.0);
+    for (std::size_t i = 0; i + 1 < beliefs.size(); ++i)
+      if (beliefs[i].kind == BeliefKind::kSuspected) {
+        for (std::size_t j = i + 1; j < beliefs.size(); ++j)
+          if (beliefs[j].proc == beliefs[i].proc) {
+            EXPECT_NE(beliefs[j].kind, BeliefKind::kSuspected);
+            if (beliefs[j].kind == BeliefKind::kExonerated) return;
+            break;
+          }
+      }
+  }
+  FAIL() << "no seed produced a suspect-then-exonerate false alarm";
+}
+
+TEST(FailureDetection, ValidateRejectsBadHeartbeatConfigs) {
+  FaultPlan plan;
+  plan.heartbeat.period = -1.0;
+  EXPECT_THROW(plan.validate(4), Error);
+  plan.heartbeat.period = 1.0;
+  plan.heartbeat.loss_probability = 1.5;
+  EXPECT_THROW(plan.validate(4), Error);
+  plan.heartbeat.loss_probability = 0.0;
+  plan.heartbeat.delay_factor = 0.5;
+  EXPECT_THROW(plan.validate(4), Error);
+  plan.heartbeat.delay_factor = 1.5;
+  plan.heartbeat.confirm_after = plan.heartbeat.suspect_after;
+  EXPECT_THROW(plan.validate(4), Error);
+  plan.heartbeat.confirm_after = 4.0;
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+// --- Detector-driven recovery ------------------------------------------------
+
+TEST(DetectorRecovery, ConfirmModeRepairsAtTheConfirmationInstant) {
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 2, 6);
+  FaultPlan world;
+  world.failures.push_back({1, 0.5});
+  world.heartbeat.period = 0.25;
+
+  RuntimeOptions det;
+  det.use_detector = true;
+  det.speculate = false;
+  RuntimeResult r = run_online_recovery(g, nominal, world, det);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.confirmations, 1u);
+  EXPECT_EQ(r.false_alarms, 0u);
+  // Last beat at 0.25; suspicion (passive here) at 0.75, confirmation —
+  // the reaction — at 1.25, so detection lagged the death by 0.75.
+  EXPECT_DOUBLE_EQ(r.mean_detection_latency, 0.75);
+  ASSERT_EQ(r.repairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.repairs[0].observed_at, 0.5);   // lease-expiry kill
+  EXPECT_DOUBLE_EQ(r.repairs[1].observed_at, 1.25);  // confirmation
+  EXPECT_GE(r.beliefs.size(), 2u);
+  EXPECT_NE(r.belief_digest, 0u);
+  EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+  // The dead processor runs nothing after the confirmation's horizon.
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    if (r.schedule.proc(t) == 1)
+      EXPECT_LT(r.schedule.start(t), 1.25 + 1e-9);
+}
+
+TEST(DetectorRecovery, SpeculationLaunchesAtSuspicionAndPromotes) {
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 2, 6);
+  FaultPlan world;
+  world.failures.push_back({1, 0.5});
+  world.heartbeat.period = 0.25;
+
+  RuntimeOptions det;
+  det.use_detector = true;
+  det.speculate = true;
+  RuntimeResult r = run_online_recovery(g, nominal, world, det);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.confirmations, 1u);
+  bool launched = false, promoted = false;
+  for (const auto& inv : r.repairs) {
+    launched = launched || inv.speculative;
+    promoted = promoted || inv.promoted;
+  }
+  EXPECT_TRUE(launched);  // the suspicion itself triggered a repair
+  EXPECT_TRUE(promoted);  // the confirmation adopted the speculation
+  EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+}
+
+TEST(DetectorRecovery, FalseAlarmSpeculationCancelsAndReconciles) {
+  // Nothing ever dies: the only "faults" are lost heartbeats. Find a seed
+  // whose detector cries wolf (suspect + exonerate, never confirm) within
+  // the horizon of this three-task execution.
+  TaskGraphBuilder b;
+  b.add_task(20.0);
+  b.add_task(10.0);
+  b.add_task(10.0);
+  TaskGraph g = std::move(b).build();
+  Schedule nominal(2, 3);
+  nominal.assign(0, 0, 0.0, 20.0);
+  nominal.assign(1, 1, 0.0, 10.0);
+  nominal.assign(2, 1, 10.0, 20.0);
+
+  for (std::uint64_t seed = 1; seed < 400; ++seed) {
+    FaultPlan world;
+    world.seed = seed;
+    world.heartbeat.period = 1.0;
+    world.heartbeat.loss_probability = 0.4;
+    FailureDetector probe(world, 2);
+    std::size_t suspects = 0, exonerations = 0, confirms = 0;
+    for (const BeliefEvent& e : probe.beliefs(18.0)) {
+      suspects += e.kind == BeliefKind::kSuspected ? 1 : 0;
+      exonerations += e.kind == BeliefKind::kExonerated ? 1 : 0;
+      confirms += e.kind == BeliefKind::kConfirmedDead ? 1 : 0;
+    }
+    if (suspects == 0 || exonerations == 0 || confirms != 0) continue;
+
+    RuntimeOptions det;
+    det.use_detector = true;
+    det.speculate = true;
+    RuntimeResult r = run_online_recovery(g, nominal, world, det);
+    EXPECT_TRUE(r.complete) << "seed " << seed;
+    EXPECT_GE(r.false_alarms, 1u);
+    EXPECT_EQ(r.confirmations, 0u);
+    EXPECT_GE(r.repairs.size(), 1u);
+    EXPECT_TRUE(is_valid_schedule(g, r.schedule, r.durations));
+    EXPECT_LT(r.makespan, 60.0);  // reconciliation, not a from-scratch rerun
+    return;
+  }
+  FAIL() << "no seed produced a pure false-alarm episode";
+}
+
+// Satellite: two suspicion flaps of an alive machine inside one debounce
+// window coalesce into a single reaction.
+TEST(DetectorRecovery, SuspicionFlapsInsideOneWindowReactOnce) {
+  TaskGraph g;
+  {
+    TaskGraphBuilder b;
+    for (int i = 0; i < 4; ++i) b.add_task(30.0);
+    g = std::move(b).build();
+  }
+  Schedule nominal(4, 4);
+  for (TaskId t = 0; t < 4; ++t) nominal.assign(t, t, 0.0, 30.0);
+
+  for (std::uint64_t seed = 1; seed < 600; ++seed) {
+    FaultPlan world;
+    world.seed = seed;
+    world.heartbeat.period = 1.0;
+    world.heartbeat.loss_probability = 0.4;
+    FailureDetector probe(world, 4);
+    std::size_t suspects = 0, exonerations = 0, confirms = 0;
+    for (const BeliefEvent& e : probe.beliefs(29.0)) {
+      suspects += e.kind == BeliefKind::kSuspected ? 1 : 0;
+      exonerations += e.kind == BeliefKind::kExonerated ? 1 : 0;
+      confirms += e.kind == BeliefKind::kConfirmedDead ? 1 : 0;
+    }
+    if (suspects < 2 || exonerations < 1 || confirms != 0) continue;
+
+    RuntimeOptions det;
+    det.use_detector = true;
+    det.speculate = true;
+    det.debounce = 35.0;  // one window swallows the whole episode
+    RuntimeResult r = run_online_recovery(g, nominal, world, det);
+    EXPECT_TRUE(r.complete) << "seed " << seed;
+    ASSERT_GE(r.repairs.size(), 1u);
+    // Both flaps (two suspicions and at least one exoneration) landed in
+    // the first window: one reaction consumed at least three beliefs.
+    EXPECT_GE(r.repairs[0].events, 3u);
+    EXPECT_GE(r.false_alarms, 1u);
+    return;
+  }
+  FAIL() << "no seed produced two suspicion flaps before the makespan";
+}
+
+TEST(DetectorRecovery, AdaptiveIntervalTracksTheYoungDalyOptimum) {
+  TaskGraph g;
+  {
+    TaskGraphBuilder b;
+    for (int i = 0; i < 12; ++i) b.add_task(5.0);
+    g = std::move(b).build();
+  }
+  Schedule nominal(3, 12);
+  for (TaskId t = 0; t < 12; ++t) {
+    const ProcId p = static_cast<ProcId>(t / 4);
+    const Cost start = static_cast<Cost>(t % 4) * 5.0;
+    nominal.assign(t, p, start, start + 5.0);
+  }
+  FaultPlan world;
+  // Interval 2.5, not 3.0: the confirmation lands at horizon 3.0 on 3
+  // processors, so the Young/Daly optimum is sqrt(2 * 0.5 * 9) = 3.0
+  // exactly — the configured interval must differ for the "actually
+  // adapted" assertion below to be meaningful.
+  world.checkpoint = {2.5, 0.5};
+  world.heartbeat.period = 0.5;
+  world.failures.push_back({2, 1.2});
+
+  RuntimeOptions det;
+  det.use_detector = true;
+  det.adapt_checkpoint = true;
+  RuntimeResult r = run_online_recovery(g, nominal, world, det);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.confirmations, 1u);
+  bool adapted = false;
+  for (const auto& inv : r.repairs)
+    if (inv.failure_rate > 0.0) {
+      adapted = true;
+      EXPECT_DOUBLE_EQ(
+          inv.checkpoint_interval,
+          std::sqrt(2.0 * world.checkpoint.overhead / inv.failure_rate));
+      EXPECT_NE(inv.checkpoint_interval, world.checkpoint.interval);
+    }
+  EXPECT_TRUE(adapted);
+}
+
+TEST(DetectorRecovery, NoisyEpisodesAreDigestIdenticalAcrossRuns) {
+  TaskGraph g = unit_tasks(16);
+  Schedule nominal = strip_schedule(16, 4, 4);
+  FaultPlan world;
+  world.seed = 11;
+  world.checkpoint = {1.0, 0.1};
+  world.heartbeat.period = 0.25;
+  world.heartbeat.loss_probability = 0.2;
+  world.failures.push_back({1, 0.7});
+  world.rejoins.push_back({1, 3.0});
+
+  RuntimeOptions det;
+  det.use_detector = true;
+  det.speculate = true;
+  det.adapt_checkpoint = true;
+  RuntimeResult a = run_online_recovery(g, nominal, world, det);
+  RuntimeResult b2 = run_online_recovery(g, nominal, world, det);
+  EXPECT_TRUE(a.complete);
+  EXPECT_EQ(a.belief_digest, b2.belief_digest);
+  EXPECT_EQ(a.event_digest, b2.event_digest);
+  EXPECT_EQ(a.schedule_digest, b2.schedule_digest);
+  EXPECT_EQ(belief_log_text(a.beliefs), belief_log_text(b2.beliefs));
+  EXPECT_EQ(a.repairs.size(), b2.repairs.size());
+  EXPECT_EQ(a.false_alarms, b2.false_alarms);
+  EXPECT_EQ(a.confirmations, b2.confirmations);
+  EXPECT_DOUBLE_EQ(a.makespan, b2.makespan);
+  EXPECT_DOUBLE_EQ(a.speculative_waste, b2.speculative_waste);
+}
+
+TEST(DetectorRecovery, PerfectEventPathIgnoresTheHeartbeatSection) {
+  // The heartbeat block configures sensing only: with use_detector off the
+  // controller behaves bit-identically with and without it.
+  TaskGraph g = unit_tasks(12);
+  Schedule nominal = strip_schedule(12, 2, 6);
+  FaultPlan world;
+  world.failures.push_back({1, 0.5});
+  RuntimeResult bare = run_online_recovery(g, nominal, world);
+  world.heartbeat.period = 0.25;
+  world.heartbeat.loss_probability = 0.3;
+  RuntimeResult sensed = run_online_recovery(g, nominal, world);
+  EXPECT_EQ(bare.schedule_digest, sensed.schedule_digest);
+  EXPECT_EQ(bare.event_digest, sensed.event_digest);
+  EXPECT_EQ(bare.repairs.size(), sensed.repairs.size());
+  EXPECT_TRUE(sensed.beliefs.empty());
 }
 
 }  // namespace
