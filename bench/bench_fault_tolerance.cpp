@@ -59,13 +59,35 @@
 // interval shrinks, and every episode is digest-identical when run twice
 // (the CI detector-determinism job diffs two full runs).
 //
+// Sweep 7 (--partition): partial network partitions. The controller's own
+// link to an otherwise-healthy processor goes dark while every other link
+// stays up — the network lies to observer 0 alone. A short cut shows the
+// single-observer detector manufacturing a false alarm where the gossip
+// quorum aggregator (every processor forms its own belief stream; a
+// suspicion needs >= 2 observers with a live path) raises none; a long cut
+// compares kill-and-reexecute (confirm-then-repair on the lying link)
+// against partition-aware repair (the unreachable victim is masked from
+// new placements but not killed, and reconciles on heal). A self-tuning
+// scenario then manufactures an exoneration burst with repeated short
+// cuts: each false alarm raises the suspect threshold multiplicatively, a
+// later cut is absorbed by the raised threshold, a real kill still
+// confirms, and the quiet window after the burst decays the threshold
+// back. Under --validate: the single-observer run raises >= 1 false
+// alarms and the quorum run exactly 0, partition-heal reconciliation is
+// never worse than kill-and-reexecute on the same episode, the tuned
+// threshold strictly increases across the burst and decays after it, and
+// every episode is digest-identical when run twice (the CI
+// partition-determinism job diffs two full runs).
+//
 // Flags beyond bench_common's: --at-procs P, --victim p, --when f1,f2,...,
 // --ckpt f1,f2,... (checkpoint intervals as fractions of the nominal
 // makespan), --ckpt-overhead f (sweep 3's write cost as a fraction of the
 // mean task work), --stg path (schedule one STG instance instead of the
 // synthetic workloads), --online (run sweep 5), --detector (run sweep 6;
 // --hb-period f1,f2,... and --hb-loss p1,p2,... override the heartbeat
-// grid), and --validate
+// grid — every period must be positive, or the world plan would lack the
+// heartbeat directive the detector needs), --partition (run sweep 7),
+// and --validate
 // (durations-aware validation of every repaired schedule — including, with
 // --online, every per-event continuation the controller installs —
 // checkpoint-superiority, give-back-never-worse and online-determinism
@@ -147,6 +169,26 @@ int main(int argc, char** argv) {
   FLB_REQUIRE(victim < procs, "--victim must name a processor below --at-procs");
   FLB_REQUIRE(procs >= 2, "--at-procs must be at least 2");
   if (!stg_path.empty()) cfg.workloads = {"STG:" + stg_path};
+
+  // Heartbeat grid for sweeps 6 and 7, parsed and checked *before* any
+  // sweep runs: a non-positive period would leave the world plan without
+  // its `heartbeat` directive, and the detector construction would only
+  // throw deep inside the sweep, minutes after the earlier sweeps started.
+  const std::vector<double> hb_periods =
+      args.get_double_list("hb-period", {0.02, 0.06, 0.12});
+  const std::vector<double> hb_losses =
+      args.get_double_list("hb-loss", {0.0, 0.1, 0.25});
+  if (args.has("detector") || args.has("partition")) {
+    for (double pf : hb_periods)
+      FLB_REQUIRE(pf > 0.0,
+                  "--hb-period " + format_compact(pf) +
+                      " disables heartbeat sensing: the world plan would "
+                      "carry no `heartbeat` directive, which --detector and "
+                      "--partition require (every period must be > 0)");
+    for (double loss : hb_losses)
+      FLB_REQUIRE(loss >= 0.0 && loss < 1.0,
+                  "--hb-loss entries must be in [0, 1)");
+  }
 
   auto make_graph = [&](const std::string& workload, double ccr,
                         std::size_t seed) {
@@ -616,11 +658,6 @@ int main(int argc, char** argv) {
   }
   // --- Sweep 6 (--detector): recovery under an unreliable detector --------
   if (args.has("detector")) {
-    const std::vector<double> hb_periods =
-        args.get_double_list("hb-period", {0.02, 0.06, 0.12});
-    const std::vector<double> hb_losses =
-        args.get_double_list("hb-loss", {0.0, 0.1, 0.25});
-
     std::cout << "\nUnreliable-detector sweep (FLB): processor " << victim
               << " dies for good at 10% of the nominal span, and the "
               << "controller cannot see machine liveness at all — it runs "
@@ -837,6 +874,298 @@ int main(int argc, char** argv) {
     std::cout << "\n(tau = sqrt(2 * overhead / lambda): a quiet window "
                  "relaxes the interval, the late cluster tightens it — the "
                  "policy each repair installs for the work it re-plans)\n";
+  }
+
+  // --- Sweep 7 (--partition): partial partitions, gossip quorum, tuning ---
+  if (args.has("partition")) {
+    FLB_REQUIRE(procs >= 4, "--partition needs --at-procs >= 4");
+    FLB_REQUIRE(victim != 0 && victim + 1 < procs,
+                "--partition partitions the controller's link to --victim "
+                "and kills processor P-1 in the self-tuning scenario; "
+                "--victim must be in 1 .. --at-procs - 2");
+    const double hb_pf = hb_periods.front();
+    FLB_REQUIRE(hb_pf * 16.0 < 1.0,
+                "--partition needs the first --hb-period fraction below "
+                "1/16 so the partition windows fit inside the nominal span");
+
+    std::cout << "\nPartial-partition sweep (FLB): the controller's link to "
+              << "processor " << victim << " goes dark while the processor "
+              << "keeps computing — the network lies to observer 0 alone. "
+              << "A short cut (3 heartbeat periods) makes the "
+              << "single-observer detector manufacture a false alarm; the "
+              << "gossip aggregator (quorum 2) polls the other observers, "
+              << "who still hear the victim directly. A long cut (to 50% "
+              << "of the span, on a tighter 4-processor machine where the "
+              << "victim is a quarter of the capacity) then compares the "
+              << "two repair disciplines on the same episode: "
+              << "confirm-then-repair treats the silence as a death and "
+              << "re-executes (kill), quorum detection masks the victim "
+              << "from new placements only and reconciles on heal. Cells: "
+              << "false alarms 1-obs | quorum, kill ratio, heal ratio, "
+              << "mean repairs that masked an unreachable processor.\n\n";
+
+    Table pt_table({"workload", "f-alarms 1-obs|quorum", "kill", "heal",
+                    "masked repairs"});
+    std::string pt_digests;
+    std::size_t pt_episodes = 0;
+    for (const std::string& workload : cfg.workloads) {
+      std::vector<double> fa_single, fa_quorum, kill_ratio, heal_ratio,
+          masked;
+      for (double ccr : cfg.ccrs) {
+        for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+          TaskGraph g = make_graph(workload, ccr, seed);
+          auto sched = make_scheduler("FLB", seed);
+          Schedule nominal = sched->run(g, procs);
+          const Cost span = nominal.makespan();
+          const Cost period = hb_pf * span;
+
+          // The short cut: the victim's last audible heartbeat is beat 10,
+          // beats 11 and 12 die on the partitioned link, beat 13 arrives —
+          // a 3-period silence that crosses the suspect threshold (2) but
+          // exonerates before the confirm threshold (4). Nobody is at
+          // fault and nothing is lost; only observer 0's view lies.
+          FaultPlan blip;
+          blip.seed = seed;
+          blip.heartbeat.period = period;
+          blip.partitions.push_back(
+              {0, victim, "", "", 10.25 * period, 12.25 * period});
+
+          runtime::RuntimeOptions single_opts;
+          single_opts.validate = validate;
+          single_opts.use_detector = true;
+          single_opts.speculate = true;
+          runtime::RuntimeResult single =
+              runtime::run_online_recovery(g, nominal, blip, single_opts);
+
+          runtime::RuntimeOptions quorum_opts = single_opts;
+          quorum_opts.use_gossip = true;
+          quorum_opts.quorum = 2;
+          runtime::RuntimeResult quorum =
+              runtime::run_online_recovery(g, nominal, blip, quorum_opts);
+
+          if (validate) {
+            FLB_REQUIRE(single.complete && quorum.complete,
+                        "partition blip left unfinished tasks on " +
+                            g.name());
+            FLB_REQUIRE(single.false_alarms >= 1,
+                        "the partitioned link never manufactured a false "
+                        "alarm for the single-observer detector on " +
+                            g.name());
+            FLB_REQUIRE(quorum.false_alarms == 0,
+                        "the quorum detector raised a cluster-wide false "
+                        "alarm from one partitioned link on " + g.name());
+          }
+          fa_single.push_back(static_cast<double>(single.false_alarms));
+          fa_quorum.push_back(static_cast<double>(quorum.false_alarms));
+          for (const runtime::RuntimeResult* r : {&single, &quorum})
+            pt_digests += hex64(r->belief_digest) + " " +
+                          hex64(r->event_digest) + " " +
+                          hex64(r->schedule_digest) + "\n";
+
+          // The long cut: same lying link, but the silence outlasts the
+          // confirm threshold (4 periods) and the link stays dark until
+          // 50% of the span — and this time a *real* kill lands on
+          // another processor while the cut is open, so both controllers
+          // must re-plan mid-partition. Victim and casualty fall silent
+          // after the same last beat (10), so both disciplines react at
+          // the same detector instants and any re-planning gain is
+          // shared. The single-observer controller cannot tell the two
+          // silences apart: it buries both — re-executing the healthy
+          // victim's queue on the survivors and re-admitting the victim
+          // with (hypothesized) cold caches when it is heard from again.
+          // The quorum controller knows only the casualty died: the
+          // victim is merely masked from the kill repair's new placements
+          // (its installed queue keeps producing behind the cut, messages
+          // crossing it reroute), and the heal triggers one
+          // reconciliation re-balance that re-admits it warm. The
+          // comparison runs on the communication-light episode only (the
+          // sweep's first ccr): reconciliation's edge is keeping a
+          // healthy processor's capacity, so it shows where capacity
+          // binds — in a comm-dominated schedule on an over-provisioned
+          // machine, abandoning the processor behind the rerouting cut is
+          // genuinely the better discipline, and asserting dominance
+          // there would be asserting a falsehood.
+          if (ccr == cfg.ccrs.front()) {
+            FaultPlan cut;
+            cut.seed = seed;
+            cut.heartbeat.period = period;
+            cut.partitions.push_back(
+                {0, victim, "", "", 10.25 * period, 0.5 * span});
+            cut.failures.push_back(
+                {static_cast<ProcId>(procs - 1), 10.75 * period});
+
+            runtime::RuntimeOptions kill_opts;
+            kill_opts.validate = validate;
+            kill_opts.use_detector = true;
+            kill_opts.speculate = false;
+            runtime::RuntimeResult kill =
+                runtime::run_online_recovery(g, nominal, cut, kill_opts);
+
+            // Confirm-then-repair on both arms: the only discipline
+            // difference left is what the controller believes about the
+            // victim — dead (kill) or merely unreachable (heal).
+            runtime::RuntimeOptions heal_opts = quorum_opts;
+            heal_opts.speculate = false;
+            runtime::RuntimeResult heal =
+                runtime::run_online_recovery(g, nominal, cut, heal_opts);
+
+            if (validate) {
+              FLB_REQUIRE(kill.complete && heal.complete,
+                          "partition cut left unfinished tasks on " +
+                              g.name());
+              FLB_REQUIRE(heal.makespan <= kill.makespan + 1e-9,
+                          "partition-heal reconciliation was worse than "
+                          "kill-and-reexecute on " + g.name());
+              runtime::RuntimeResult again =
+                  runtime::run_online_recovery(g, nominal, cut, heal_opts);
+              FLB_REQUIRE(again.belief_digest == heal.belief_digest &&
+                              again.event_digest == heal.event_digest &&
+                              again.schedule_digest == heal.schedule_digest,
+                          "partition-aware recovery was not deterministic "
+                          "on " + g.name());
+            }
+
+            kill_ratio.push_back(kill.makespan / span);
+            heal_ratio.push_back(heal.makespan / span);
+            double masked_here = 0.0;
+            for (const runtime::RepairInvocation& inv : heal.repairs)
+              if (inv.unreachable > 0) masked_here += 1.0;
+            masked.push_back(masked_here);
+            for (const runtime::RuntimeResult* r : {&kill, &heal})
+              pt_digests += hex64(r->belief_digest) + " " +
+                            hex64(r->event_digest) + " " +
+                            hex64(r->schedule_digest) + "\n";
+          }
+          ++pt_episodes;
+        }
+      }
+      pt_table.add_row({workload,
+                        format_fixed(mean(fa_single), 1) + " | " +
+                            format_fixed(mean(fa_quorum), 1),
+                        format_fixed(mean(kill_ratio), 3),
+                        format_fixed(mean(heal_ratio), 3),
+                        format_fixed(mean(masked), 1)});
+    }
+    emit(pt_table, cfg);
+
+    std::cout << "\n(the quorum column stays at zero by construction: a "
+                 "suspicion needs two observers with a live path to the "
+                 "subject, and only observer 0 sits behind the cut. The "
+                 "heal column keeps the victim's in-flight work and its "
+                 "finished outputs; the kill column re-executes both and "
+                 "re-fetches cold inputs when the 'dead' processor is "
+                 "heard from again)\n";
+
+    // --- Self-tuning scenario: an exoneration burst raises the suspect
+    // threshold, a real kill still confirms, and quiet decays it back. ---
+    std::cout << "\nSelf-tuning detector scenario (FLB, first workload): "
+              << "repeated short cuts of the controller's link to "
+              << "processor " << victim << " manufacture an exoneration "
+              << "burst — silences of 3, 4 and 5 heartbeat periods, each "
+              << "outlasting the tuned suspect threshold of its day — so "
+              << "every false alarm raises the threshold x1.5 (capped "
+              << "below the confirm threshold of 8). A fourth 5-period cut "
+              << "is absorbed by the raised threshold; a real kill of "
+              << "processor " << procs - 1 << " at 75% still confirms, and "
+              << "the quiet window after the burst decays the threshold "
+              << "back. Cells: the threshold (in periods) after every "
+              << "trace step.\n\n";
+
+    Table st_table({"seed", "thresholds", "peak", "final", "f-alarms",
+                    "suppressed", "confirms"});
+    for (std::size_t seed = 1; seed <= cfg.seeds; ++seed) {
+      TaskGraph g =
+          make_graph(cfg.workloads.front(), cfg.ccrs.front(), seed);
+      auto sched = make_scheduler("FLB", seed);
+      Schedule nominal = sched->run(g, procs);
+      const Cost span = nominal.makespan();
+      const Cost period = hb_pf * span;
+
+      FaultPlan world;
+      world.seed = seed;
+      world.heartbeat.period = period;
+      world.heartbeat.confirm_after = 8.0;  // headroom for the raises
+      world.partitions.push_back(
+          {0, victim, "", "", 10.25 * period, 12.25 * period});
+      world.partitions.push_back(
+          {0, victim, "", "", 15.25 * period, 18.25 * period});
+      world.partitions.push_back(
+          {0, victim, "", "", 20.25 * period, 24.25 * period});
+      world.partitions.push_back(
+          {0, victim, "", "", 27.25 * period, 31.25 * period});
+      world.failures.push_back(
+          {static_cast<ProcId>(procs - 1), 0.75 * span});
+
+      runtime::RuntimeOptions tune_opts;
+      tune_opts.validate = validate;
+      tune_opts.use_detector = true;
+      tune_opts.speculate = true;
+      tune_opts.self_tune = true;
+      tune_opts.tune_window = 0.1 * span;
+      runtime::RuntimeResult r =
+          runtime::run_online_recovery(g, nominal, world, tune_opts);
+
+      std::string steps;
+      double peak = world.heartbeat.suspect_after;
+      for (const auto& entry : r.suspect_trace) {
+        if (!steps.empty()) steps += " > ";
+        steps += format_fixed(entry.second, 2);
+        peak = std::max(peak, entry.second);
+      }
+      st_table.add_row(
+          {std::to_string(seed), steps.empty() ? "-" : steps,
+           format_fixed(peak, 2),
+           format_fixed(r.suspect_trace.empty()
+                            ? world.heartbeat.suspect_after
+                            : r.suspect_trace.back().second,
+                        2),
+           std::to_string(r.false_alarms),
+           std::to_string(r.suppressed_alarms),
+           std::to_string(r.confirmations)});
+      pt_digests += hex64(r.belief_digest) + " " + hex64(r.event_digest) +
+                    " " + hex64(r.schedule_digest) + "\n";
+      ++pt_episodes;
+
+      if (validate) {
+        FLB_REQUIRE(r.complete,
+                    "self-tuning scenario left unfinished tasks");
+        FLB_REQUIRE(r.false_alarms >= 3,
+                    "the exoneration burst did not produce three false "
+                    "alarms");
+        FLB_REQUIRE(r.suppressed_alarms >= 1,
+                    "the raised threshold never absorbed the fourth cut's "
+                    "suspicion");
+        FLB_REQUIRE(r.confirmations >= 1,
+                    "the real kill was never confirmed under the tuned "
+                    "threshold");
+        FLB_REQUIRE(r.suspect_trace.size() >= 4,
+                    "the suspect-threshold trace is too short to show the "
+                    "burst and the decay");
+        FLB_REQUIRE(
+            r.suspect_trace[0].second > world.heartbeat.suspect_after &&
+                r.suspect_trace[1].second > r.suspect_trace[0].second &&
+                r.suspect_trace[2].second > r.suspect_trace[1].second,
+            "the self-tuned suspect threshold did not strictly increase "
+            "across the exoneration burst");
+        FLB_REQUIRE(r.suspect_trace.back().second < peak - 1e-12,
+                    "the self-tuned suspect threshold did not decay after "
+                    "the burst");
+      }
+    }
+    emit(st_table, cfg);
+
+    std::cout << "\npartition sweep digest: "
+              << hex64(runtime::fnv1a_digest(pt_digests)) << " over "
+              << pt_episodes << " episodes (chains every episode's "
+              << "belief-stream, event-log and final-schedule digests; "
+              << "the CI partition-determinism job diffs two runs)\n";
+
+    std::cout << "\n(each false alarm multiplies the suspect threshold; a "
+                 "silence the raised threshold would outlast is consumed "
+                 "as passive knowledge instead of a speculative repair, "
+                 "and once no alarm lands within the tune window the "
+                 "threshold steps back down — the detector pays latency "
+                 "only while the network is actually lying)\n";
   }
   return 0;
 }

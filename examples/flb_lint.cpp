@@ -24,6 +24,12 @@
 //
 // Output and policy:
 //   --procs P                processor count (default 2)
+//   --faults FILE            lint against a fault plan (sim/faults.hpp
+//                            text format): when the plan declares partial
+//                            partitions, the feasibility tier additionally
+//                            runs rule `partitioned-link` — no message may
+//                            be scheduled across a link the plan
+//                            partitions at its send instant
 //   --json                   machine-readable report
 //   --no-quality             disable the warn/info tier
 //   --fail-on warn|error     exit-code threshold (default error)
@@ -74,7 +80,9 @@ void print_usage() {
          "graph:    --paper-example | --graph FILE | --dot FILE |\n"
          "          --stg FILE | --workload NAME [--tasks V] [--seed S]\n"
          "schedule: --algo NAME (default FLB) | --schedule FILE\n"
-         "options:  --procs P (default 2), --json, --no-quality,\n"
+         "options:  --procs P (default 2), --faults FILE (fault plan;\n"
+         "          enables the partitioned-link rule), --json,\n"
+         "          --no-quality,\n"
          "          --fail-on warn|error (default error), --list-rules,\n"
          "          --repair-at F [--victim p] (lint the repaired\n"
          "          continuation after a fail-stop at F * makespan)\n";
@@ -141,6 +149,17 @@ int main(int argc, char** argv) {
 
     LintOptions options;
     options.quality = !args.has("no-quality");
+
+    // An optional fault plan arms the partitioned-link rule; the plan must
+    // outlive every lint call below, so it lives here.
+    FaultPlan lint_faults;
+    if (args.has("faults")) {
+      std::ifstream in(args.get("faults", ""));
+      FLB_REQUIRE(in.good(), "cannot open --faults file");
+      lint_faults = read_fault_plan(in);
+      lint_faults.validate(procs);
+      options.faults = &lint_faults;
+    }
 
     const platform::CostModel model = platform::CostModel::clique(procs);
     LintReport report;

@@ -22,12 +22,18 @@
 // confirmation, cancels and reconciles on exoneration, and re-derives the
 // checkpoint interval from the observed failure rate.
 //
-// Usage: flb_mission [tasks] [procs] [seed] [--detector]
+// Usage: flb_mission [tasks] [procs] [seed] [--detector] [--plan FILE]
 //   tasks  graph size       (default 40)
 //   procs  processor count  (default 4)
 //   seed   workload + fault seed (default 7)
+//   --plan FILE  fly the mission against a fault plan read from FILE
+//                (sim/faults.hpp text format) instead of the built-in
+//                episode; with --detector the plan must declare a
+//                `heartbeat` directive — its absence is a CLI error up
+//                front, not a throw deep inside the run.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -45,12 +51,21 @@ int main(int argc, char** argv) {
   using namespace flb;
 
   bool detector = false;
+  std::string plan_path;
   std::vector<const char*> pos;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--detector")
+    const std::string arg = argv[i];
+    if (arg == "--detector") {
       detector = true;
-    else
+    } else if (arg == "--plan") {
+      if (i + 1 >= argc) {
+        std::cerr << "flb_mission: --plan needs a file path\n";
+        return 1;
+      }
+      plan_path = argv[++i];
+    } else {
       pos.push_back(argv[i]);
+    }
   }
   const std::size_t tasks =
       pos.size() > 0 ? std::strtoul(pos[0], nullptr, 10) : 40;
@@ -76,27 +91,53 @@ int main(int argc, char** argv) {
             << " processors, nominal makespan " << span << ".\n\n";
   write_gantt(std::cout, g, nominal, 72);
 
-  // The world the controller does NOT get to read: processor 1 dies a
-  // quarter of the way in and reboots at 60%; processor 2 runs at half
-  // speed for a stretch; every task with enough downstream cost
-  // checkpoints a quarter of the mean task work apart.
-  const Cost mean_comp = g.total_comp() / static_cast<Cost>(g.num_tasks());
+  // The world the controller does NOT get to read. Either loaded from
+  // --plan, or the built-in episode: processor 1 dies a quarter of the way
+  // in and reboots at 60%; processor 2 runs at half speed for a stretch;
+  // every task with enough downstream cost checkpoints a quarter of the
+  // mean task work apart.
   FaultPlan world;
-  world.seed = seed;
-  world.failures.push_back({1, 0.25 * span});
-  world.rejoins.push_back({1, 0.60 * span});
-  world.slowdowns.push_back({2, 0.10 * span, 0.5, 0.40 * span});
-  world.checkpoint = {0.25 * mean_comp, 0.01 * mean_comp,
-                      0.5 * mean_comp};
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    if (!in.good()) {
+      std::cerr << "flb_mission: cannot open --plan file '" << plan_path
+                << "'\n";
+      return 1;
+    }
+    world = read_fault_plan(in);
+    world.validate(procs);
+  } else {
+    const Cost mean_comp = g.total_comp() / static_cast<Cost>(g.num_tasks());
+    world.seed = seed;
+    world.failures.push_back({1, 0.25 * span});
+    world.rejoins.push_back({1, 0.60 * span});
+    world.slowdowns.push_back({2, 0.10 * span, 0.5, 0.40 * span});
+    world.checkpoint = {0.25 * mean_comp, 0.01 * mean_comp,
+                        0.5 * mean_comp};
+    if (detector) {
+      // Noisy sensing: heartbeats every 3% of the nominal span, one in
+      // ten lost — enough, at the default seed, for a false alarm on a
+      // perfectly healthy processor without drowning the timeline.
+      world.heartbeat.period = 0.03 * span;
+      world.heartbeat.loss_probability = 0.1;
+    }
+  }
 
   runtime::RuntimeOptions options;
   options.validate = true;
   if (detector) {
-    // Noisy sensing: heartbeats every 3% of the nominal span, one in ten
-    // lost — enough, at the default seed, for a false alarm on a
-    // perfectly healthy processor without drowning the timeline in them.
-    world.heartbeat.period = 0.03 * span;
-    world.heartbeat.loss_probability = 0.1;
+    // The detector runs on the plan's heartbeat directive; surface its
+    // absence here instead of letting the runtime throw mid-mission.
+    if (!world.heartbeat.enabled()) {
+      std::cerr << "flb_mission: --detector needs heartbeat sensing, but "
+                   "the fault plan '"
+                << plan_path
+                << "' declares no `heartbeat` directive (a period of 0 "
+                   "disables it); add a line like\n"
+                   "  heartbeat <period> <loss> <delay_prob> "
+                   "<delay_factor> 2 4\n";
+      return 1;
+    }
     options.use_detector = true;
     options.speculate = true;
     options.adapt_checkpoint = true;
@@ -135,6 +176,8 @@ int main(int argc, char** argv) {
     std::cout << "  repair #" << r + 1 << "  at t=" << inv.observed_at
               << " horizon=" << inv.horizon << " events=" << inv.events
               << " survivors=" << inv.survivors;
+    if (inv.unreachable > 0)
+      std::cout << " unreachable=" << inv.unreachable;
     if (inv.deferred) {
       std::cout << "  -> deferred (no survivor to repair onto)\n";
       continue;
@@ -190,6 +233,16 @@ int main(int argc, char** argv) {
               << " (mean, death to confirmation)\n";
     std::cout << "speculative waste:  " << mission.speculative_waste << " ("
               << mission.speculative_tasks << " cancelled placements)\n";
+    if (mission.suppressed_alarms > 0)
+      std::cout << "suppressed alarms:  " << mission.suppressed_alarms
+                << " (absorbed by the self-tuned threshold)\n";
+    if (!mission.suspect_trace.empty()) {
+      std::cout << "suspect threshold:  ";
+      for (std::size_t i = 0; i < mission.suspect_trace.size(); ++i)
+        std::cout << (i > 0 ? " > " : "")
+                  << mission.suspect_trace[i].second;
+      std::cout << " (periods, after each raise/decay)\n";
+    }
   }
   std::cout << "event-log digest:   " << std::hex << mission.event_digest;
   if (detector)

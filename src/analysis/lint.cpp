@@ -103,6 +103,38 @@ void feasibility_rules(const TaskGraph& g, const Schedule& s,
   emit_violations(validate_schedule(g, s, durations, opt.tolerance), s, sink);
 }
 
+// partitioned-link: a remote message scheduled across a link that the fault
+// plan partitions at its send instant. The schedule claims point-to-point
+// bandwidth that does not exist at that moment; the executing machine would
+// reroute, delay or drop the transfer instead.
+void partition_rules(const TaskGraph& g, const Schedule& s,
+                     const LintOptions& opt, Sink& sink) {
+  if (opt.faults == nullptr || opt.faults->partitions.empty()) return;
+  const std::vector<LinkOutage> outages = resolve_partitions(*opt.faults);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    if (!s.is_scheduled(t)) continue;
+    const ProcId from = s.proc(t);
+    const Cost send = s.finish(t);
+    for (const Adj& out : g.successors(t)) {
+      if (!s.is_scheduled(out.node)) continue;
+      const ProcId to = s.proc(out.node);
+      if (to == from) continue;
+      if (!link_partitioned(outages, from, to, send)) continue;
+      Diagnostic& d = sink.emit("partitioned-link", Severity::kError);
+      d.task = out.node;
+      d.proc = to;
+      d.actual = send;
+      d.message = "message t" + std::to_string(t) + " -> t" +
+                  std::to_string(out.node) + " is sent over p" +
+                  std::to_string(from) + " ~ p" + std::to_string(to) +
+                  " at " + format_compact(send) +
+                  ", while the plan partitions that link";
+      d.hint = "place producer and consumer on the same side of the "
+               "partition, or delay the send past the heal instant";
+    }
+  }
+}
+
 // --- Quality tier ----------------------------------------------------------
 
 // Earliest instant every predecessor output of t is usable on p, through
@@ -571,6 +603,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
                                               "a time"},
       {"precedence", Severity::kError, "data arrives before a task starts"},
       {"link-busy", Severity::kError, "one transfer per link at a time"},
+      {"partitioned-link", Severity::kError,
+       "no message is sent across a link the fault plan partitions at its "
+       "send instant"},
       // Theorem tier (trace-backed).
       {"etf-conformance", Severity::kError,
        "no ready task could start earlier than the scheduled one"},
@@ -596,7 +631,10 @@ LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
                          const LintOptions& options) {
   LintReport report;
   Sink sink(report);
-  if (options.feasibility) feasibility_rules(g, s, options, sink);
+  if (options.feasibility) {
+    feasibility_rules(g, s, options, sink);
+    partition_rules(g, s, options, sink);
+  }
   if (options.quality) quality_rules(g, s, model, options, sink);
   return report;
 }
@@ -607,8 +645,10 @@ LintReport lint_schedule(const TaskGraph& g, const Schedule& s,
                          const LintOptions& options) {
   LintReport report;
   Sink sink(report);
-  if (options.feasibility)
+  if (options.feasibility) {
     feasibility_rules(g, s, durations, options, sink);
+    partition_rules(g, s, options, sink);
+  }
   if (options.quality) quality_rules(g, s, model, options, sink);
   return report;
 }
@@ -619,7 +659,10 @@ LintReport lint_flb(const TaskGraph& g, const Schedule& s,
                     const LintOptions& options) {
   LintReport report;
   Sink sink(report);
-  if (options.feasibility) feasibility_rules(g, s, options, sink);
+  if (options.feasibility) {
+    feasibility_rules(g, s, options, sink);
+    partition_rules(g, s, options, sink);
+  }
   if (options.theorems) {
     TraceReplay replay(g, s, rows, model, options, sink);
     replay.run();

@@ -8,6 +8,7 @@
 #include "flb/graph/task_graph.hpp"
 #include "flb/platform/cost_model.hpp"
 #include "flb/sched/schedule.hpp"
+#include "flb/sim/faults.hpp"
 
 /// \file lint.hpp
 /// The semantic schedule linter (flb::analysis): a rule engine that checks
@@ -69,6 +70,14 @@ struct LintOptions {
   bool feasibility = true;  ///< validator-tier error rules
   bool theorems = true;     ///< FLB selection-invariant rules (needs a trace)
   bool quality = true;      ///< warn/info rules
+  /// Optional fault plan (not owned; must outlive the call). When set and
+  /// it declares partial partitions, the feasibility tier additionally runs
+  /// rule `partitioned-link`: no remote message may be scheduled across a
+  /// link that is partitioned at its send instant (the producer's finish) —
+  /// such a schedule silently assumes bandwidth the machine does not have
+  /// at that moment (the simulator would reroute, delay or drop the
+  /// transfer).
+  const FaultPlan* faults = nullptr;
 };
 
 /// The linter's result: all diagnostics in detection order plus summaries.

@@ -109,6 +109,9 @@ class HorizonFaultView {
   /// Processors not currently observed dead (failure seen, rejoin not).
   [[nodiscard]] ProcId observed_alive() const;
 
+  /// True iff `p` is currently observed dead (failure seen, rejoin not).
+  [[nodiscard]] bool observed_dead(ProcId p) const { return dead_[p] != 0; }
+
   /// Number of distinct events observed so far.
   [[nodiscard]] std::size_t observed_events() const { return seen_.size(); }
 
@@ -117,7 +120,7 @@ class HorizonFaultView {
   ProcId num_procs_;
   Cost horizon_ = 0.0;
   std::vector<char> dead_;
-  std::set<std::tuple<Cost, int, ProcId, TaskId, TaskId>> seen_;
+  std::set<std::tuple<Cost, int, ProcId, TaskId, TaskId, ProcId>> seen_;
   std::set<std::pair<TaskId, TaskId>> dropped_;
 };
 
@@ -173,6 +176,38 @@ struct RuntimeOptions {
   /// counts confirmed kills within [horizon - window, horizon]. Infinite =
   /// the whole observed history.
   Cost failure_rate_window = kInfiniteTime;
+
+  /// With use_detector: replace the single-observer belief stream by the
+  /// gossip/indirect-suspicion aggregate (FailureDetector::quorum_beliefs)
+  /// — a processor is believed dead cluster-wide only while at least
+  /// `quorum` observers with a live direct link to it concur. The
+  /// controller additionally tracks its own (observer-0) view: a processor
+  /// it suspects locally while the cluster still trusts it is *unreachable,
+  /// not dead* — excluded from new placements via
+  /// RepairOptions::unreachable, its in-flight work pinned in place, and
+  /// reconciled (give-back of its queue) when the local exoneration
+  /// signals the partition healed. Off = the legacy observer-0 loop,
+  /// digest-identical to PR 7.
+  bool use_gossip = false;
+  /// Concurring-observer threshold of the gossip aggregate (>= 1).
+  ProcId quorum = 2;
+
+  /// With use_detector: self-tune the effective suspect threshold from the
+  /// observed false-alarm rate. The controller keeps a multiplier `scale`
+  /// (>= 1) on heartbeat.suspect_after: every exoneration of a suspect (a
+  /// false alarm) raises it multiplicatively by `tune_raise`, capped
+  /// strictly below the confirm threshold; once no false alarm has been
+  /// seen for `tune_window`, it decays back toward 1 one division per
+  /// reaction. A raw suspicion whose subject is exonerated before
+  /// last_heard + scale * suspect_after * period is *suppressed* — the
+  /// raised threshold would have outlasted the silence — and never
+  /// triggers a reaction. RuntimeResult::suspect_trace records the
+  /// trajectory.
+  bool self_tune = false;
+  /// Multiplicative raise per false alarm (and decay divisor); > 1.
+  double tune_raise = 1.5;
+  /// Quiet time after which the raised threshold starts decaying.
+  Cost tune_window = kInfiniteTime;
 };
 
 /// One reaction of the controller to a batch of observed events.
@@ -210,6 +245,13 @@ struct RepairInvocation {
   Cost checkpoint_interval = 0.0;
   /// The windowed failure-rate MLE behind it (per processor per time unit).
   double failure_rate = 0.0;
+  /// Processors excluded from new placements as unreachable-but-alive at
+  /// this reaction (partition-aware repair; 0 outside gossip mode and the
+  /// perfect-event loop's observed partitions).
+  ProcId unreachable = 0;
+  /// Self-tuning: the suspect-threshold multiplier in effect at this
+  /// reaction (1 when self-tuning is off).
+  double suspect_scale = 1.0;
 };
 
 /// Outcome of one online recovery episode.
@@ -252,6 +294,13 @@ struct RuntimeResult {
   /// detector confirmed; 0 when none. Reporting only — computed against
   /// the resolved world after the episode, never used for control.
   Cost mean_detection_latency = 0.0;
+  /// Self-tuning trajectory: (time, effective suspect threshold in periods)
+  /// at every change — each false alarm raises it, each quiet-window decay
+  /// lowers it (empty without RuntimeOptions::self_tune).
+  std::vector<std::pair<Cost, double>> suspect_trace;
+  /// Raw suspicions the self-tuned threshold suppressed before they could
+  /// trigger a reaction (0 without self_tune).
+  std::size_t suppressed_alarms = 0;
 };
 
 /// Run one closed-loop online recovery episode: execute `nominal` for `g`

@@ -126,6 +126,24 @@ struct RepairOptions {
   /// task when set): the controller excludes tasks it has already observed
   /// killed — known-lost work is not worth hedging.
   const std::vector<char>* pin_exclude = nullptr;
+  /// Processors the controller cannot currently reach (a partial network
+  /// partition separates them from it) but does NOT believe dead: they are
+  /// excluded from new placements — the controller could not install work
+  /// on them anyway — and, because it can neither re-dispatch nor cancel
+  /// what such a processor already holds, the whole not-yet-started tail
+  /// of its dispatch list is pinned in place (placements and starts kept,
+  /// lifted only to stay feasible), as far as every input stays within the
+  /// fixed-or-pinned prefix; the first task that would need a re-planned
+  /// producer ends the pin run and migrates with the rest. The queue keeps
+  /// running behind the partition; on heal the reconciliation repair banks
+  /// whatever finished, first-completion-wins. Unlike `suspects`, an
+  /// unreachable processor is not listed as failed in `plan`: its speed,
+  /// availability and fixed prefix are those of a live machine. Entries
+  /// must be below the processor count, and at least one admitted
+  /// processor must remain reachable. A processor listed in both
+  /// `suspects` and `unreachable` follows the suspect semantics (one
+  /// in-flight hedge only).
+  std::vector<ProcId> unreachable;
 };
 
 /// Outcome of one repair.
@@ -152,9 +170,13 @@ struct RepairResult {
   Cost time_recovered = 0.0;
   std::size_t reexecuted_tasks = 0;  ///< finished tasks rolled back & redone
   Cost checkpoint_work_saved = 0.0;  ///< killed work resumed from checkpoints
-  /// In-flight tasks kept on their suspected-dead processor as a
-  /// speculative hedge (RepairOptions::suspects), at most one per suspect.
+  /// In-flight tasks kept on their suspected-dead or unreachable processor
+  /// as a speculative hedge (RepairOptions::suspects / unreachable), at
+  /// most one per processor.
   std::vector<TaskId> pinned_tasks;
+  /// Processors excluded from new placements as unreachable-but-alive
+  /// (RepairOptions::unreachable), deduplicated.
+  ProcId unreachable_procs = 0;
   Cost release_time = 0.0;  ///< earliest instant migrated work may start
   double repair_millis = 0.0;  ///< wall-clock cost of computing the repair
   /// Expected wall duration per task in `schedule`, computed independently

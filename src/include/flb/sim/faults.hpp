@@ -40,6 +40,12 @@
 ///    window]`, and the burst may cascade to further domains. A burst with
 ///    `slowdown_factor` in (0, 1] throttles its members instead of killing
 ///    them.
+///  * **Partial partitions.** A link listed in `partitions` goes dark for
+///    a window: both endpoints stay alive, but messages crossing the link
+///    at their send instant reroute around the cut (when a live path
+///    exists) or are dropped (when the endpoints are disconnected), and an
+///    observer behind the cut stops hearing the far side's heartbeats —
+///    the network lies to part of the cluster.
 ///  * **Slowdown faults.** A processor listed in `slowdowns` does not die;
 ///    its speed is multiplied by `factor` from `time` on (thermal
 ///    throttling, co-tenancy). Multiple slowdowns of one processor
@@ -160,6 +166,26 @@ struct CheckpointPolicy {
   }
 };
 
+/// One partial-partition window: the link between the two endpoints is
+/// unreachable for [time, until). Both processors stay alive and keep
+/// computing — only messages that would cross the partitioned link at
+/// their send instant are affected (rerouted around the cut when a live
+/// path exists, dropped when the endpoints are fully disconnected), and
+/// heartbeats crossing the cut never arrive, so an observer behind the
+/// partition forms beliefs that disagree with the rest of the cluster.
+/// An endpoint is either a single processor (`proc_*`, used when the
+/// corresponding `domain_*` is empty) or a named failure domain (every
+/// member pair across the two sides partitions). A finite `until` heals
+/// the link at that instant; kInfiniteTime never heals.
+struct PartitionFault {
+  ProcId proc_a = kInvalidProc;  ///< endpoint A when domain_a is empty
+  ProcId proc_b = kInvalidProc;  ///< endpoint B when domain_b is empty
+  std::string domain_a;          ///< non-empty: endpoint A is this domain
+  std::string domain_b;          ///< non-empty: endpoint B is this domain
+  Cost time = 0.0;               ///< the link goes dark at this instant
+  Cost until = kInfiniteTime;    ///< heal instant; infinite = never heals
+};
+
 /// Heartbeat-based failure *sensing* (runtime/failure_detector.hpp). Unlike
 /// every other section of a FaultPlan this injects nothing into the
 /// simulated execution — it configures how an unreliable observer perceives
@@ -203,6 +229,7 @@ struct FaultPlan {
   std::vector<SlowdownFault> slowdowns;
   std::vector<FailureDomain> domains;
   std::vector<DomainBurst> bursts;
+  std::vector<PartitionFault> partitions;
   CheckpointPolicy checkpoint;
   MessageFaults message;
   HeartbeatConfig heartbeat;
@@ -232,10 +259,13 @@ struct FaultPlan {
   /// burst references a declared domain with finite, non-negative
   /// time/window/cascade_delay/recovery_delay and a slowdown_factor of 0
   /// or in (0,1]; checkpoint interval, overhead and min_downstream are
-  /// finite and non-negative; and the heartbeat section has a finite,
-  /// non-negative period, probabilities in [0,1], a finite delay_factor
-  /// >= 1, and finite accrual thresholds with 0 < suspect_after <
-  /// confirm_after.
+  /// finite and non-negative; every partition has distinct endpoints
+  /// (no self-partition), processor endpoints below `num_procs`, domain
+  /// endpoints naming declared domains, a finite non-negative onset and a
+  /// heal instant strictly after it (or infinite); and the heartbeat
+  /// section has a finite, non-negative period, probabilities in [0,1], a
+  /// finite delay_factor >= 1, and finite accrual thresholds with
+  /// 0 < suspect_after < confirm_after.
   void validate(ProcId num_procs) const;
 };
 
@@ -270,6 +300,45 @@ struct ResolvedFaults {
 /// Pure function of the plan (call validate() first); bit-identical across
 /// runs and network models.
 ResolvedFaults resolve_faults(const FaultPlan& plan);
+
+/// One resolved per-link unreachability window: the direct link between
+/// processors `a` and `b` (canonical: a < b) is down for [time, until).
+struct LinkOutage {
+  ProcId a = kInvalidProc;
+  ProcId b = kInvalidProc;
+  Cost time = 0.0;
+  Cost until = kInfiniteTime;
+};
+
+/// Expand the plan's partition directives into canonical per-link outage
+/// windows: domain endpoints expand to every cross-pair of members, the
+/// endpoints of each pair are ordered a < b, overlapping or touching
+/// windows of one link are merged into maximal disjoint windows, and the
+/// result is sorted by (a, b, time) — a canonical value. Pure function of
+/// the plan (call validate() first).
+std::vector<LinkOutage> resolve_partitions(const FaultPlan& plan);
+
+/// True iff the direct link x <-> y is partitioned at instant `t` under
+/// the canonical outage set (windows are half-open: a link is down at its
+/// onset, up again at its heal instant). A link with no outage — and any
+/// self-link — is always up.
+bool link_partitioned(const std::vector<LinkOutage>& outages, ProcId x,
+                      ProcId y, Cost t);
+
+/// True iff a multi-hop path of unpartitioned direct links connects x and
+/// y at instant `t`, routing through any of the `num_procs` processors
+/// (breadth-first over the complement of the partitioned link set). With
+/// no outages every pair is path-connected; a fully cut-off processor is
+/// path-connected to nothing but itself.
+bool path_connected(const std::vector<LinkOutage>& outages, ProcId num_procs,
+                    ProcId x, ProcId y, Cost t);
+
+/// Hop count of the shortest path of unpartitioned direct links from x to
+/// y at instant `t` (1 when the direct link is up, 0 for x == y), or 0
+/// when no path exists. The simulator prices a rerouted message at this
+/// multiple of its nominal transfer cost.
+std::size_t reroute_hops(const std::vector<LinkOutage>& outages,
+                         ProcId num_procs, ProcId x, ProcId y, Cost t);
 
 /// The asymptotic speed of every processor once all slowdowns in
 /// `resolved` have struck *and every transient one has cleared*: the
@@ -322,6 +391,11 @@ Cost runtime_factor(const FaultPlan& plan, TaskId t);
 //     domain <name> <member> [member...]
 //     burst <domain> <time> <window> [prob] [slowdown] [cascade_prob]
 //           [cascade_delay] [recovery_delay]       (defaults 1 0 0 0 0)
+//     partition <a> <b> <time> [until]             (until defaults to inf)
+//
+// A partition endpoint is a processor id (digits) or a declared domain
+// name; the two endpoints must differ and `until`, when finite, must be
+// strictly after `time` — both are rejected at parse time.
 //
 // '#' comment lines and blank lines are allowed; directives may repeat
 // (fail/rejoin/slowdown/domain/burst append, the scalar ones overwrite).

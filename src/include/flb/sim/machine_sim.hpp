@@ -91,6 +91,9 @@ enum class SimEventKind {
                        ///< `value` is the durably checkpointed work
   kMessageDropped = 5, ///< a message exhausted its retry budget; task ->
                        ///< task2 will never be delivered
+  kLinkPartitioned = 6, ///< the link proc ~ proc2 went dark (both ends
+                        ///< stay alive but cannot talk directly)
+  kLinkHealed = 7,      ///< a partitioned link came back
 };
 
 /// One observed event. Machine-level events (failure, rejoin, slowdown
@@ -98,7 +101,9 @@ enum class SimEventKind {
 /// task, kMessageDropped the producer (`task`) and starved consumer
 /// (`task2`). `time` for a dropped message is the instant the *sender*
 /// learns the transfer is lost — the emission instant plus the exhausted
-/// retry timeouts — not the instant of the first attempt.
+/// retry timeouts — not the instant of the first attempt. The link events
+/// (kLinkPartitioned, kLinkHealed) name the two endpoints in `proc` and
+/// `proc2` (canonical: proc < proc2).
 struct SimEvent {
   Cost time = 0.0;
   SimEventKind kind = SimEventKind::kFailure;
@@ -106,10 +111,12 @@ struct SimEvent {
   TaskId task = kInvalidTask;
   TaskId task2 = kInvalidTask;
   double value = 0.0;  ///< slowdown factor / checkpointed work, else 0
+  ProcId proc2 = kInvalidProc;  ///< far endpoint of a link event
 
   /// Identity key and deterministic log order: (time, kind, proc, tasks).
   [[nodiscard]] auto key() const {
-    return std::make_tuple(time, static_cast<int>(kind), proc, task, task2);
+    return std::make_tuple(time, static_cast<int>(kind), proc, task, task2,
+                           proc2);
   }
   bool operator<(const SimEvent& other) const { return key() < other.key(); }
   bool operator==(const SimEvent& other) const {
@@ -204,6 +211,21 @@ struct SimResult {
   /// sized num_procs under a fault plan, else empty. Feeds the per-domain
   /// degradation accounting of robustness_metrics().
   std::vector<Cost> proc_work_lost;
+
+  // Partial-partition accounting (zero unless the plan partitions links).
+  /// Messages whose direct link was partitioned at their send instant but
+  /// that still arrived — rerouted over a multi-hop detour of live links,
+  /// or (when the endpoints were momentarily disconnected) held back until
+  /// the earliest heal instant restored a path.
+  std::size_t rerouted_messages = 0;
+  /// Extra wall latency those messages paid: detour hops beyond the first
+  /// plus any wait for a heal. Priced through the same cost model as the
+  /// nominal transfer.
+  Cost reroute_extra = 0.0;
+  /// Messages dropped because their endpoints are partitioned with no live
+  /// path and no future heal — included in dropped_messages/dropped_edges,
+  /// so re-execution repair treats them like exhausted retries.
+  std::size_t partition_dropped = 0;
 
   /// True iff every task ran to completion.
   [[nodiscard]] bool complete() const { return unfinished.empty(); }

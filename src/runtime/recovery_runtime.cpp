@@ -87,6 +87,26 @@ void HorizonFaultView::observe(const SimEvent& event) {
     case SimEventKind::kMessageDropped:
       dropped_.insert({event.task, event.task2});
       break;
+    case SimEventKind::kLinkPartitioned:
+      // Until the heal is observed the link must be assumed dark forever.
+      plan_.partitions.push_back(
+          {event.proc, event.proc2, "", "", event.time, kInfiniteTime});
+      break;
+    case SimEventKind::kLinkHealed: {
+      // Close the earliest still-open outage of this link; the onset always
+      // precedes the heal, so it has been observed already.
+      PartitionFault* open = nullptr;
+      for (PartitionFault& p : plan_.partitions)
+        if (p.domain_a.empty() && p.domain_b.empty() &&
+            p.proc_a == event.proc && p.proc_b == event.proc2 &&
+            p.until == kInfiniteTime &&
+            (open == nullptr || p.time < open->time))
+          open = &p;
+      FLB_REQUIRE(open != nullptr,
+                  "HorizonFaultView: link heal without an observed onset");
+      open->until = event.time;
+      break;
+    }
   }
 }
 
@@ -201,6 +221,11 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
               "section in the world plan (heartbeat.period > 0)");
   const FailureDetector detector(world, procs);
   const HeartbeatConfig& hb = world.heartbeat;
+  FLB_REQUIRE(!options.use_gossip || options.quorum >= 1,
+              "run_online_recovery: use_gossip requires a quorum of at "
+              "least one observer");
+  FLB_REQUIRE(!options.self_tune || options.tune_raise > 1.0,
+              "run_online_recovery: self_tune requires tune_raise > 1");
 
   HorizonFaultView view(world, procs);
   Schedule current = nominal;
@@ -230,6 +255,22 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
   Cost spec_waste = 0.0;
   std::vector<Cost> confirm_times;
 
+  // Gossip mode: the controller's own (observer-0) view, kept beside the
+  // cluster-wide stream. A processor suspected locally while the cluster
+  // still trusts it is unreachable from the controller, not dead.
+  std::vector<int> local_level(procs, 0);
+  std::set<std::tuple<Cost, int, ProcId>> local_seen;
+
+  // Self-tuning: multiplier on the suspect threshold, raised on false
+  // alarms, capped strictly below the confirm threshold, decayed after a
+  // quiet window.
+  double scale = 1.0;
+  const double scale_cap =
+      std::max(1.0, 0.95 * hb.confirm_after / hb.suspect_after);
+  Cost last_alarm = -kInfiniteTime;
+  std::vector<std::pair<Cost, double>> suspect_trace;
+  std::size_t suppressed = 0;
+
   // Adaptive checkpointing: per-task interval overrides installed for the
   // tasks each repair re-plans (those start at or after the reaction's
   // horizon in every later simulation, so overriding them never perturbs
@@ -250,12 +291,31 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
   sim_options.event_log = &log;
   sim_options.honor_start_times = true;
 
-  // One merged observation: a directly observable SimEvent or a belief.
+  // One merged observation: a directly observable SimEvent (src 0), a
+  // liveness belief from the consumed stream (src 1), or — gossip mode —
+  // an observer-0 reachability belief (src 2).
   struct Obs {
     Cost time = 0.0;
-    bool is_belief = false;
+    int src = 0;
     SimEvent ev{};
     BeliefEvent bel{};
+  };
+
+  // The liveness stream the controller acts on: the gossip aggregate when
+  // enabled, the legacy observer-0 stream otherwise.
+  auto source = [&](Cost until) {
+    return options.use_gossip
+               ? detector.quorum_beliefs(options.quorum, until)
+               : detector.beliefs(until);
+  };
+  // Does the stream exonerate p in (after, by]? Pure lookahead into the
+  // prefix-stable belief stream — used by the self-tuned threshold to tell
+  // a silence the raised threshold would outlast from a real one.
+  auto exonerated_by = [&](ProcId p, Cost after, Cost by) {
+    for (const BeliefEvent& e : source(by))
+      if (e.proc == p && e.time > after)
+        return e.kind == BeliefKind::kExonerated && e.time <= by;
+    return false;
   };
 
   SimResult sim;
@@ -270,21 +330,29 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
       std::vector<Obs> fresh;
       for (const SimEvent& event : log) {
         if (event.kind == SimEventKind::kFailure ||
-            event.kind == SimEventKind::kRejoin)
-          continue;  // remote liveness is exactly what cannot be sensed
+            event.kind == SimEventKind::kRejoin ||
+            event.kind == SimEventKind::kLinkPartitioned ||
+            event.kind == SimEventKind::kLinkHealed)
+          continue;  // remote liveness and link state cannot be sensed
         if (view.observed(event)) continue;
         if (sim.complete() && event.time >= sim.makespan) continue;
-        fresh.push_back({event.time, false, event, {}});
+        fresh.push_back({event.time, 0, event, {}});
       }
-      for (const BeliefEvent& b : detector.beliefs(until)) {
+      for (const BeliefEvent& b : source(until)) {
         if (belief_seen.count(b.key()) != 0) continue;
         if (sim.complete() && b.time >= sim.makespan) continue;
-        fresh.push_back({b.time, true, {}, b});
+        fresh.push_back({b.time, 1, {}, b});
       }
+      if (options.use_gossip)
+        for (const BeliefEvent& b : detector.beliefs(until)) {
+          if (local_seen.count(b.key()) != 0) continue;
+          if (sim.complete() && b.time >= sim.makespan) continue;
+          fresh.push_back({b.time, 2, {}, b});
+        }
       std::sort(fresh.begin(), fresh.end(), [](const Obs& a, const Obs& b) {
         if (a.time != b.time) return a.time < b.time;
-        if (a.is_belief != b.is_belief) return !a.is_belief;
-        if (a.is_belief) return a.bel.key() < b.bel.key();
+        if (a.src != b.src) return a.src < b.src;
+        if (a.src != 0) return a.bel.key() < b.bel.key();
         return a.ev.key() < b.ev.key();
       });
       return fresh;
@@ -312,6 +380,17 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     bool spec_launched = false, promoted = false, cancelled = false;
     std::vector<ProcId> newly_suspected;
     std::vector<char> exonerated_now(procs, 0);
+    // A raw suspicion the self-tuned threshold absorbs: the subject is
+    // exonerated before the silence would have crossed the raised
+    // threshold, so the controller never reacts to it.
+    auto tuned_out = [&](const BeliefEvent& b) {
+      if (!options.self_tune || scale <= 1.0) return false;
+      if (b.kind != BeliefKind::kSuspected || belief[b.proc] != 0)
+        return false;
+      const Cost tuned_at =
+          b.last_heard + scale * hb.suspect_after * hb.period;
+      return b.time < tuned_at && exonerated_by(b.proc, b.time, tuned_at);
+    };
     auto consume_belief = [&](const BeliefEvent& b) {
       belief_seen.insert(b.key());
       consumed.push_back(b);
@@ -319,6 +398,10 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
       switch (b.kind) {
         case BeliefKind::kSuspected:
           if (belief[p] == 0) {
+            if (tuned_out(b)) {
+              ++suppressed;
+              break;
+            }
             belief[p] = 1;
             open_since[p] = b.time;
             if (options.speculate) {
@@ -341,6 +424,14 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
         case BeliefKind::kExonerated:
           if (belief[p] == 1) {
             ++false_alarms;
+            if (options.self_tune) {
+              // Multiplicative raise per false alarm: the next silence must
+              // outlast a strictly larger threshold before the controller
+              // reacts.
+              scale = std::min(scale_cap, scale * options.tune_raise);
+              last_alarm = b.time;
+              suspect_trace.push_back({b.time, scale * hb.suspect_after});
+            }
             if (options.speculate) exonerated_now[p] = 1;
             if (!spec_moved[p].empty()) {
               // Cancel the speculation, first-completion-wins: duplicate
@@ -373,18 +464,47 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
       }
     };
 
+    // Observer-0 reachability beliefs (gossip mode) only steer where new
+    // placements go; they are folded into local_level as they are consumed.
+    auto consume_local = [&](const BeliefEvent& b) {
+      local_seen.insert(b.key());
+      local_level[b.proc] = b.kind == BeliefKind::kExonerated     ? 0
+                            : b.kind == BeliefKind::kSuspected    ? 1
+                                                                  : 2;
+    };
+
     // In confirm-then-repair mode a suspicion (or the exoneration of a
     // mere suspect) changes nothing the controller would act on: consume
-    // such leading beliefs passively, without a reaction.
+    // such leading beliefs passively, without a reaction. A suspicion the
+    // self-tuned threshold absorbs is likewise passive knowledge, and so
+    // is a local (observer-0) belief that merely *adds* the subject to the
+    // unreachable set: the controller cannot retract the schedule already
+    // installed behind the cut, so going dark re-plans nothing — the mask
+    // is recorded and constrains whatever belief-driven repair comes next.
+    // Only the belief that *removes* a processor from the set reacts: the
+    // link healed, and a reconciliation repair re-balances whatever fell
+    // behind the partition.
     auto actionable = [&](const Obs& o) {
-      if (!o.is_belief || options.speculate) return true;
+      if (o.src == 2) {
+        const bool now =
+            local_level[o.bel.proc] >= 1 && belief[o.bel.proc] == 0;
+        const bool next = o.bel.kind != BeliefKind::kExonerated &&
+                          belief[o.bel.proc] == 0;
+        return now && !next;
+      }
+      if (o.src != 1) return true;
+      if (tuned_out(o.bel)) return false;
+      if (options.speculate) return true;
       if (o.bel.kind == BeliefKind::kConfirmedDead) return true;
       return o.bel.kind == BeliefKind::kExonerated &&
              belief[o.bel.proc] == 2;
     };
     std::size_t idx = 0;
     while (idx < fresh.size() && !actionable(fresh[idx])) {
-      consume_belief(fresh[idx].bel);
+      if (fresh[idx].src == 2)
+        consume_local(fresh[idx].bel);
+      else
+        consume_belief(fresh[idx].bel);
       ++idx;
     }
     if (idx == fresh.size()) continue;  // only passive knowledge this round
@@ -400,7 +520,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     // repair migrated work onto.
     std::size_t attempt = 0;
     for (const Obs& o : batch)
-      if (o.is_belief && o.bel.kind == BeliefKind::kConfirmedDead &&
+      if (o.src == 1 && o.bel.kind == BeliefKind::kConfirmedDead &&
           repair_targets[o.bel.proc] != 0) {
         attempt = ++retry_attempts;
         if (retry_attempts > options.max_retries) force_greedy = true;
@@ -414,8 +534,12 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
 
     view.advance(horizon);
     for (const Obs& o : batch) {
-      if (o.is_belief) {
+      if (o.src == 1) {
         consume_belief(o.bel);
+        continue;
+      }
+      if (o.src == 2) {
+        consume_local(o.bel);
         continue;
       }
       view.observe(o.ev);
@@ -431,6 +555,15 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
       }
     }
 
+    // Decay the self-tuned threshold once per reaction after a quiet
+    // window: no false alarm within tune_window of the horizon.
+    if (options.self_tune && scale > 1.0 &&
+        horizon - last_alarm > options.tune_window) {
+      scale = std::max(1.0, scale / options.tune_raise);
+      last_alarm = horizon;
+      suspect_trace.push_back({horizon, scale * hb.suspect_after});
+    }
+
     RepairInvocation inv;
     inv.observed_at = observed_at;
     inv.horizon = horizon;
@@ -439,6 +572,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     inv.speculative = spec_launched;
     inv.promoted = promoted;
     inv.cancelled = cancelled;
+    inv.suspect_scale = scale;
     ProcId usable = 0;
     for (ProcId p = 0; p < procs; ++p) {
       if (belief[p] == 1) ++inv.suspects;
@@ -448,7 +582,18 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     }
     inv.survivors = usable;
 
-    if (usable == 0) {
+    // Partition-aware placement: a processor the controller suspects
+    // locally while the cluster-wide stream still trusts it is unreachable
+    // from the controller, not dead — no new placements go there, its
+    // in-flight task is pinned, and the local exoneration (the heal)
+    // triggers the reconciliation repair that hands its queue back.
+    std::vector<ProcId> unreachable;
+    if (options.use_gossip)
+      for (ProcId p = 1; p < procs; ++p)
+        if (local_level[p] >= 1 && belief[p] == 0) unreachable.push_back(p);
+    inv.unreachable = static_cast<ProcId>(unreachable.size());
+
+    if (usable <= inv.unreachable) {
       inv.deferred = true;
       repairs.push_back(inv);
       continue;
@@ -505,6 +650,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     repair_options.flb = options.flb;
     repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
     repair_options.horizon = horizon;
+    repair_options.unreachable = std::move(unreachable);
     if (options.speculate) {
       // Pin in-flight work on every currently suspected processor — and on
       // every processor exonerated in this very batch: the reconciliation
@@ -575,6 +721,8 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
   result.confirmations = confirmations;
   result.speculative_waste = spec_waste;
   result.speculative_tasks = spec_tasks;
+  result.suspect_trace = std::move(suspect_trace);
+  result.suppressed_alarms = suppressed;
   // Reporting only (never used for control): detection latency against
   // the resolved truth — mean gap between each real death and its first
   // confirmation.
@@ -711,9 +859,25 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     inv.survivors = view.observed_alive();
     inv.retry_attempt = attempt;
 
-    if (inv.survivors == 0) {
-      // Nothing to repair onto: hold the current schedule and wait for the
-      // next observable event (a rejoin, if one ever comes).
+    // Partition-aware repair: a processor with no live path from the
+    // controller (p0) at the horizon cannot receive new placements — but it
+    // is not dead, so its in-flight task is pinned rather than written off
+    // and its queue migrates; the heal event triggers the reconciliation.
+    std::vector<ProcId> unreachable;
+    if (!view.plan().partitions.empty()) {
+      const std::vector<LinkOutage> outages =
+          resolve_partitions(view.plan());
+      for (ProcId p = 1; p < procs; ++p)
+        if (!view.observed_dead(p) &&
+            !path_connected(outages, procs, 0, p, horizon))
+          unreachable.push_back(p);
+    }
+    inv.unreachable = static_cast<ProcId>(unreachable.size());
+
+    if (inv.survivors <= inv.unreachable) {
+      // Nothing reachable to repair onto: hold the current schedule and
+      // wait for the next observable event (a rejoin or heal, if one ever
+      // comes).
       inv.deferred = true;
       repairs.push_back(inv);
       continue;
@@ -729,6 +893,7 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     repair_options.flb = options.flb;
     repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
     repair_options.horizon = horizon;
+    repair_options.unreachable = std::move(unreachable);
     const RepairResult rep =
         repair_schedule(g, current, obs, view.plan(), repair_options);
     if (options.validate) check_continuation(g, rep, procs, horizon);

@@ -109,6 +109,33 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   FLB_REQUIRE(survivors >= 1,
               "repair_schedule: the fault plan kills every processor");
 
+  // Unreachable-but-alive processors: masked out of every admission set
+  // below (the controller cannot install new work behind the partition)
+  // without being treated as dead anywhere else.
+  std::vector<char> unreachable(procs, 0);
+  for (ProcId p : options.unreachable) {
+    FLB_REQUIRE(p < procs,
+                "repair_schedule: unreachable processor " +
+                    std::to_string(p) + " is not below the processor count " +
+                    std::to_string(procs));
+    unreachable[p] = 1;
+  }
+  for (ProcId p = 0; p < procs; ++p)
+    if (unreachable[p] != 0) ++out.unreachable_procs;
+  {
+    bool any_reachable = false;
+    for (ProcId p = 0; p < procs; ++p)
+      if (alive[p] && unreachable[p] == 0) any_reachable = true;
+    FLB_REQUIRE(any_reachable,
+                "repair_schedule: every surviving processor is unreachable "
+                "from the controller");
+  }
+  auto reachable = [&](std::vector<bool> mask) {
+    for (ProcId p = 0; p < procs; ++p)
+      if (unreachable[p] != 0) mask[p] = false;
+    return mask;
+  };
+
   // The related-machines view of the degraded cluster: alive processors hit
   // by slowdowns execute remaining work at their compounded factor.
   const std::vector<double> speeds =
@@ -194,7 +221,21 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   // prefix, with predecessor arrivals priced through the platform cost
   // model; a task later than the first unfinished one cannot have been in
   // flight (one task executes at a time), so only that one is hedged.
-  if (!options.suspects.empty()) {
+  //
+  // Unreachable processors pin deeper: the controller cannot talk to a
+  // processor behind a partition, so it can neither hand it new work nor
+  // cancel the queue it already holds — the whole not-yet-started tail of
+  // its dispatch list keeps executing in place, as far as its inputs stay
+  // within the fixed-or-pinned prefix. The first input that a re-planned
+  // producer would have to feed ends the pin run: from there on the tasks
+  // migrate like any other re-planned work. A processor that is both
+  // suspected and unreachable keeps the suspect semantics (one hedge).
+  std::vector<ProcId> hedged = options.suspects;
+  for (ProcId p = 0; p < procs; ++p)
+    if (unreachable[p] != 0 &&
+        std::find(hedged.begin(), hedged.end(), p) == hedged.end())
+      hedged.push_back(p);
+  if (!hedged.empty()) {
     FLB_REQUIRE(options.pin_exclude == nullptr ||
                     options.pin_exclude->size() == n,
                 "repair_schedule: pin_exclude must have one entry per task");
@@ -202,35 +243,39 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
         options.topology == nullptr
             ? platform::CostModel::clique(procs)
             : platform::CostModel::routed(*options.topology);
-    for (ProcId sp : options.suspects) {
+    for (ProcId sp : hedged) {
       FLB_REQUIRE(sp < procs,
                   "repair_schedule: suspect " + std::to_string(sp) +
                       " is not below the processor count " +
                       std::to_string(procs));
+      const bool whole_queue =
+          unreachable[sp] != 0 &&
+          std::find(options.suspects.begin(), options.suspects.end(), sp) ==
+              options.suspects.end();
       for (TaskId t : nominal.tasks_on(sp)) {
         if (fixed[t]) continue;
         if (rolled[t]) break;  // stale inputs: known re-execution, not hedge
-        if (nominal.start(t) >= options.horizon) break;  // never in flight
+        if (!whole_queue && nominal.start(t) >= options.horizon)
+          break;  // never in flight
         if (options.pin_exclude != nullptr && (*options.pin_exclude)[t])
           break;  // observed killed: known-lost, nothing to hedge
-        bool preds_fixed = true;
+        bool preds_placed = true;
         Cost start =
             std::max(nominal.start(t), out.schedule.proc_ready_time(sp));
         for (const Adj& in : g.predecessors(t)) {
-          if (!fixed[in.node]) {
-            preds_fixed = false;
+          if (!fixed[in.node] && !out.schedule.is_scheduled(in.node)) {
+            preds_placed = false;
             break;
           }
           start = std::max(
               start, probe.arrival(out.schedule.proc(in.node), sp, in.comm,
                                    out.schedule.finish(in.node)));
         }
-        if (preds_fixed) {
-          out.schedule.assign(t, sp, start,
-                              start + work[t] / speeds[sp] + extra[t]);
-          out.pinned_tasks.push_back(t);
-        }
-        break;
+        if (!preds_placed) break;
+        out.schedule.assign(t, sp, start,
+                            start + work[t] / speeds[sp] + extra[t]);
+        out.pinned_tasks.push_back(t);
+        if (!whole_queue) break;
       }
     }
   }
@@ -298,17 +343,17 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
   if (out.migrated_tasks > 0) {
     ProcId baseline_procs = 0;
     for (ProcId p = 0; p < procs; ++p)
-      if (never_killed[p]) ++baseline_procs;
+      if (never_killed[p] && unreachable[p] == 0) ++baseline_procs;
     if (baseline_procs == 0) {
-      // Every processor was killed at least once; survivors >= 1
-      // guarantees a rejoin, so the recovery continuation is the only
-      // feasible repair regardless of options.give_back.
-      Continuation c = continuation(alive, true);
+      // Every reachable processor was killed at least once; a reachable
+      // survivor is guaranteed above, so the recovery continuation is the
+      // only feasible repair regardless of options.give_back.
+      Continuation c = continuation(reachable(alive), true);
       out.schedule = std::move(c.schedule);
       out.used = c.used;
       out.link_occupancies = std::move(c.occupancies);
     } else if (!options.give_back || !any_recovery) {
-      Continuation c = continuation(never_killed, false);
+      Continuation c = continuation(reachable(never_killed), false);
       out.schedule = std::move(c.schedule);
       out.used = c.used;
       out.link_occupancies = std::move(c.occupancies);
@@ -316,8 +361,8 @@ RepairResult repair_schedule(const TaskGraph& g, const Schedule& nominal,
       // Opportunistic give-back: keep the strictly better of the
       // no-give-back baseline and the recovery-aware continuation, so the
       // repaired makespan is never worse than refusing the rejoins.
-      Continuation base = continuation(never_killed, false);
-      Continuation rec = continuation(alive, true);
+      Continuation base = continuation(reachable(never_killed), false);
+      Continuation rec = continuation(reachable(alive), true);
       Continuation& chosen =
           rec.schedule.makespan() < base.schedule.makespan() ? rec : base;
       out.schedule = std::move(chosen.schedule);

@@ -1,3 +1,4 @@
+#include <cctype>
 #include <cmath>
 #include <istream>
 #include <limits>
@@ -171,6 +172,35 @@ FaultPlan read_fault_plan(std::istream& is) {
           opt_field(ls, line, "malformed recovery delay", 0.0);
       expect_end(ls, line);
       plan.bursts.push_back(std::move(b));
+    } else if (directive == "partition") {
+      PartitionFault p;
+      std::string ends[2];
+      if (!(ls >> ends[0] >> ends[1]))
+        bad_line(line, "missing partition endpoint");
+      for (int e = 0; e < 2; ++e) {
+        ProcId& proc = e == 0 ? p.proc_a : p.proc_b;
+        std::string& domain = e == 0 ? p.domain_a : p.domain_b;
+        if (!ends[e].empty() && std::isdigit(
+                static_cast<unsigned char>(ends[e][0]))) {
+          std::istringstream ws(ends[e]);
+          std::uint64_t id = 0;
+          if (!(ws >> id) || !ws.eof())
+            bad_line(line, "malformed partition endpoint");
+          if (id >= kInvalidProc)
+            bad_line(line, "partition endpoint out of range");
+          proc = static_cast<ProcId>(id);
+        } else {
+          domain = ends[e];
+        }
+      }
+      if (ends[0] == ends[1])
+        bad_line(line, "a partition needs two distinct endpoints");
+      p.time = field(ls, line, "missing or malformed partition time");
+      p.until = opt_field(ls, line, "malformed until", kInfiniteTime);
+      if (p.until <= p.time)
+        bad_line(line, "partition heal instant must be after its onset");
+      expect_end(ls, line);
+      plan.partitions.push_back(std::move(p));
     } else {
       bad_line(line, "unknown directive");
     }
@@ -242,6 +272,21 @@ void write_fault_plan(std::ostream& os, const FaultPlan& plan) {
        << b.probability << " " << b.slowdown_factor << " "
        << b.cascade_probability << " " << b.cascade_delay << " "
        << b.recovery_delay << "\n";
+  for (const PartitionFault& p : plan.partitions) {
+    os << "partition ";
+    if (p.domain_a.empty())
+      os << p.proc_a;
+    else
+      os << p.domain_a;
+    os << " ";
+    if (p.domain_b.empty())
+      os << p.proc_b;
+    else
+      os << p.domain_b;
+    os << " " << p.time;
+    if (p.until != kInfiniteTime) os << " " << p.until;
+    os << "\n";
+  }
   os.precision(precision);
 }
 

@@ -119,7 +119,7 @@ FaultPlan FaultPlan::single_failure(ProcId proc, Cost time) {
 
 bool FaultPlan::trivial() const {
   return failures.empty() && rejoins.empty() && slowdowns.empty() &&
-         bursts.empty() && !checkpoint.enabled() &&
+         bursts.empty() && partitions.empty() && !checkpoint.enabled() &&
          message.loss_probability == 0.0 &&
          message.delay_probability == 0.0 && runtime_spread == 0.0;
 }
@@ -268,6 +268,36 @@ void FaultPlan::validate(ProcId num_procs) const {
                 where + ": recovery delay must be finite and non-negative");
   }
 
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const PartitionFault& p = partitions[i];
+    const std::string where =
+        "FaultPlan: partitions[" + std::to_string(i) + "]";
+    for (const std::string* d : {&p.domain_a, &p.domain_b})
+      if (!d->empty())
+        FLB_REQUIRE(names.count(*d) != 0,
+                    where + " references unknown domain '" + *d + "'");
+    if (p.domain_a.empty())
+      FLB_REQUIRE(p.proc_a < num_procs,
+                  where + " names processor " + std::to_string(p.proc_a) +
+                      " but the machine has " + std::to_string(num_procs));
+    if (p.domain_b.empty())
+      FLB_REQUIRE(p.proc_b < num_procs,
+                  where + " names processor " + std::to_string(p.proc_b) +
+                      " but the machine has " + std::to_string(num_procs));
+    const bool self =
+        (!p.domain_a.empty() || !p.domain_b.empty())
+            ? (!p.domain_a.empty() && p.domain_a == p.domain_b)
+            : p.proc_a == p.proc_b;
+    FLB_REQUIRE(!self, where + ": the two endpoints must differ (a "
+                               "processor cannot partition from itself)");
+    FLB_REQUIRE(finite_nonneg(p.time),
+                where + ": partition onset must be finite and non-negative");
+    FLB_REQUIRE(p.until == kInfiniteTime ||
+                    (std::isfinite(p.until) && p.until > p.time),
+                where + ": heal instant `until` must be strictly after the "
+                        "onset (or infinite for a permanent partition)");
+  }
+
   FLB_REQUIRE(finite_nonneg(checkpoint.interval),
               "FaultPlan: checkpoint interval must be finite and "
               "non-negative");
@@ -383,6 +413,86 @@ ResolvedFaults resolve_faults(const FaultPlan& plan) {
               return a.time != b.time ? a.time < b.time : a.proc < b.proc;
             });
   return out;
+}
+
+std::vector<LinkOutage> resolve_partitions(const FaultPlan& plan) {
+  std::unordered_map<std::string, std::size_t> by_name;
+  for (std::size_t d = 0; d < plan.domains.size(); ++d)
+    by_name.emplace(plan.domains[d].name, d);
+
+  std::vector<LinkOutage> raw;
+  for (const PartitionFault& p : plan.partitions) {
+    std::vector<ProcId> side_a, side_b;
+    if (p.domain_a.empty())
+      side_a.push_back(p.proc_a);
+    else
+      side_a = plan.domains[by_name.at(p.domain_a)].members;
+    if (p.domain_b.empty())
+      side_b.push_back(p.proc_b);
+    else
+      side_b = plan.domains[by_name.at(p.domain_b)].members;
+    for (ProcId a : side_a)
+      for (ProcId b : side_b) {
+        if (a == b) continue;  // overlapping domains: no self-link
+        raw.push_back({std::min(a, b), std::max(a, b), p.time, p.until});
+      }
+  }
+
+  std::sort(raw.begin(), raw.end(),
+            [](const LinkOutage& x, const LinkOutage& y) {
+              return std::tie(x.a, x.b, x.time, x.until) <
+                     std::tie(y.a, y.b, y.time, y.until);
+            });
+  // Merge overlapping or touching windows of one link into maximal
+  // disjoint windows, so the outage set is a canonical value.
+  std::vector<LinkOutage> out;
+  for (const LinkOutage& w : raw) {
+    if (!out.empty() && out.back().a == w.a && out.back().b == w.b &&
+        w.time <= out.back().until) {
+      out.back().until = std::max(out.back().until, w.until);
+    } else {
+      out.push_back(w);
+    }
+  }
+  return out;
+}
+
+bool link_partitioned(const std::vector<LinkOutage>& outages, ProcId x,
+                      ProcId y, Cost t) {
+  if (x == y) return false;
+  const ProcId a = std::min(x, y), b = std::max(x, y);
+  for (const LinkOutage& w : outages)
+    if (w.a == a && w.b == b && t >= w.time && t < w.until) return true;
+  return false;
+}
+
+bool path_connected(const std::vector<LinkOutage>& outages, ProcId num_procs,
+                    ProcId x, ProcId y, Cost t) {
+  return reroute_hops(outages, num_procs, x, y, t) > 0 || x == y;
+}
+
+std::size_t reroute_hops(const std::vector<LinkOutage>& outages,
+                         ProcId num_procs, ProcId x, ProcId y, Cost t) {
+  if (x == y) return 0;
+  if (!link_partitioned(outages, x, y, t)) return 1;
+  // Breadth-first search over the complement of the partitioned link set
+  // (the machine is a clique; only cut links are missing).
+  std::vector<std::size_t> dist(num_procs, 0);
+  std::vector<ProcId> frontier{x};
+  dist[x] = 1;  // 1 + hops, so 0 doubles as "unvisited"
+  while (!frontier.empty()) {
+    std::vector<ProcId> next;
+    for (ProcId u : frontier)
+      for (ProcId v = 0; v < num_procs; ++v) {
+        if (dist[v] != 0 || link_partitioned(outages, u, v, t) || u == v)
+          continue;
+        dist[v] = dist[u] + 1;
+        if (v == y) return dist[v] - 1;
+        next.push_back(v);
+      }
+    frontier = std::move(next);
+  }
+  return 0;
 }
 
 std::vector<double> final_speeds(const ResolvedFaults& resolved,

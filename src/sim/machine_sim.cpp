@@ -65,6 +65,12 @@ std::string to_string(const SimEvent& event) {
       os << "message-dropped p" << event.proc << " t" << event.task << "->t"
          << event.task2;
       break;
+    case SimEventKind::kLinkPartitioned:
+      os << "link-partitioned p" << event.proc << "~p" << event.proc2;
+      break;
+    case SimEventKind::kLinkHealed:
+      os << "link-healed p" << event.proc << "~p" << event.proc2;
+      break;
   }
   return os.str();
 }
@@ -81,9 +87,11 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
   const FaultPlan* plan = options.faults;
   if (plan != nullptr && plan->trivial()) plan = nullptr;
   ResolvedFaults resolved;
+  std::vector<LinkOutage> outages;
   if (plan != nullptr) {
     plan->validate(s.num_procs());
     resolved = resolve_faults(*plan);
+    outages = resolve_partitions(*plan);
   }
   const CheckpointPolicy ckpt =
       plan != nullptr ? plan->checkpoint : CheckpointPolicy{};
@@ -210,6 +218,13 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         if (f.until != kInfiniteTime)
           log->push_back({f.until, SimEventKind::kSlowdownEnd, f.proc,
                           kInvalidTask, kInvalidTask, f.factor});
+      }
+      for (const LinkOutage& w : outages) {
+        log->push_back({w.time, SimEventKind::kLinkPartitioned, w.a,
+                        kInvalidTask, kInvalidTask, 0.0, w.b});
+        if (w.until != kInfiniteTime)
+          log->push_back({w.until, SimEventKind::kLinkHealed, w.a,
+                          kInvalidTask, kInvalidTask, 0.0, w.b});
       }
     }
   }
@@ -367,6 +382,44 @@ SimResult simulate(const TaskGraph& g, const Schedule& s,
         }
         if (fate.delayed) cost *= plan->message.delay_factor;
         Cost send_start = ev.time + fate.retry_delay;
+        // Partial partitions: a message whose direct link is down at its
+        // send instant reroutes over the shortest detour of live links
+        // (store-and-forward, one full transfer per hop). With no live
+        // path it is held back to the earliest heal instant that restores
+        // one; with no such instant (a permanent total cut) it is dropped
+        // like an exhausted retry — re-execution repair's problem.
+        if (!outages.empty() &&
+            link_partitioned(outages, p, s.proc(a.node), send_start)) {
+          const ProcId dest = s.proc(a.node);
+          std::size_t hops = reroute_hops(outages, procs, p, dest, send_start);
+          if (hops == 0) {
+            Cost heal = kInfiniteTime;
+            for (const LinkOutage& w : outages)
+              if (w.until != kInfiniteTime && w.until > send_start &&
+                  w.until < heal &&
+                  reroute_hops(outages, procs, p, dest, w.until) > 0)
+                heal = w.until;
+            if (heal == kInfiniteTime) {
+              ++result.dropped_messages;
+              ++result.partition_dropped;
+              result.dropped_edges.emplace_back(t, a.node);
+              starved[a.node] = true;
+              if (log != nullptr)
+                log->push_back({send_start, SimEventKind::kMessageDropped, p,
+                                t, a.node, 0.0});
+              ++slot;
+              continue;
+            }
+            result.reroute_extra += heal - send_start;
+            send_start = heal;
+            hops = reroute_hops(outages, procs, p, dest, heal);
+          }
+          if (hops > 1) {
+            result.reroute_extra += static_cast<Cost>(hops - 1) * cost;
+            cost *= static_cast<Cost>(hops);
+          }
+          ++result.rerouted_messages;
+        }
         if (options.network != SimNetwork::kContentionFree) {
           send_start = std::max(send_start, send_free[p]);
           send_free[p] = send_start + cost;

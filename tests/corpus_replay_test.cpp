@@ -122,7 +122,7 @@ TEST(CorpusReplay, FaultPlan) {
         flb::to_fault_plan_text(flb::fault_plan_from_text(once));
     ASSERT_EQ(once, twice);
   });
-  EXPECT_GE(n, 6u) << "faultplan corpus went missing";
+  EXPECT_GE(n, 9u) << "faultplan corpus went missing";
 }
 
 // The DOT reader accepts exactly what write_dot emits, including the

@@ -185,6 +185,75 @@ TEST(FaultPlanIo, HeartbeatRoundTripsAndValidates) {
   const FaultPlan inverted =
       fault_plan_from_text(h + "heartbeat 5 0 0 1.5 4 2\n");
   EXPECT_THROW(inverted.validate(4), Error);
+  // The boundary itself is rejected too: suspicion must fire strictly
+  // before confirmation, so equal thresholds are a configuration error,
+  // not a degenerate-but-legal detector.
+  const FaultPlan equal =
+      fault_plan_from_text(h + "heartbeat 5 0 0 1.5 4 4\n");
+  EXPECT_THROW(equal.validate(4), Error);
+}
+
+// The partition directive (partial network partitions): processor and
+// domain endpoints, elision of the infinite heal instant, parse-level
+// rejections and semantic validation.
+TEST(FaultPlanIo, PartitionRoundTripsProcAndDomainEndpoints) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.domains.push_back({"rack0", {0, 1}});
+  plan.domains.push_back({"rack1", {2, 3}});
+  PartitionFault link;
+  link.proc_a = 0;
+  link.proc_b = 2;
+  link.time = 1.5;
+  link.until = 4.0;
+  plan.partitions.push_back(link);
+  PartitionFault racks;  // permanent inter-rack cut: until stays infinite
+  racks.domain_a = "rack0";
+  racks.domain_b = "rack1";
+  racks.time = 6.0;
+  plan.partitions.push_back(racks);
+
+  const FaultPlan back = fault_plan_from_text(to_fault_plan_text(plan));
+  ASSERT_EQ(back.partitions.size(), 2u);
+  EXPECT_EQ(back.partitions[0].proc_a, 0u);
+  EXPECT_EQ(back.partitions[0].proc_b, 2u);
+  EXPECT_TRUE(back.partitions[0].domain_a.empty());
+  EXPECT_TRUE(back.partitions[0].domain_b.empty());
+  EXPECT_DOUBLE_EQ(back.partitions[0].time, 1.5);
+  EXPECT_DOUBLE_EQ(back.partitions[0].until, 4.0);
+  EXPECT_EQ(back.partitions[1].domain_a, "rack0");
+  EXPECT_EQ(back.partitions[1].domain_b, "rack1");
+  EXPECT_EQ(back.partitions[1].until, kInfiniteTime);
+  EXPECT_NO_THROW(back.validate(4));
+  EXPECT_EQ(to_fault_plan_text(back), to_fault_plan_text(plan));
+
+  // The permanent cut writes no heal field at all.
+  EXPECT_NE(to_fault_plan_text(plan).find("partition rack0 rack1 6\n"),
+            std::string::npos);
+}
+
+TEST(FaultPlanIo, PartitionParseAndValidationRejections) {
+  const std::string h = "flb-faultplan 1\n";
+  // Parse-level: missing fields, identical endpoints, a heal instant at or
+  // before the onset, and trailing junk.
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0 1\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 2 2 1.0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition rack0 rack0 1.0\n"),
+               Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0 1 2.0 1.0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0 1 2.0 2.0\n"), Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0 1 2.0 4.0 9\n"),
+               Error);
+  EXPECT_THROW(fault_plan_from_text(h + "partition 0 1 nan\n"), Error);
+
+  // Semantic: endpoints must exist on the machine and in the domain table.
+  const FaultPlan wide = fault_plan_from_text(h + "partition 0 7 1.0\n");
+  EXPECT_THROW(wide.validate(4), Error);
+  EXPECT_NO_THROW(wide.validate(8));
+  const FaultPlan ghost =
+      fault_plan_from_text(h + "partition rackX 0 1.0\n");
+  EXPECT_THROW(ghost.validate(4), Error);
 }
 
 TEST(FaultPlanIo, ParsedPlanPassesSemanticValidation) {

@@ -214,6 +214,76 @@ TEST(LintFeasibility, UnscheduledTaskAndWrongDurationAndPrecedence) {
 
 // --- Quality tier ----------------------------------------------------------
 
+// --- Partitioned-link rule (armed by LintOptions::faults) -------------------
+
+TEST(LintPartition, FlagsSendsAcrossTheCutAndHonorsTheSendInstant) {
+  // Producer on p0 finishes at 1.0 and feeds a consumer on p1: the message
+  // leaves at exactly t = 1.
+  TaskGraphBuilder b;
+  const TaskId producer = b.add_task(1.0);
+  const TaskId consumer = b.add_task(1.0);
+  b.add_edge(producer, consumer, 4.0);
+  const TaskGraph g = std::move(b).build();
+  Schedule s(2, 2);
+  s.assign(producer, 0, 0.0, 1.0);
+  s.assign(consumer, 1, 5.0, 6.0);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+  const platform::CostModel model = platform::CostModel::clique(2);
+
+  // A cut covering the send instant fires the error rule.
+  FaultPlan covering;
+  PartitionFault cut;
+  cut.proc_a = 0;
+  cut.proc_b = 1;
+  cut.time = 1.0;
+  cut.until = 2.0;
+  covering.partitions.push_back(cut);
+  LintOptions options;
+  options.faults = &covering;
+  const LintReport hit = lint_schedule(g, s, model, options);
+  EXPECT_TRUE(has_rule(hit, "partitioned-link")) << rules_of(hit);
+  EXPECT_GE(hit.errors(), 1u);
+
+  // The outage window is half-open: a cut that heals exactly at the send
+  // instant no longer owns it, so the schedule lints clean.
+  FaultPlan healed;
+  cut.time = 0.0;
+  cut.until = 1.0;
+  healed.partitions.push_back(cut);
+  LintOptions ok;
+  ok.faults = &healed;
+  const LintReport clean = lint_schedule(g, s, model, ok);
+  EXPECT_FALSE(has_rule(clean, "partitioned-link")) << rules_of(clean);
+  EXPECT_EQ(clean.errors(), 0u);
+}
+
+TEST(LintPartition, PaperScheduleTripsOnATotalCutAndPassesALateOne) {
+  PaperRun run;
+  FaultPlan total;
+  PartitionFault cut;
+  cut.proc_a = 0;
+  cut.proc_b = 1;
+  cut.time = 0.0;  // permanent: every remote message crosses the cut
+  total.partitions.push_back(cut);
+  LintOptions options;
+  options.faults = &total;
+  const LintReport hit = lint_flb(run.g, run.s, run.rows, run.model, options);
+  EXPECT_TRUE(has_rule(hit, "partitioned-link")) << rules_of(hit);
+
+  // A cut opening only after the schedule drains (makespan 14) is inert —
+  // and a plan with no partitions at all never arms the rule.
+  FaultPlan late;
+  cut.time = 20.0;
+  cut.until = 30.0;
+  late.partitions.push_back(cut);
+  LintOptions ok;
+  ok.faults = &late;
+  const LintReport clean =
+      lint_flb(run.g, run.s, run.rows, run.model, ok);
+  EXPECT_FALSE(has_rule(clean, "partitioned-link")) << rules_of(clean);
+  EXPECT_EQ(clean.errors(), 0u);
+}
+
 TEST(LintQuality, IdleGapWarnsAndCanBeDisabled) {
   TaskGraphBuilder b;
   (void)b.add_task(1);

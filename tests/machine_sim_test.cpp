@@ -4,6 +4,7 @@
 
 #include "flb/core/flb.hpp"
 #include "flb/sched/scheduler.hpp"
+#include "flb/sim/faults.hpp"
 #include "flb/sched/validator.hpp"
 #include "flb/util/error.hpp"
 #include "flb/workloads/paper_example.hpp"
@@ -166,6 +167,134 @@ TEST(MachineSim, RejectsNegativeLatency) {
   SimOptions options;
   options.latency_factor = -1.0;
   EXPECT_THROW((void)simulate(g, s, options), Error);
+}
+
+// --- Partial network partitions ----------------------------------------------
+
+// Root on p0 feeds children on p1 and p2 (comm 4). Cutting p0~p1 for the
+// whole run forces the p1 message over the live detour p0 -> p2 -> p1:
+// store-and-forward, one full transfer per hop, so the child starts at
+// 1 + 2*4 = 9 instead of 5 and the detour's second hop is billed as
+// reroute_extra.
+TEST(MachineSim, PartitionReroutesOverLiveDetour) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 4.0;
+  TaskGraph g = out_tree_graph(2, 3, p);  // root 0 -> children 1, 2, 3
+  Schedule s(3, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 9.0, 10.0);
+  s.assign(2, 2, 5.0, 6.0);
+  s.assign(3, 0, 1.0, 2.0);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+
+  FaultPlan plan;
+  PartitionFault cut;
+  cut.proc_a = 0;
+  cut.proc_b = 1;
+  cut.time = 0.0;
+  plan.partitions.push_back(cut);
+  SimOptions options;
+  options.faults = &plan;
+  SimResult r = simulate(g, s, options);
+
+  EXPECT_DOUBLE_EQ(r.start[1], 9.0);
+  EXPECT_DOUBLE_EQ(r.start[2], 5.0);  // the p0~p2 link never suffered
+  EXPECT_DOUBLE_EQ(r.makespan, 10.0);
+  EXPECT_EQ(r.rerouted_messages, 1u);
+  EXPECT_DOUBLE_EQ(r.reroute_extra, 4.0);
+  EXPECT_EQ(r.partition_dropped, 0u);
+  EXPECT_EQ(r.dropped_messages, 0u);
+  EXPECT_TRUE(r.unfinished.empty());
+}
+
+// With only two processors there is no detour: the message is held at its
+// send instant until the heal restores the direct link, and the wait is
+// accounted as reroute_extra. The event log carries the canonical
+// link-partitioned / link-healed pair.
+TEST(MachineSim, PartitionWithNoPathWaitsForTheHeal) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 4.0;
+  TaskGraph g = out_tree_graph(2, 3, p);
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 16.0, 17.0);
+  s.assign(2, 0, 1.0, 2.0);
+  s.assign(3, 0, 2.0, 3.0);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+
+  FaultPlan plan;
+  PartitionFault cut;
+  cut.proc_a = 1;  // reversed on purpose: the log canonicalizes a < b
+  cut.proc_b = 0;
+  cut.time = 0.0;
+  cut.until = 12.0;
+  plan.partitions.push_back(cut);
+  SimOptions options;
+  options.faults = &plan;
+  std::vector<SimEvent> log;
+  options.event_log = &log;
+  SimResult r = simulate(g, s, options);
+
+  // Held from the send instant t=1 to the heal at t=12, then one hop of 4.
+  EXPECT_DOUBLE_EQ(r.start[1], 16.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 17.0);
+  EXPECT_EQ(r.rerouted_messages, 1u);
+  EXPECT_DOUBLE_EQ(r.reroute_extra, 11.0);
+  EXPECT_EQ(r.partition_dropped, 0u);
+
+  std::size_t cuts = 0, heals = 0;
+  for (const SimEvent& e : log) {
+    if (e.kind == SimEventKind::kLinkPartitioned) {
+      ++cuts;
+      EXPECT_DOUBLE_EQ(e.time, 0.0);
+      EXPECT_EQ(e.proc, 0u);
+      EXPECT_EQ(e.proc2, 1u);
+    }
+    if (e.kind == SimEventKind::kLinkHealed) {
+      ++heals;
+      EXPECT_DOUBLE_EQ(e.time, 12.0);
+      EXPECT_EQ(e.proc, 0u);
+      EXPECT_EQ(e.proc2, 1u);
+    }
+  }
+  EXPECT_EQ(cuts, 1u);
+  EXPECT_EQ(heals, 1u);
+}
+
+// A permanent cut with no live path ever drops the message like an
+// exhausted retry: the consumer starves, and the drop is accounted under
+// partition_dropped as well as the generic message-loss counters.
+TEST(MachineSim, PermanentTotalCutDropsAndStarvesTheConsumer) {
+  WorkloadParams p;
+  p.random_weights = false;
+  p.ccr = 4.0;
+  TaskGraph g = out_tree_graph(2, 3, p);
+  Schedule s(2, 4);
+  s.assign(0, 0, 0.0, 1.0);
+  s.assign(1, 1, 5.0, 6.0);
+  s.assign(2, 0, 1.0, 2.0);
+  s.assign(3, 0, 2.0, 3.0);
+  ASSERT_TRUE(is_valid_schedule(g, s));
+
+  FaultPlan plan;
+  PartitionFault cut;
+  cut.proc_a = 0;
+  cut.proc_b = 1;
+  cut.time = 0.0;  // until stays infinite: never heals
+  plan.partitions.push_back(cut);
+  SimOptions options;
+  options.faults = &plan;
+  SimResult r = simulate(g, s, options);
+
+  EXPECT_EQ(r.partition_dropped, 1u);
+  EXPECT_EQ(r.dropped_messages, 1u);
+  ASSERT_EQ(r.dropped_edges.size(), 1u);
+  EXPECT_EQ(r.dropped_edges[0].first, 0u);
+  EXPECT_EQ(r.dropped_edges[0].second, 1u);
+  ASSERT_EQ(r.unfinished.size(), 1u);
+  EXPECT_EQ(r.unfinished[0], 1u);
 }
 
 TEST(MachineSim, SingleProcessorIgnoresNetwork) {

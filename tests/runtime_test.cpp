@@ -558,6 +558,116 @@ TEST(FailureDetection, ValidateRejectsBadHeartbeatConfigs) {
   EXPECT_NO_THROW(plan.validate(4));
 }
 
+TEST(FailureDetection, AdversarialHorizonsYieldByteIdenticalPrefixes) {
+  FaultPlan world;
+  world.seed = 5;
+  world.heartbeat.period = 1.0;
+  world.heartbeat.loss_probability = 0.3;
+  world.failures.push_back({1, 7.0});
+  world.rejoins.push_back({1, 12.0});
+  world.failures.push_back({2, 15.0});
+
+  FailureDetector det(world, 3);
+  const std::vector<BeliefEvent> full = det.beliefs(40.0);
+  ASSERT_GE(full.size(), 3u);
+  const std::string full_text = belief_log_text(full);
+
+  // Interleaved, repeated and exactly-on-a-belief-boundary horizons: every
+  // query returns a byte-identical prefix of the full stream. The past
+  // never rewrites, shrinks or reorders, no matter how the horizons jump
+  // around between queries.
+  std::vector<Cost> horizons = {40.0, 3.0, 25.0, 3.0, 9.0, 9.0, 0.0, 33.0};
+  for (const BeliefEvent& b : full) horizons.push_back(b.time);
+  for (const Cost h : horizons) {
+    const std::vector<BeliefEvent> cut = det.beliefs(h);
+    const std::string cut_text = belief_log_text(cut);
+    ASSERT_LE(cut_text.size(), full_text.size());
+    EXPECT_EQ(cut_text, full_text.substr(0, cut_text.size()))
+        << "horizon " << h;
+    for (const BeliefEvent& b : cut) EXPECT_LE(b.time, h);
+    // Asking the same horizon again changes nothing.
+    EXPECT_EQ(belief_log_text(det.beliefs(h)), cut_text);
+  }
+}
+
+TEST(FailureDetection, ObserverZeroIsTheLegacyStreamAndViewsDiverge) {
+  FaultPlan world;
+  world.heartbeat.period = 1.0;
+  world.failures.push_back({2, 5.0});
+  PartitionFault cut;  // observer 1 loses its ear on proc 2 for good
+  cut.proc_a = 1;
+  cut.proc_b = 2;
+  cut.time = 0.0;
+  world.partitions.push_back(cut);
+
+  FailureDetector det(world, 3);
+  // The per-observer view of observer 0 IS the legacy stream, byte for
+  // byte, at any horizon.
+  for (const Cost u : {0.0, 6.5, 11.0, 30.0})
+    EXPECT_EQ(belief_log_text(det.beliefs(0, u)),
+              belief_log_text(det.beliefs(u)));
+
+  // Views genuinely diverge: observer 1 never heard proc 2 at all, so its
+  // private suspicion fires at 2 periods from the start, long before
+  // observer 0's (which heard beats until the real death at t=5).
+  const std::vector<BeliefEvent> o0 = det.beliefs(0, 30.0);
+  const std::vector<BeliefEvent> o1 = det.beliefs(1, 30.0);
+  ASSERT_FALSE(o0.empty());
+  ASSERT_FALSE(o1.empty());
+  EXPECT_EQ(o1[0].proc, 2u);
+  EXPECT_EQ(o1[0].kind, BeliefKind::kSuspected);
+  EXPECT_DOUBLE_EQ(o1[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(o0[0].time, 6.0);
+}
+
+TEST(FailureDetection, QuorumSilencesThePartitionFalseAlarm) {
+  // One lossy path to an otherwise-healthy processor: p0~p1 is cut the
+  // whole run but p1 keeps beating. The single-observer stream
+  // manufactures a false alarm; every quorum aggregate stays silent —
+  // even quorum 1 — because a partition-severed observer is not an
+  // eligible witness for that subject.
+  FaultPlan world;
+  world.heartbeat.period = 1.0;
+  PartitionFault cut;
+  cut.proc_a = 0;
+  cut.proc_b = 1;
+  cut.time = 0.0;
+  world.partitions.push_back(cut);
+
+  FailureDetector det(world, 3);
+  const std::vector<BeliefEvent> solo = det.beliefs(30.0);
+  ASSERT_FALSE(solo.empty());
+  EXPECT_EQ(solo[0].proc, 1u);
+  EXPECT_EQ(solo[0].kind, BeliefKind::kSuspected);
+  EXPECT_TRUE(det.quorum_beliefs(1, 30.0).empty());
+  EXPECT_TRUE(det.quorum_beliefs(2, 30.0).empty());
+}
+
+TEST(FailureDetection, QuorumEdgeCasesOnARealDeath) {
+  // A real death on a loss-free world: all three surviving observers hear
+  // the same beats at the same instants, so quorum 1 and quorum 3 agree
+  // on both verdicts and their instants, and the score records the
+  // concurring witness count.
+  FaultPlan world;
+  world.heartbeat.period = 1.0;
+  world.failures.push_back({3, 5.5});
+  FailureDetector det(world, 4);
+  const std::vector<BeliefEvent> q1 = det.quorum_beliefs(1, 30.0);
+  const std::vector<BeliefEvent> q3 = det.quorum_beliefs(3, 30.0);
+  ASSERT_EQ(q1.size(), 2u);
+  EXPECT_EQ(q1[0].kind, BeliefKind::kSuspected);
+  EXPECT_DOUBLE_EQ(q1[0].time, 7.0);  // last beat t=5, suspect_after 2
+  EXPECT_DOUBLE_EQ(q1[0].score, 3.0);
+  EXPECT_EQ(q1[1].kind, BeliefKind::kConfirmedDead);
+  EXPECT_DOUBLE_EQ(q1[1].time, 9.0);
+  EXPECT_EQ(belief_log_text(q3), belief_log_text(q1));
+
+  // A quorum above the eligible witness count can never be met: the
+  // subject does not witness itself, so 4 procs offer at most 3 votes.
+  EXPECT_TRUE(det.quorum_beliefs(4, 30.0).empty());
+  EXPECT_THROW(det.quorum_beliefs(0, 30.0), Error);
+}
+
 // --- Detector-driven recovery ------------------------------------------------
 
 TEST(DetectorRecovery, ConfirmModeRepairsAtTheConfirmationInstant) {
