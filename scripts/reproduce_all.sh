@@ -74,6 +74,15 @@ echo "== semantic lint (flb_lint)"
   done
 } | tee "$out/lint_report.txt"
 
+# Scheduling-as-a-service throughput: DAGs/sec and latency percentiles of
+# the arena-backed batch driver vs worker threads, with the chained digest
+# column asserting (in-process) that every thread count is byte-identical
+# to sequential FLB. Speedup depends on available cores — see
+# docs/serving.md for the honest single-core caveat.
+echo "== bench_throughput (scheduling-as-a-service batch driver)"
+"$build/bench/bench_throughput" | tee "$out/bench_throughput.txt"
+echo
+
 # bench_micro is a google-benchmark binary, not a table printer; the
 # persisted slice is the platform cost-model pricing hot path (ns/query of
 # clique vs routed vs link-busy), which guards the constant in front of

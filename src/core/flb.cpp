@@ -2,58 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
-#include <tuple>
 #include <utility>
 
+#include "flb/core/scratch.hpp"
 #include "flb/graph/properties.hpp"
 #include "flb/platform/cost_model.hpp"
 #include "flb/util/error.hpp"
-#include "flb/util/heap_forest.hpp"
-#include "flb/util/indexed_heap.hpp"
 #include "flb/util/rng.hpp"
 
 namespace flb {
 
 namespace {
 
-// Task-list key: (primary time, negated tie priority, task id). Sorted
-// ascending, so smaller time first, then larger tie priority (the paper
-// breaks ties toward the longest path to an exit, i.e. the larger bottom
-// level), then smaller id for full determinism.
-using TaskKey = std::tuple<Cost, Cost, TaskId>;
-
-// Processor-list key: (time, processor id).
-using ProcKey = std::pair<Cost, ProcId>;
+using core::ProcKey;
+using core::TaskKey;
 
 /// The per-run scheduling engine. Implements the paper's four procedures —
 /// ScheduleTask, UpdateTaskLists, UpdateProcLists, UpdateReadyTasks — on top
 /// of addressable heaps. The per-processor EP task lists live in two
-/// IndexedHeapForest instances (a task is enabled by at most one processor
-/// at a time), so setup is O(V + P) and the whole run matches the paper's
+/// DaryHeapForest instances (a task is enabled by at most one processor at a
+/// time), so setup is O(V + P) and the whole run matches the paper's
 /// O(V(log W + log P) + E) bound operation-for-operation.
+///
+/// All working state — the SoA ready-task arrays and the five heaps — lives
+/// in a caller-owned core::Scratch whose arena is reset (not reallocated)
+/// between runs, and the output Schedule is written in place. On the fresh
+/// clique path this makes a whole run allocation-free at steady state
+/// (tests/flb_alloc_test.cpp asserts it); heap keys embed the task id as the
+/// final tie-break, so schedules are bit-identical to the pre-scratch engine
+/// (the golden digests in tests/platform_test.cpp pin this).
 class Engine {
  public:
-  Engine(const TaskGraph& g, ProcId num_procs, const FlbOptions& opts)
-      : Engine(g, Schedule(num_procs, g.num_tasks()),
-               std::vector<bool>(num_procs, true), 0.0, opts) {}
-
-  /// Resume variant: `prefix` holds already-executed placements that are
-  /// kept verbatim; only processors with alive[p] receive new tasks, and no
-  /// new task starts before `release`.
-  Engine(const TaskGraph& g, Schedule prefix, std::vector<bool> alive,
-         Cost release, const FlbOptions& opts,
+  /// Schedule the unplaced tasks of `sched` (empty for a fresh run, a kept
+  /// prefix when resuming) using `scratch` for all working state. `alive`
+  /// may be empty (= all alive, the fresh-run fast path).
+  Engine(const TaskGraph& g, Schedule& sched, core::Scratch& scratch,
+         std::vector<bool> alive, Cost release, const FlbOptions& opts,
          const FlbResumeContext* degraded = nullptr)
       : g_(g),
-        num_procs_(prefix.num_procs()),
-        sched_(std::move(prefix)),
-        model_(make_model(num_procs_, std::move(alive), release, degraded)),
-        info_(g.num_tasks()),
-        unscheduled_preds_(g.num_tasks()),
-        non_ep_(g.num_tasks()),
-        emt_ep_(g.num_tasks(), num_procs_),
-        lmt_ep_(g.num_tasks(), num_procs_),
-        active_procs_(num_procs_),
-        all_procs_(num_procs_) {
+        s_(prepared(scratch, g.num_tasks(), sched.num_procs())),
+        num_procs_(sched.num_procs()),
+        sched_(sched),
+        model_(make_model(num_procs_, std::move(alive), release, degraded,
+                          scratch.arena())) {
     // Routed or cold-cache pricing makes EST destination-dependent beyond
     // the clique model, so candidate selection switches to exact pricing.
     exact_mode_ = model_.exact_pricing();
@@ -65,7 +56,7 @@ class Engine {
   /// The platform model priced against (occupancy log, link accounting).
   [[nodiscard]] const platform::CostModel& model() const { return model_; }
 
-  Schedule run(const FlbObserver* observer, FlbStats* stats) {
+  void run(const FlbObserver* observer, FlbStats* stats) {
     const TaskId remaining = g_.num_tasks() - sched_.num_scheduled();
     for (TaskId step = 0; step < remaining; ++step) {
       schedule_one(observer);
@@ -73,44 +64,54 @@ class Engine {
     FLB_ASSERT(sched_.complete());
     stats_.iterations = remaining;
     if (stats) *stats = stats_;
-    return std::move(sched_);
   }
 
  private:
+  // Re-dimension the scratch before any other member needs it (the cost
+  // model borrows its arena, so this must run first in the init order).
+  static core::Scratch& prepared(core::Scratch& s, TaskId num_tasks,
+                                 ProcId num_procs) {
+    s.prepare(num_tasks, num_procs);
+    return s;
+  }
+
   void init_tie_priorities(const FlbOptions& opts) {
     switch (opts.tie_break) {
       case FlbTieBreak::kBottomLevel:
-        tie_ = bottom_levels(g_);
+        bottom_levels_into(g_, s_.tie, s_.topo_order, s_.degree);
         break;
       case FlbTieBreak::kTaskId:
-        tie_.assign(g_.num_tasks(), 0.0);
+        std::fill(s_.tie.begin(), s_.tie.end(), 0.0);
         break;
       case FlbTieBreak::kRandom: {
         Rng rng(opts.seed);
-        tie_.resize(g_.num_tasks());
-        for (Cost& v : tie_) v = rng.next_double();
+        for (Cost& v : s_.tie) v = rng.next_double();
         break;
       }
     }
   }
 
   TaskKey task_key(Cost primary, TaskId t) const {
-    return {primary, -tie_[t], t};
+    return {primary, -s_.tie[t], t};
   }
 
   // Build the platform cost model the whole run prices against: the
   // paper's clique on a fresh run, routed hop counts or store-and-forward
   // link reservations when the resume context carries a topology, plus the
-  // context's availability windows and degraded execution parameters.
+  // context's availability windows and degraded execution parameters. The
+  // topology-backed models carve their route caches out of the scratch
+  // arena (the borrowed-scratch path), so they share the engine's
+  // reset-between-runs allocation discipline.
   static platform::CostModel make_model(ProcId procs, std::vector<bool> alive,
                                         Cost release,
-                                        const FlbResumeContext* ctx) {
+                                        const FlbResumeContext* ctx,
+                                        Arena& arena) {
     const Topology* topo = ctx != nullptr ? ctx->topology : nullptr;
     platform::CostModel m =
         topo == nullptr
             ? platform::CostModel::clique(procs)
-            : (ctx->link_busy ? platform::CostModel::link_busy(*topo)
-                              : platform::CostModel::routed(*topo));
+            : (ctx->link_busy ? platform::CostModel::link_busy(*topo, &arena)
+                              : platform::CostModel::routed(*topo, &arena));
     platform::Availability a;
     a.release = release;
     a.alive = std::move(alive);
@@ -160,28 +161,28 @@ class Engine {
   void init_lists() {
     for (TaskId t = 0; t < g_.num_tasks(); ++t) {
       if (sched_.is_scheduled(t)) continue;  // prefix placement, kept as-is
-      std::size_t pending = 0;
+      std::uint32_t pending = 0;
       for (const Adj& in : g_.predecessors(t))
         if (!sched_.is_scheduled(in.node)) ++pending;
-      unscheduled_preds_[t] = pending;
+      s_.unscheduled_preds[t] = pending;
       if (pending == 0) classify_ready(t);
     }
     stats_.max_ready = std::max(stats_.max_ready, ready_count_);
     for (ProcId p = 0; p < num_procs_; ++p)
-      if (model_.alive(p)) all_procs_.push(p, {prt(p), p});
+      if (model_.alive(p)) s_.all_procs.push(p, {prt(p), p});
   }
 
   // The paper's ScheduleTask followed by the three update procedures.
   void schedule_one(const FlbObserver* observer) {
     // Candidate (a): EP-type task with min EST on its enabling processor.
-    const bool have_ep = !active_procs_.empty();
+    const bool have_ep = !s_.active_procs.empty();
     ProcId p1 = kInvalidProc;
     TaskId t1 = kInvalidTask;
     Cost est1 = kInfiniteTime;
     if (have_ep) {
-      p1 = static_cast<ProcId>(active_procs_.top());
-      est1 = active_procs_.top_key().first;
-      t1 = static_cast<TaskId>(emt_ep_.top(p1));
+      p1 = static_cast<ProcId>(s_.active_procs.top());
+      est1 = s_.active_procs.top_key().first;
+      t1 = static_cast<TaskId>(s_.emt_ep_heap.top(p1));
       // Link reservations committed since t1 was classified may have
       // pushed its true arrival past the cached key, so under link-busy
       // pricing the candidate is re-priced against the current link state.
@@ -193,12 +194,12 @@ class Engine {
     // Under routed or cold-cache pricing that corollary no longer holds
     // (EST depends on where each message travels from), so exact mode scans
     // every alive processor for the true minimum EST of the head task.
-    const bool have_non_ep = !non_ep_.empty();
+    const bool have_non_ep = !s_.non_ep.empty();
     ProcId p2 = kInvalidProc;
     TaskId t2 = kInvalidTask;
     Cost est2 = kInfiniteTime;
     if (have_non_ep) {
-      t2 = static_cast<TaskId>(non_ep_.top());
+      t2 = static_cast<TaskId>(s_.non_ep.top());
       if (exact_mode_) {
         for (ProcId p = 0; p < num_procs_; ++p) {
           if (!model_.alive(p)) continue;
@@ -209,8 +210,8 @@ class Engine {
           }
         }
       } else {
-        p2 = static_cast<ProcId>(all_procs_.top());
-        est2 = std::max(info_[t2].lmt, prt(p2));
+        p2 = static_cast<ProcId>(s_.all_procs.top());
+        est2 = std::max(s_.lmt[t2], prt(p2));
       }
     }
 
@@ -241,12 +242,12 @@ class Engine {
     --ready_count_;
     if (choose_ep) {
       ++stats_.ep_selections;
-      active_procs_.erase(p);  // re-inserted by update_proc_lists if needed
-      emt_ep_.erase(t);
-      lmt_ep_.erase(t);
+      s_.active_procs.erase(p);  // re-inserted by update_proc_lists if needed
+      s_.emt_ep_heap.erase(t);
+      s_.lmt_ep_heap.erase(t);
     } else {
       ++stats_.non_ep_selections;
-      non_ep_.erase(t);
+      s_.non_ep.erase(t);
     }
 
     update_task_lists(p);
@@ -260,12 +261,12 @@ class Engine {
   // ascending LMT order, so the scan stops at the first survivor.
   void update_task_lists(ProcId p) {
     const Cost ready = prt(p);
-    while (!lmt_ep_.empty(p)) {
-      TaskId t = static_cast<TaskId>(lmt_ep_.top(p));
-      if (info_[t].lmt >= ready) break;
-      lmt_ep_.pop(p);
-      emt_ep_.erase(t);
-      non_ep_.push(t, task_key(info_[t].lmt, t));
+    while (!s_.lmt_ep_heap.empty(p)) {
+      TaskId t = static_cast<TaskId>(s_.lmt_ep_heap.top(p));
+      if (s_.lmt[t] >= ready) break;
+      s_.lmt_ep_heap.pop(p);
+      s_.emt_ep_heap.erase(t);
+      s_.non_ep.push(t, task_key(s_.lmt[t], t));
       ++stats_.ep_demotions;
     }
   }
@@ -274,18 +275,18 @@ class Engine {
   // in the active processor list (keyed by the min EST of the EP tasks p
   // enables — max(EMT of the head task, PRT), computed in O(1)).
   void update_proc_lists(ProcId p) {
-    all_procs_.push_or_update(p, {prt(p), p});
-    if (emt_ep_.empty(p)) {
-      if (active_procs_.contains(p)) active_procs_.erase(p);
+    s_.all_procs.push_or_update(p, {prt(p), p});
+    if (s_.emt_ep_heap.empty(p)) {
+      if (s_.active_procs.contains(p)) s_.active_procs.erase(p);
     } else {
       refresh_active_priority(p);
     }
   }
 
   void refresh_active_priority(ProcId p) {
-    TaskId head = static_cast<TaskId>(emt_ep_.top(p));
-    Cost est = std::max(info_[head].emt_ep, prt(p));
-    active_procs_.push_or_update(p, {est, p});
+    TaskId head = static_cast<TaskId>(s_.emt_ep_heap.top(p));
+    Cost est = std::max(s_.emt_ep[head], prt(p));
+    s_.active_procs.push_or_update(p, {est, p});
   }
 
   // Successors of the just-scheduled task that became ready are classified
@@ -294,8 +295,8 @@ class Engine {
   void update_ready_tasks(TaskId scheduled) {
     for (const Adj& out : g_.successors(scheduled)) {
       TaskId t = out.node;
-      FLB_ASSERT(unscheduled_preds_[t] > 0);
-      if (--unscheduled_preds_[t] != 0) continue;
+      FLB_ASSERT(s_.unscheduled_preds[t] > 0);
+      if (--s_.unscheduled_preds[t] != 0) continue;
       classify_ready(t);
     }
   }
@@ -317,8 +318,10 @@ class Engine {
     }
     ++ready_count_;
     if (ep == kInvalidProc || !model_.alive(ep)) {
-      info_[t] = {lmt, lmt, kInvalidProc};
-      non_ep_.push(t, task_key(lmt, t));
+      s_.lmt[t] = lmt;
+      s_.emt_ep[t] = lmt;
+      s_.ep[t] = kInvalidProc;
+      non_ep_push(t, lmt);
       return;
     }
     // EMT on the enabling processor, priced through the platform model's
@@ -333,16 +336,22 @@ class Engine {
     Cost emt = 0.0;
     for (const Adj& in : g_.predecessors(t))
       emt = std::max(emt, arrival_at(in, ep));
-    info_[t] = {lmt, emt, ep};
+    s_.lmt[t] = lmt;
+    s_.emt_ep[t] = emt;
+    s_.ep[t] = ep;
 
     if (lmt < prt(ep)) {
-      non_ep_.push(t, task_key(lmt, t));
+      non_ep_push(t, lmt);
     } else {
-      emt_ep_.push(ep, t, task_key(emt, t));
-      lmt_ep_.push(ep, t, task_key(lmt, t));
+      s_.emt_ep_heap.push(ep, t, task_key(emt, t));
+      s_.lmt_ep_heap.push(ep, t, task_key(lmt, t));
       refresh_active_priority(ep);
       ++stats_.tasks_classified_ep;
     }
+  }
+
+  void non_ep_push(TaskId t, Cost lmt) {
+    s_.non_ep.push(t, task_key(lmt, t));
   }
 
   // Build the observer snapshot (only on instrumented runs).
@@ -355,21 +364,21 @@ class Engine {
     step.ep_type = ep_type;
     step.ep_lists.resize(num_procs_);
     for (ProcId q = 0; q < num_procs_; ++q) {
-      for (std::size_t id : emt_ep_.items(q))
+      for (std::size_t id : s_.emt_ep_heap.items(q))
         step.ep_lists[q].push_back(static_cast<TaskId>(id));
       std::sort(step.ep_lists[q].begin(), step.ep_lists[q].end(),
                 [&](TaskId a, TaskId b) {
-                  return emt_ep_.key_of(a) < emt_ep_.key_of(b);
+                  return s_.emt_ep_heap.key_of(a) < s_.emt_ep_heap.key_of(b);
                 });
       step.ready_tasks.insert(step.ready_tasks.end(),
                               step.ep_lists[q].begin(),
                               step.ep_lists[q].end());
     }
-    for (std::size_t id : non_ep_.items())
+    for (std::size_t id : s_.non_ep.items())
       step.non_ep_list.push_back(static_cast<TaskId>(id));
     std::sort(step.non_ep_list.begin(), step.non_ep_list.end(),
               [&](TaskId a, TaskId b) {
-                return non_ep_.key_of(a) < non_ep_.key_of(b);
+                return s_.non_ep.key_of(a) < s_.non_ep.key_of(b);
               });
     step.ready_tasks.insert(step.ready_tasks.end(), step.non_ep_list.begin(),
                             step.non_ep_list.end());
@@ -378,17 +387,12 @@ class Engine {
   }
 
   const TaskGraph& g_;
+  core::Scratch& s_;           // all working state, arena-backed
   ProcId num_procs_;
-  Schedule sched_;
+  Schedule& sched_;            // written in place
   platform::CostModel model_;  // the machine: comm, exec, availability
   bool exact_mode_ = false;
   bool link_busy_ = false;
-  std::vector<Cost> tie_;
-  std::vector<FlbScheduler::ReadyInfo> info_;
-  std::vector<std::size_t> unscheduled_preds_;
-  IndexedMinHeap<TaskKey> non_ep_;
-  IndexedHeapForest<TaskKey> emt_ep_, lmt_ep_;
-  IndexedMinHeap<ProcKey> active_procs_, all_procs_;
   FlbStats stats_;
   std::size_t ready_count_ = 0;
 };
@@ -399,12 +403,25 @@ Schedule FlbScheduler::run(const TaskGraph& g, ProcId num_procs) {
   return run_instrumented(g, num_procs, nullptr, nullptr);
 }
 
+void FlbScheduler::run_into(const TaskGraph& g, ProcId num_procs,
+                            Schedule& out) {
+  FLB_REQUIRE(num_procs >= 1, "FLB: at least one processor required");
+  out.reset(num_procs, g.num_tasks());
+  // The empty alive mask means "everything alive" without allocating a
+  // vector<bool> — with a warmed scratch and a capacity-retaining `out`,
+  // this whole call performs zero heap allocations at steady state.
+  Engine engine(g, out, scratch_, {}, 0.0, options_);
+  engine.run(nullptr, nullptr);
+}
+
 Schedule FlbScheduler::run_instrumented(const TaskGraph& g, ProcId num_procs,
                                         const FlbObserver* observer,
                                         FlbStats* stats) {
   FLB_REQUIRE(num_procs >= 1, "FLB: at least one processor required");
-  Engine engine(g, num_procs, options_);
-  return engine.run(observer, stats);
+  Schedule out(num_procs, g.num_tasks());
+  Engine engine(g, out, scratch_, {}, 0.0, options_);
+  engine.run(observer, stats);
+  return out;
 }
 
 Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
@@ -418,8 +435,10 @@ Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
               "FLB resume: at least one surviving processor required");
   FLB_REQUIRE(release_time >= 0.0,
               "FLB resume: release time must be non-negative");
-  Engine engine(g, prefix, alive, release_time, options_);
-  return engine.run(nullptr, nullptr);
+  Schedule out = prefix;
+  Engine engine(g, out, scratch_, alive, release_time, options_);
+  engine.run(nullptr, nullptr);
+  return out;
 }
 
 Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
@@ -463,11 +482,12 @@ Schedule FlbScheduler::resume(const TaskGraph& g, const Schedule& prefix,
               "count");
   FLB_REQUIRE(!ctx.link_busy || ctx.topology != nullptr,
               "FLB resume: link-busy pricing requires a topology");
-  Engine engine(g, prefix, ctx.alive, ctx.release, options_, &ctx);
-  Schedule s = engine.run(nullptr, nullptr);
+  Schedule out = prefix;
+  Engine engine(g, out, scratch_, ctx.alive, ctx.release, options_, &ctx);
+  engine.run(nullptr, nullptr);
   if (ctx.occupancy_log != nullptr)
     *ctx.occupancy_log = engine.model().occupancies();
-  return s;
+  return out;
 }
 
 }  // namespace flb

@@ -1,0 +1,28 @@
+#include "flb/core/scratch.hpp"
+
+namespace flb::core {
+
+void Scratch::prepare(TaskId num_tasks, ProcId num_procs) {
+  arena_.reset();
+  tasks_ = num_tasks;
+  procs_ = num_procs;
+
+  const std::size_t v = num_tasks;
+  const std::size_t p = num_procs;
+
+  tie = arena_.alloc<Cost>(v);
+  lmt = arena_.alloc<Cost>(v);
+  emt_ep = arena_.alloc<Cost>(v);
+  ep = arena_.alloc<ProcId>(v);
+  unscheduled_preds = arena_.alloc<std::uint32_t>(v);
+  topo_order = arena_.alloc<TaskId>(v);
+  degree = arena_.alloc<std::uint32_t>(v);
+
+  non_ep.bind(arena_, v);
+  emt_ep_heap.reset(arena_, v, p);
+  lmt_ep_heap.reset(arena_, v, p);
+  active_procs.bind(arena_, p);
+  all_procs.bind(arena_, p);
+}
+
+}  // namespace flb::core

@@ -23,6 +23,39 @@ std::vector<TaskId> topological_order(const TaskGraph& g) {
   return order;
 }
 
+void topological_order_into(const TaskGraph& g, std::span<TaskId> order,
+                            std::span<std::uint32_t> indeg) {
+  const TaskId n = g.num_tasks();
+  FLB_ASSERT(order.size() == n && indeg.size() == n);
+  std::size_t filled = 0;
+  for (TaskId t = 0; t < n; ++t) {
+    indeg[t] = static_cast<std::uint32_t>(g.in_degree(t));
+    if (indeg[t] == 0) order[filled++] = t;
+  }
+  for (std::size_t i = 0; i < filled; ++i) {
+    for (const Adj& a : g.successors(order[i]))
+      if (--indeg[a.node] == 0) order[filled++] = a.node;
+  }
+  FLB_ASSERT(filled == n);
+}
+
+void bottom_levels_into(const TaskGraph& g, std::span<Cost> bl,
+                        std::span<TaskId> order,
+                        std::span<std::uint32_t> indeg) {
+  const TaskId n = g.num_tasks();
+  FLB_ASSERT(bl.size() == n);
+  topological_order_into(g, order, indeg);
+  // Same arithmetic as bottom_levels_impl(with_comm=true), so results are
+  // bit-identical to the vector flavour.
+  for (std::size_t i = n; i-- > 0;) {
+    TaskId t = order[i];
+    Cost best = 0.0;
+    for (const Adj& a : g.successors(t))
+      best = std::max(best, bl[a.node] + a.comm);
+    bl[t] = g.comp(t) + best;
+  }
+}
+
 namespace {
 
 // Shared implementation for the two bottom-level flavours.

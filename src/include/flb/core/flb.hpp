@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "flb/core/scratch.hpp"
 #include "flb/graph/task_graph.hpp"
 #include "flb/sched/schedule.hpp"
 #include "flb/sched/scheduler.hpp"
@@ -146,14 +147,34 @@ struct FlbResumeContext {
   std::vector<platform::LinkOccupancy>* occupancy_log = nullptr;
 };
 
-/// The FLB scheduler.
+/// The FLB scheduler. Carries a reusable, arena-backed core::Scratch that
+/// is reset — not reallocated — between runs, so repeated scheduling
+/// through one FlbScheduler instance is allocation-free at steady state
+/// (the batch-serving layer in flb::serve gives each worker thread its
+/// own instance). A single instance is not thread-safe across concurrent
+/// run calls for exactly this reason.
 class FlbScheduler final : public Scheduler {
  public:
   explicit FlbScheduler(FlbOptions options = {}) : options_(options) {}
 
+  // Copies share only the options: each copy warms up its own scratch.
+  FlbScheduler(const FlbScheduler& other) : options_(other.options_) {}
+  FlbScheduler& operator=(const FlbScheduler& other) {
+    options_ = other.options_;
+    return *this;
+  }
+  FlbScheduler(FlbScheduler&&) noexcept = default;
+  FlbScheduler& operator=(FlbScheduler&&) noexcept = default;
+
   [[nodiscard]] std::string name() const override { return "FLB"; }
 
   [[nodiscard]] Schedule run(const TaskGraph& g, ProcId num_procs) override;
+
+  /// As run(), but writing into `out` (re-dimensioned with capacity kept)
+  /// instead of returning a new Schedule. With a warmed scratch and a
+  /// capacity-retaining `out`, this is the zero-allocation serving path:
+  /// no heap traffic for any request no larger than the largest one seen.
+  void run_into(const TaskGraph& g, ProcId num_procs, Schedule& out);
 
   /// As run(), but invokes `observer` each iteration and fills `stats`
   /// (either may be null).
@@ -185,16 +206,9 @@ class FlbScheduler final : public Scheduler {
   [[nodiscard]] Schedule resume(const TaskGraph& g, const Schedule& prefix,
                                 const FlbResumeContext& ctx);
 
-  /// Per-ready-task quantities FLB maintains; exposed read-only to the
-  /// observer path via FlbStep and to tests through this accessor type.
-  struct ReadyInfo {
-    Cost lmt = 0.0;       ///< last message arrival time
-    Cost emt_ep = 0.0;    ///< EMT on the enabling processor
-    ProcId ep = kInvalidProc;  ///< enabling processor
-  };
-
  private:
   FlbOptions options_;
+  core::Scratch scratch_;  ///< reusable per-run state; see core/scratch.hpp
 };
 
 }  // namespace flb

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "flb/util/arena.hpp"
+#include "flb/util/dary_heap.hpp"
+#include "flb/util/types.hpp"
+
+/// \file scratch.hpp
+/// Reusable, arena-backed scratch state for the FLB scheduling engine —
+/// the "scheduling as a service" refactor's core layer.
+///
+/// One FLB run needs O(V + P) working state: the SoA ready-task arrays
+/// (tie priority, LMT, EMT, enabling processor, unscheduled-predecessor
+/// counts), five indexed heaps, and two temporaries for the bottom-level
+/// sweep. Before this refactor the engine rebuilt all of it with fresh
+/// `std::vector`s on every `schedule()` call, so per-run allocation — not
+/// the O(log W + log P) step — dominated wall time at serving volume
+/// (visible as FLB losing to MCP in bench_complexity_scaling despite the
+/// better asymptotics).
+///
+/// A Scratch owns one monotonic Arena and re-carves every structure out of
+/// it in prepare(), called at the top of each run. The arena is reset —
+/// not reallocated — between runs, so any run no larger than the largest
+/// one seen performs **zero heap allocations** on the scheduling path
+/// (pinned by tests/flb_alloc_test.cpp). A Scratch is single-threaded by
+/// design: the concurrent batch driver (flb::serve) gives each worker its
+/// own.
+///
+/// Contents are engine-private: the fields are public so the engine in
+/// core/flb.cpp can use them directly, but their values are meaningless
+/// outside a run. Treat Scratch as an opaque reusable buffer.
+
+namespace flb::core {
+
+/// Task-list key: (primary time, negated tie priority, task id). Sorted
+/// ascending, so smaller time first, then larger tie priority (the paper
+/// breaks ties toward the larger bottom level), then smaller id for full
+/// determinism.
+using TaskKey = std::tuple<Cost, Cost, TaskId>;
+
+/// Processor-list key: (time, processor id).
+using ProcKey = std::pair<Cost, ProcId>;
+
+class Scratch {
+ public:
+  Scratch() = default;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  Scratch(Scratch&&) noexcept = default;
+  Scratch& operator=(Scratch&&) noexcept = default;
+
+  /// Re-dimension every structure for a (num_tasks, num_procs) run:
+  /// rewind the arena and re-carve all spans and heap bindings. O(V + P);
+  /// allocation-free once the arena has grown to cover the largest run
+  /// seen.
+  void prepare(TaskId num_tasks, ProcId num_procs);
+
+  [[nodiscard]] TaskId num_tasks() const { return tasks_; }
+  [[nodiscard]] ProcId num_procs() const { return procs_; }
+
+  /// The backing arena — also borrowed by per-run platform::CostModel
+  /// pricing caches (routed hop costs, link-busy route tables), so the
+  /// whole run draws from one reset-between-runs pool.
+  [[nodiscard]] Arena& arena() { return arena_; }
+
+  // -- SoA ready-task state (parallel arrays indexed by task id) ----------
+  std::span<Cost> tie;        ///< tie-break priority (bottom level et al.)
+  std::span<Cost> lmt;        ///< last message arrival time
+  std::span<Cost> emt_ep;     ///< EMT on the enabling processor
+  std::span<ProcId> ep;       ///< enabling processor (kInvalidProc = none)
+  std::span<std::uint32_t> unscheduled_preds;  ///< pending predecessor count
+
+  // -- Temporaries for the tie-priority sweep -----------------------------
+  std::span<TaskId> topo_order;     ///< topological order workspace
+  std::span<std::uint32_t> degree;  ///< in-degree workspace
+
+  // -- The paper's task and processor lists as indexed d-ary heaps --------
+  DaryIndexedHeap<TaskKey> non_ep;          ///< non-EP ready tasks, by LMT
+  DaryHeapForest<TaskKey> emt_ep_heap;      ///< per-proc EP tasks, by EMT
+  DaryHeapForest<TaskKey> lmt_ep_heap;      ///< per-proc EP tasks, by LMT
+  DaryIndexedHeap<ProcKey> active_procs;    ///< procs with EP tasks, by EST
+  DaryIndexedHeap<ProcKey> all_procs;       ///< alive procs, by PRT
+
+ private:
+  Arena arena_;
+  TaskId tasks_ = 0;
+  ProcId procs_ = 0;
+};
+
+}  // namespace flb::core

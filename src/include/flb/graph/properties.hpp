@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "flb/graph/task_graph.hpp"
@@ -26,8 +28,22 @@ namespace flb {
 /// ready tasks, smaller ids first). Size equals num_tasks().
 std::vector<TaskId> topological_order(const TaskGraph& g);
 
+/// Allocation-free topological_order() writing into caller storage: `order`
+/// and `indeg` must both have size num_tasks(). Same order as the vector
+/// flavour. `indeg` is scratch, clobbered.
+void topological_order_into(const TaskGraph& g, std::span<TaskId> order,
+                            std::span<std::uint32_t> indeg);
+
 /// Bottom levels (computation + communication), indexed by task id.
 std::vector<Cost> bottom_levels(const TaskGraph& g);
+
+/// Allocation-free bottom_levels() writing into caller storage: `bl`,
+/// `order` and `indeg` must all have size num_tasks(). Identical arithmetic
+/// (and therefore bit-identical results) to the vector flavour. `order` and
+/// `indeg` are scratch, clobbered.
+void bottom_levels_into(const TaskGraph& g, std::span<Cost> bl,
+                        std::span<TaskId> order,
+                        std::span<std::uint32_t> indeg);
 
 /// Bottom levels counting only computation costs (edges cost zero). Used by
 /// DSC-LLB's LLB step, which orders within clusters where communication has

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "flb/graph/task_graph.hpp"
 #include "flb/platform/speed_profile.hpp"
 #include "flb/sim/topology.hpp"
+#include "flb/util/arena.hpp"
 #include "flb/util/types.hpp"
 
 /// \file cost_model.hpp
@@ -115,9 +118,20 @@ class CostModel {
   /// P fully connected processors, contention-free — the paper's machine.
   static CostModel clique(ProcId num_procs);
   /// Hop-count pricing over `topology` (not owned; must outlive the model).
-  static CostModel routed(const Topology& topology);
-  /// Store-and-forward link reservations over `topology` (not owned).
-  static CostModel link_busy(const Topology& topology);
+  /// Per-pair hop costs are cached at construction so comm() never chases
+  /// back into the Topology (BM_CommRouted was 2x the clique price at P=32
+  /// before this cache). With `scratch` set, the cache is carved out of
+  /// that arena instead of the heap — the borrowed-scratch path used by the
+  /// FLB engine so per-run model construction allocates nothing; the model
+  /// (and any copy of it) must then not outlive the arena's next reset().
+  /// Without `scratch` the cache is heap-owned and shared across copies.
+  static CostModel routed(const Topology& topology, Arena* scratch = nullptr);
+  /// Store-and-forward link reservations over `topology` (not owned). The
+  /// per-pair link routes are cached in CSR form at construction, so
+  /// probing and committing walk a flat span instead of materializing a
+  /// route vector per query. `scratch` as in routed().
+  static CostModel link_busy(const Topology& topology,
+                             Arena* scratch = nullptr);
 
   [[nodiscard]] ProcId num_procs() const { return procs_; }
   [[nodiscard]] CommMode mode() const { return mode_; }
@@ -208,8 +222,8 @@ class CostModel {
     if (src == dst) return depart;
     if (mode_ == CommMode::kClique) return depart + message_cost(bytes);
     if (mode_ == CommMode::kRoutedHops)
-      return depart +
-             message_cost(bytes) * static_cast<Cost>(topo_->hops(src, dst));
+      return depart + message_cost(bytes) *
+                          hop_cost_[std::size_t{src} * procs_ + dst];
     return probe_route(src, dst, bytes, depart);
   }
 
@@ -251,14 +265,42 @@ class CostModel {
   [[nodiscard]] Cost total_link_busy() const;
 
  private:
-  CostModel(CommMode mode, ProcId procs, const Topology* topo);
+  CostModel(CommMode mode, ProcId procs, const Topology* topo, Arena* scratch);
+
+  /// Fill the per-pair pricing caches from topo_: hop costs for routed
+  /// mode, CSR link routes for link-busy. Storage comes from `scratch` when
+  /// given (the borrowed-scratch path — zero heap allocation), else from a
+  /// heap block shared across copies of this model.
+  void build_route_cache(Arena* scratch);
 
   [[nodiscard]] Cost probe_route(ProcId src, ProcId dst, Cost bytes,
                                  Cost depart) const;
 
+  /// The cached route of (src, dst) as a flat span of dense link indices.
+  [[nodiscard]] std::span<const std::size_t> route_span(ProcId src,
+                                                        ProcId dst) const {
+    const std::size_t pair = std::size_t{src} * procs_ + dst;
+    return route_links_.subspan(route_offsets_[pair],
+                                route_offsets_[pair + 1] -
+                                    route_offsets_[pair]);
+  }
+
+  /// Heap backing for the pricing caches (null when arena-backed). Copies
+  /// of a model share it, so the spans below stay valid across copies.
+  struct RouteCacheStorage {
+    std::vector<Cost> hop_cost;
+    std::vector<std::size_t> offsets;
+    std::vector<std::size_t> links;
+  };
+
   CommMode mode_;
   ProcId procs_;
   const Topology* topo_;  // null in clique mode
+
+  std::shared_ptr<const RouteCacheStorage> cache_owner_;
+  std::span<const Cost> hop_cost_;             // routed: [src * P + dst]
+  std::span<const std::size_t> route_offsets_; // link-busy: CSR offsets
+  std::span<const std::size_t> route_links_;   // link-busy: CSR payload
 
   Availability avail_;
 

@@ -32,6 +32,13 @@ class Schedule {
   /// An empty schedule over `num_procs` processors for `num_tasks` tasks.
   Schedule(ProcId num_procs, TaskId num_tasks);
 
+  /// Re-dimension to an empty schedule over `num_procs` processors for
+  /// `num_tasks` tasks, keeping all storage capacity (including each
+  /// per-processor timeline's). Re-running a same-shape workload through a
+  /// reset schedule therefore allocates nothing — the batch-serving hot
+  /// path (flb::serve) depends on this.
+  void reset(ProcId num_procs, TaskId num_tasks);
+
   /// Record that task t runs on processor p during [start, finish).
   /// Requirements: t unscheduled, p in range, start >= 0,
   /// finish >= start, and [start, finish) overlaps no task already on p.

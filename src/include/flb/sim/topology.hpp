@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -56,6 +57,12 @@ class Topology {
   /// The links of the route from `from` to `to`, in traversal order; each
   /// element is a dense link index usable for per-link bookkeeping.
   [[nodiscard]] std::vector<std::size_t> route(ProcId from, ProcId to) const;
+
+  /// As route(), but writing into `out` (which must hold at least
+  /// hops(from, to) elements) instead of allocating; returns the hop count
+  /// written. Feeds platform::CostModel's per-pair route cache.
+  std::size_t route_into(ProcId from, ProcId to,
+                         std::span<std::size_t> out) const;
 
   /// Endpoints of a link by dense index (a < b).
   [[nodiscard]] std::pair<ProcId, ProcId> link(std::size_t id) const {

@@ -319,6 +319,17 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
   };
 
   SimResult sim;
+  // Per-iteration scratch, hoisted out of the controller loop: cleared (or
+  // copy-assigned) each round with capacity retained, so a long episode
+  // stops churning the allocator on every repair.
+  std::vector<Obs> fresh;
+  std::vector<Obs> batch;
+  std::vector<ProcId> newly_suspected;
+  std::vector<char> exonerated_now;
+  FaultPlan bp;
+  RepairOptions repair_options;
+  repair_options.flb = options.flb;
+  repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
   const std::size_t cap = 1000 + 32 * (static_cast<std::size_t>(n) +
                                        g.num_edges() + procs);
   for (std::size_t iter = 0;; ++iter) {
@@ -327,7 +338,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     sim = simulate(g, current, sim_options);
 
     auto collect = [&](Cost until) {
-      std::vector<Obs> fresh;
+      fresh.clear();
       for (const SimEvent& event : log) {
         if (event.kind == SimEventKind::kFailure ||
             event.kind == SimEventKind::kRejoin ||
@@ -355,7 +366,6 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
         if (a.src != 0) return a.bel.key() < b.bel.key();
         return a.ev.key() < b.ev.key();
       });
-      return fresh;
     };
 
     // The belief stream is prefix-stable in its horizon, so any finite
@@ -369,17 +379,17 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     Cost ref = std::max(view.horizon(), sim.makespan);
     if (!log.empty()) ref = std::max(ref, log.back().time);
     Cost until = ref + slack;
-    std::vector<Obs> fresh = collect(until);
+    collect(until);
     for (int grow = 0; fresh.empty() && !sim.complete() && grow < 60;
          ++grow) {
       until *= 2.0;
-      fresh = collect(until);
+      collect(until);
     }
     if (fresh.empty()) break;
 
     bool spec_launched = false, promoted = false, cancelled = false;
-    std::vector<ProcId> newly_suspected;
-    std::vector<char> exonerated_now(procs, 0);
+    newly_suspected.clear();
+    exonerated_now.assign(procs, 0);
     // A raw suspicion the self-tuned threshold absorbs: the subject is
     // exonerated before the silence would have crossed the raised
     // threshold, so the controller never reacts to it.
@@ -511,7 +521,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
 
     const Cost observed_at = fresh[idx].time;
     const Cost batch_end = observed_at + options.debounce;
-    std::vector<Obs> batch;
+    batch.clear();
     for (std::size_t i = idx; i < fresh.size(); ++i)
       if (fresh[i].time <= batch_end) batch.push_back(fresh[i]);
 
@@ -587,11 +597,12 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     // from the controller, not dead — no new placements go there, its
     // in-flight task is pinned, and the local exoneration (the heal)
     // triggers the reconciliation repair that hands its queue back.
-    std::vector<ProcId> unreachable;
+    repair_options.unreachable.clear();
     if (options.use_gossip)
       for (ProcId p = 1; p < procs; ++p)
-        if (local_level[p] >= 1 && belief[p] == 0) unreachable.push_back(p);
-    inv.unreachable = static_cast<ProcId>(unreachable.size());
+        if (local_level[p] >= 1 && belief[p] == 0)
+          repair_options.unreachable.push_back(p);
+    inv.unreachable = static_cast<ProcId>(repair_options.unreachable.size());
 
     if (usable <= inv.unreachable) {
       inv.deferred = true;
@@ -606,7 +617,7 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     // suspicion instant for everything currently believed dead. In
     // speculative mode suspects are listed dead too (their queue migrates)
     // while RepairOptions::suspects pins their in-flight work in place.
-    FaultPlan bp = view.plan();
+    bp = view.plan();  // copy-assign into the hoisted plan: reuses capacity
     for (ProcId p = 0; p < procs; ++p) {
       for (const auto& w : closed[p]) {
         bp.failures.push_back({p, w.first});
@@ -642,15 +653,13 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
 
     const SimResult obs =
         observed_slice(g, sim, horizon, remaining, world, view);
-    RepairOptions repair_options;
     repair_options.strategy =
         (force_greedy || usable < options.degrade_below)
             ? RepairStrategy::kGreedy
             : RepairStrategy::kAuto;
-    repair_options.flb = options.flb;
-    repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
     repair_options.horizon = horizon;
-    repair_options.unreachable = std::move(unreachable);
+    repair_options.suspects.clear();
+    repair_options.pin_exclude = nullptr;
     if (options.speculate) {
       // Pin in-flight work on every currently suspected processor — and on
       // every processor exonerated in this very batch: the reconciliation
@@ -793,6 +802,14 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
   sim_options.honor_start_times = true;
 
   SimResult sim;
+  // Per-iteration scratch, hoisted out of the controller loop so repeated
+  // repairs reuse capacity instead of reallocating every round.
+  std::vector<SimEvent> fresh;
+  std::vector<SimEvent> batch;
+  std::vector<LinkOutage> outages;
+  RepairOptions repair_options;
+  repair_options.flb = options.flb;
+  repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
   // Every iteration observes at least one new event (or breaks), and the
   // observation space is finite — machine events are fixed by the plan,
   // task kills are keyed by the plan's finite death instants, message drops
@@ -807,7 +824,7 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     // Fresh events, in time order. Once the execution runs to completion,
     // events at or beyond its makespan can no longer affect anything — a
     // controller that has seen every task finish stops reacting.
-    std::vector<SimEvent> fresh;
+    fresh.clear();
     for (const SimEvent& event : log) {
       if (view.observed(event)) continue;
       if (sim.complete() && event.time >= sim.makespan) continue;
@@ -819,7 +836,7 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     // unobserved event into one reaction.
     const Cost observed_at = fresh.front().time;
     const Cost batch_end = observed_at + options.debounce;
-    std::vector<SimEvent> batch;
+    batch.clear();
     for (const SimEvent& event : fresh)
       if (event.time <= batch_end) batch.push_back(event);
 
@@ -863,16 +880,15 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     // controller (p0) at the horizon cannot receive new placements — but it
     // is not dead, so its in-flight task is pinned rather than written off
     // and its queue migrates; the heal event triggers the reconciliation.
-    std::vector<ProcId> unreachable;
+    repair_options.unreachable.clear();
     if (!view.plan().partitions.empty()) {
-      const std::vector<LinkOutage> outages =
-          resolve_partitions(view.plan());
+      outages = resolve_partitions(view.plan());
       for (ProcId p = 1; p < procs; ++p)
         if (!view.observed_dead(p) &&
             !path_connected(outages, procs, 0, p, horizon))
-          unreachable.push_back(p);
+          repair_options.unreachable.push_back(p);
     }
-    inv.unreachable = static_cast<ProcId>(unreachable.size());
+    inv.unreachable = static_cast<ProcId>(repair_options.unreachable.size());
 
     if (inv.survivors <= inv.unreachable) {
       // Nothing reachable to repair onto: hold the current schedule and
@@ -885,15 +901,11 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
 
     const SimResult obs =
         observed_slice(g, sim, horizon, remaining, world, view);
-    RepairOptions repair_options;
     repair_options.strategy =
         (force_greedy || inv.survivors < options.degrade_below)
             ? RepairStrategy::kGreedy
             : RepairStrategy::kAuto;
-    repair_options.flb = options.flb;
-    repair_options.dropped_data = DroppedDataPolicy::kReexecuteProducers;
     repair_options.horizon = horizon;
-    repair_options.unreachable = std::move(unreachable);
     const RepairResult rep =
         repair_schedule(g, current, obs, view.plan(), repair_options);
     if (options.validate) check_continuation(g, rep, procs, horizon);

@@ -12,6 +12,20 @@ Schedule::Schedule(ProcId num_procs, TaskId num_tasks)
   FLB_REQUIRE(num_procs >= 1, "Schedule: at least one processor required");
 }
 
+void Schedule::reset(ProcId num_procs, TaskId num_tasks) {
+  FLB_REQUIRE(num_procs >= 1, "Schedule: at least one processor required");
+  placements_.resize(num_tasks);
+  std::fill(placements_.begin(), placements_.end(), Placement{});
+  // resize keeps the outer capacity when shrinking, and each surviving
+  // timeline keeps its own buffer across clear(), so a same-shape reuse
+  // touches the allocator zero times.
+  timelines_.resize(num_procs);
+  for (auto& timeline : timelines_) timeline.clear();
+  prt_.resize(num_procs);
+  std::fill(prt_.begin(), prt_.end(), 0.0);
+  num_scheduled_ = 0;
+}
+
 void Schedule::assign(TaskId t, ProcId p, Cost start, Cost finish) {
   FLB_REQUIRE(t < placements_.size(), "Schedule::assign: task id out of range");
   FLB_REQUIRE(p < timelines_.size(),

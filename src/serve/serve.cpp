@@ -1,0 +1,186 @@
+#include "flb/serve/serve.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+#include "flb/util/error.hpp"
+
+namespace flb::serve {
+
+std::uint64_t schedule_digest(const Schedule& s) {
+  // FNV-1a, byte-identical to the golden-digest arithmetic in
+  // tests/platform_test.cpp so serving digests compare directly against
+  // the pinned pre-refactor goldens.
+  std::uint64_t h = 1469598103934665603ull;  // offset basis
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (TaskId t = 0; t < s.num_tasks(); ++t) {
+    mix(s.proc(t));
+    std::uint64_t bits = 0;
+    const double start = s.start(t);
+    const double finish = s.finish(t);
+    std::memcpy(&bits, &start, sizeof bits);
+    mix(bits);
+    std::memcpy(&bits, &finish, sizeof bits);
+    mix(bits);
+  }
+  return h;
+}
+
+namespace {
+
+// One worker's processing of one request: schedule through the
+// worker-owned scheduler into its reusable buffer, then fill the slot.
+// Only `out.latency_ms` is left for the caller (it includes queueing).
+void process(FlbScheduler& scheduler, Schedule& buffer, const TaskGraph& g,
+             ProcId num_procs, bool keep_schedule, ScheduleResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  scheduler.run_into(g, num_procs, buffer);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.digest = schedule_digest(buffer);
+  out.makespan = buffer.makespan();
+  out.run_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (keep_schedule) out.schedule = buffer;
+}
+
+}  // namespace
+
+std::vector<ScheduleResult> schedule_batch(
+    const std::vector<ScheduleRequest>& requests, const BatchOptions& opts) {
+  FLB_REQUIRE(opts.num_threads >= 1,
+              "schedule_batch: at least one worker thread required");
+  for (const ScheduleRequest& r : requests)
+    FLB_REQUIRE(r.graph != nullptr, "schedule_batch: request with null graph");
+
+  std::vector<ScheduleResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  // Workers claim requests through one atomic index and write distinct
+  // result slots: no locks on the scheduling path, and the output is in
+  // input order — byte-identical at any thread count.
+  std::atomic<std::size_t> next{0};
+  auto run_worker = [&]() {
+    FlbScheduler scheduler(opts.flb);
+    Schedule buffer(1, 0);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) break;
+      process(scheduler, buffer, *requests[i].graph, requests[i].num_procs,
+              opts.keep_schedules, results[i]);
+      results[i].latency_ms = results[i].run_ms;  // batch: no queueing
+    }
+  };
+
+  const std::size_t workers = std::min(opts.num_threads, requests.size());
+  if (workers == 1) {
+    run_worker();  // run on the caller's thread — the sequential baseline
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(run_worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+ScheduleService::ScheduleService(Options opts) : opts_(std::move(opts)) {
+  FLB_REQUIRE(opts_.num_threads >= 1,
+              "ScheduleService: at least one worker thread required");
+  FLB_REQUIRE(opts_.queue_capacity >= 1,
+              "ScheduleService: queue capacity must be at least 1");
+  workers_.reserve(opts_.num_threads);
+  for (std::size_t w = 0; w < opts_.num_threads; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ScheduleService::~ScheduleService() { close(); }
+
+std::size_t ScheduleService::submit(const TaskGraph& g, ProcId num_procs) {
+  std::unique_lock lock(mu_);
+  FLB_REQUIRE(!closing_, "ScheduleService::submit: service is closed");
+  if (queue_.size() >= opts_.queue_capacity) {
+    // Backpressure: the producer is throttled to the pool's throughput
+    // instead of growing an unbounded backlog.
+    ++stats_.backpressure_waits;
+    queue_space_.wait(
+        lock, [&] { return queue_.size() < opts_.queue_capacity; });
+  }
+  const std::size_t id = stats_.submitted++;
+  results_.emplace_back();
+  queue_.push_back({&g, num_procs, id, std::chrono::steady_clock::now()});
+  queue_work_.notify_one();
+  return id;
+}
+
+void ScheduleService::worker_loop() {
+  FlbScheduler scheduler(opts_.flb);
+  Schedule buffer(1, 0);
+  for (;;) {
+    Pending job;
+    ScheduleResult* slot = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      queue_work_.wait(lock, [&] { return closing_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closing and fully drained
+      job = queue_.front();
+      queue_.pop_front();
+      // Deques never invalidate references on push_back, so the slot
+      // pointer stays valid outside the lock while submit() grows results_.
+      slot = &results_[job.id];
+      queue_space_.notify_one();
+    }
+    process(scheduler, buffer, *job.graph, job.num_procs,
+            opts_.keep_schedules, *slot);
+    slot->latency_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - job.submitted)
+                           .count();
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.completed;
+      if (stats_.completed == stats_.submitted) all_done_.notify_all();
+    }
+  }
+}
+
+void ScheduleService::drain() {
+  std::unique_lock lock(mu_);
+  all_done_.wait(lock,
+                 [&] { return stats_.completed == stats_.submitted; });
+}
+
+void ScheduleService::close() {
+  {
+    std::lock_guard lock(mu_);
+    closing_ = true;
+    queue_work_.notify_all();
+  }
+  // Workers drain the remaining queue before exiting, so close() implies
+  // drain().
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+}
+
+const ScheduleResult& ScheduleService::result(std::size_t id) const {
+  std::lock_guard lock(mu_);
+  FLB_REQUIRE(id < results_.size(), "ScheduleService::result: unknown id");
+  return results_[id];
+}
+
+std::size_t ScheduleService::size() const {
+  std::lock_guard lock(mu_);
+  return stats_.submitted;
+}
+
+ServiceStats ScheduleService::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace flb::serve

@@ -127,14 +127,22 @@ std::size_t Topology::link_index(ProcId a, ProcId b) const {
 }
 
 std::vector<std::size_t> Topology::route(ProcId from, ProcId to) const {
-  std::vector<std::size_t> out;
+  std::vector<std::size_t> out(hops(from, to));
+  route_into(from, to, out);
+  return out;
+}
+
+std::size_t Topology::route_into(ProcId from, ProcId to,
+                                 std::span<std::size_t> out) const {
+  std::size_t filled = 0;
   ProcId cur = from;
   while (cur != to) {
     ProcId nxt = next_hop_[cur * nodes_ + to];
-    out.push_back(link_index(cur, nxt));
+    FLB_ASSERT(filled < out.size());
+    out[filled++] = link_index(cur, nxt);
     cur = nxt;
   }
-  return out;
+  return filled;
 }
 
 std::size_t Topology::diameter() const {
