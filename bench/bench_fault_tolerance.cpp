@@ -102,6 +102,7 @@
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "flb/analysis/audit.hpp"
 #include "flb/graph/properties.hpp"
 #include "flb/graph/stg.hpp"
 #include "flb/runtime/recovery_runtime.hpp"
@@ -136,6 +137,29 @@ std::string hex64(std::uint64_t value) {
   std::ostringstream out;
   out << "0x" << std::hex << std::setfill('0') << std::setw(16) << value;
   return out.str();
+}
+
+// Under --validate every recovery episode is additionally certified by the
+// independent runtime auditor (analysis::audit_runtime): the episode's
+// event log, belief stream, repair provenance and digests must replay
+// clean against the fault plan, or the bench aborts with the full report.
+void require_audit_clean(const TaskGraph& g, const FaultPlan& world,
+                         const runtime::RuntimeResult& episode,
+                         const runtime::RuntimeOptions& ropts,
+                         const std::string& what) {
+  analysis::AuditOptions aopt;
+  aopt.debounce = ropts.debounce;
+  aopt.use_detector = ropts.use_detector;
+  aopt.use_gossip = ropts.use_gossip;
+  aopt.quorum = ropts.quorum;
+  const analysis::LintReport report =
+      analysis::audit_runtime(g, world, episode, aopt);
+  if (!report.clean()) {
+    std::ostringstream os;
+    analysis::write_report(os, report);
+    FLB_REQUIRE(false, what + ": runtime audit failed on " + g.name() +
+                           "\n" + os.str());
+  }
 }
 
 // Median bottom level — the criticality threshold of the selective
@@ -614,6 +638,8 @@ int main(int argc, char** argv) {
                               again.schedule_digest == online.schedule_digest,
                           algo + ": online recovery was not deterministic "
                                  "on " + g.name());
+              require_audit_clean(g, plan, online, ropts,
+                                  algo + ": online episode");
             }
 
             on_oracle[algo].push_back(oracle.schedule.makespan() / span);
@@ -707,6 +733,9 @@ int main(int argc, char** argv) {
           runtime::RuntimeResult perfect =
               runtime::run_online_recovery(g, nominal, plan, perfect_opts);
           det_perfect.push_back(perfect.makespan / span);
+          if (validate)
+            require_audit_clean(g, plan, perfect, perfect_opts,
+                                "perfect-sensor detector baseline");
 
           for (double pf : hb_periods) {
             for (double loss : hb_losses) {
@@ -737,6 +766,10 @@ int main(int argc, char** argv) {
                         again.event_digest == spec.event_digest &&
                         again.schedule_digest == spec.schedule_digest,
                     "detector recovery was not deterministic on " + g.name());
+                require_audit_clean(g, world, spec, spec_opts,
+                                    "speculative detector episode");
+                require_audit_clean(g, world, conf, conf_opts,
+                                    "confirm-then-repair detector episode");
               }
 
               DetCell& cell = cells[{pf, loss}];
@@ -954,6 +987,10 @@ int main(int argc, char** argv) {
             FLB_REQUIRE(quorum.false_alarms == 0,
                         "the quorum detector raised a cluster-wide false "
                         "alarm from one partitioned link on " + g.name());
+            require_audit_clean(g, blip, single, single_opts,
+                                "single-observer blip episode");
+            require_audit_clean(g, blip, quorum, quorum_opts,
+                                "quorum blip episode");
           }
           fa_single.push_back(static_cast<double>(single.false_alarms));
           fa_quorum.push_back(static_cast<double>(quorum.false_alarms));
@@ -1023,6 +1060,10 @@ int main(int argc, char** argv) {
                               again.schedule_digest == heal.schedule_digest,
                           "partition-aware recovery was not deterministic "
                           "on " + g.name());
+              require_audit_clean(g, cut, kill, kill_opts,
+                                  "kill-discipline cut episode");
+              require_audit_clean(g, cut, heal, heal_opts,
+                                  "heal-discipline cut episode");
             }
 
             kill_ratio.push_back(kill.makespan / span);

@@ -47,6 +47,22 @@
 //                            machine, so nominal-cost heuristics do not
 //                            apply. A repair regression exits 2.
 //
+// Runtime-audit mode:
+//   --audit                  fly one online-recovery episode (requires
+//                            --faults) and run the runtime auditor
+//                            (analysis/audit.hpp) over its RuntimeResult:
+//                            event-log canonical order, kill/rejoin and
+//                            cut/heal pairing against the resolved plan,
+//                            partition-drop provenance, belief causality,
+//                            gossip quorum soundness, checkpoint and
+//                            repair provenance, digest consistency.
+//     --mode M               online | detector | gossip (default online;
+//                            detector/gossip need a heartbeat directive in
+//                            the plan)
+//     --debounce D           controller coalescing window (default 0)
+//     --quorum Q             gossip concurring-observer threshold (def. 2)
+//   With --audit, --list-rules prints the audit catalogue instead.
+//
 // Exit code: 0 = no diagnostic at/above --fail-on; otherwise the max
 // severity seen (1 = warn, 2 = error); 3 = usage or parse error.
 
@@ -56,8 +72,10 @@
 #include <string>
 #include <vector>
 
+#include "flb/analysis/audit.hpp"
 #include "flb/analysis/lint.hpp"
 #include "flb/core/trace.hpp"
+#include "flb/runtime/recovery_runtime.hpp"
 #include "flb/graph/dot.hpp"
 #include "flb/graph/serialize.hpp"
 #include "flb/graph/stg.hpp"
@@ -85,7 +103,11 @@ void print_usage() {
          "          --no-quality,\n"
          "          --fail-on warn|error (default error), --list-rules,\n"
          "          --repair-at F [--victim p] (lint the repaired\n"
-         "          continuation after a fail-stop at F * makespan)\n";
+         "          continuation after a fail-stop at F * makespan)\n"
+         "audit:    --audit (fly one online-recovery episode under the\n"
+         "          --faults plan and audit its RuntimeResult)\n"
+         "          [--mode online|detector|gossip] [--debounce D]\n"
+         "          [--quorum Q]\n";
 }
 
 flb::TaskGraph load_graph(const flb::CliArgs& args) {
@@ -131,7 +153,9 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args.has("list-rules")) {
-      for (const RuleInfo& r : rule_catalogue())
+      const auto& rules =
+          args.has("audit") ? audit_rule_catalogue() : rule_catalogue();
+      for (const RuleInfo& r : rules)
         std::cout << r.id << " [" << to_string(r.severity) << "] "
                   << r.summary << "\n";
       return 0;
@@ -163,7 +187,46 @@ int main(int argc, char** argv) {
 
     const platform::CostModel model = platform::CostModel::clique(procs);
     LintReport report;
-    if (args.has("repair-at")) {
+    if (args.has("audit")) {
+      FLB_REQUIRE(args.has("faults"),
+                  "flb_lint: --audit needs a --faults plan to fly the "
+                  "episode under");
+      FLB_REQUIRE(!args.has("schedule") && !args.has("repair-at"),
+                  "flb_lint: --audit flies a registry schedule; it cannot "
+                  "be combined with --schedule or --repair-at");
+      const std::string mode = args.get("mode", "online");
+      FLB_REQUIRE(mode == "online" || mode == "detector" || mode == "gossip",
+                  "flb_lint: --mode must be online, detector or gossip");
+      const double debounce = args.get_double("debounce", 0.0);
+      FLB_REQUIRE(debounce >= 0.0, "flb_lint: --debounce must be >= 0");
+      const std::int64_t raw_quorum = args.get_int("quorum", 2);
+      FLB_REQUIRE(raw_quorum >= 1, "flb_lint: --quorum must be >= 1");
+
+      const std::string algo = args.get("algo", "FLB");
+      const Schedule nominal = make_scheduler(algo)->run(g, procs);
+
+      runtime::RuntimeOptions run_options;
+      run_options.debounce = debounce;
+      run_options.use_detector = mode != "online";
+      run_options.use_gossip = mode == "gossip";
+      run_options.quorum = static_cast<ProcId>(raw_quorum);
+      FLB_REQUIRE(!run_options.use_detector || lint_faults.heartbeat.enabled(),
+                  "flb_lint: --mode " + mode +
+                      " needs a heartbeat directive in the fault plan");
+      const runtime::RuntimeResult episode =
+          runtime::run_online_recovery(g, nominal, lint_faults, run_options);
+
+      if (!args.has("json"))
+        std::cout << "Auditing one " << mode << "-mode recovery episode ("
+                  << algo << ", " << episode.events.size() << " events, "
+                  << episode.repairs.size() << " repairs)\n";
+      AuditOptions audit_options;
+      audit_options.debounce = debounce;
+      audit_options.use_detector = run_options.use_detector;
+      audit_options.use_gossip = run_options.use_gossip;
+      audit_options.quorum = run_options.quorum;
+      report = audit_runtime(g, lint_faults, episode, audit_options);
+    } else if (args.has("repair-at")) {
       const double fraction = args.get_double("repair-at", 0.4);
       FLB_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
                   "flb_lint: --repair-at must be a fraction in [0, 1]");

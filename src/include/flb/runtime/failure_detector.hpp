@@ -85,6 +85,9 @@ struct BeliefEvent {
   }
 };
 
+/// One belief as the stable log line belief_log_text joins ("suspect p3 @
+/// 12.5 last-heard 9 score 2.33" and friends) — the unit of the belief
+/// digest, so the format is part of the determinism contract.
 [[nodiscard]] std::string to_string(const BeliefEvent& belief);
 
 /// One line per belief (to_string joined with newlines) — the text the

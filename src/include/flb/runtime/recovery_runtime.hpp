@@ -252,6 +252,14 @@ struct RepairInvocation {
   /// Self-tuning: the suspect-threshold multiplier in effect at this
   /// reaction (1 when self-tuning is off).
   double suspect_scale = 1.0;
+  /// Provenance: the simulator events this reaction coalesced (the
+  /// debounced batch). Machine-level entries also appear in the final
+  /// event log; execution-level entries (kills, drops) come from the
+  /// intermediate continuation that observed them and may not.
+  std::vector<SimEvent> batch;
+  /// Provenance: the belief events this reaction coalesced (detector
+  /// mode; empty otherwise). `events` counts both vectors together.
+  std::vector<BeliefEvent> batch_beliefs;
 };
 
 /// Outcome of one online recovery episode.

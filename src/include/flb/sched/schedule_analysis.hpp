@@ -20,9 +20,9 @@ enum class Binding {
   kProcessor,  ///< waited for the previous task on its processor
   kLocalData,  ///< waited for a same-processor predecessor's result
   kRemoteData, ///< waited for a message from another processor
-  kSlack,      ///< started strictly later than every constraint (idle gap
-               ///< chosen by an insertion scheduler, or scheduler-imposed
-               ///< order)
+  /// Started strictly later than every constraint (idle gap chosen by an
+  /// insertion scheduler, or scheduler-imposed order).
+  kSlack,
 };
 
 /// Binding classification of one task.

@@ -87,13 +87,16 @@ enum class SimEventKind {
   kRejoin = 1,         ///< a killed processor finished rebooting (cold)
   kSlowdownBegin = 2,  ///< a slowdown struck; `value` is the speed factor
   kSlowdownEnd = 3,    ///< a transient slowdown cleared (factor lifted)
-  kTaskKilled = 4,     ///< a dispatched task was lost with its processor;
-                       ///< `value` is the durably checkpointed work
-  kMessageDropped = 5, ///< a message exhausted its retry budget; task ->
-                       ///< task2 will never be delivered
-  kLinkPartitioned = 6, ///< the link proc ~ proc2 went dark (both ends
-                        ///< stay alive but cannot talk directly)
-  kLinkHealed = 7,      ///< a partitioned link came back
+  /// A dispatched task was lost with its processor; `value` is the durably
+  /// checkpointed work.
+  kTaskKilled = 4,
+  /// A message exhausted its retry budget; task -> task2 will never be
+  /// delivered.
+  kMessageDropped = 5,
+  /// The link proc ~ proc2 went dark (both ends stay alive but cannot talk
+  /// directly).
+  kLinkPartitioned = 6,
+  kLinkHealed = 7,  ///< a partitioned link came back
 };
 
 /// One observed event. Machine-level events (failure, rejoin, slowdown

@@ -578,6 +578,12 @@ RuntimeResult run_detector_recovery(const TaskGraph& g,
     inv.observed_at = observed_at;
     inv.horizon = horizon;
     inv.events = batch.size();
+    for (const Obs& o : batch) {
+      if (o.src == 0)
+        inv.batch.push_back(o.ev);
+      else
+        inv.batch_beliefs.push_back(o.bel);
+    }
     inv.retry_attempt = attempt;
     inv.speculative = spec_launched;
     inv.promoted = promoted;
@@ -873,6 +879,7 @@ RuntimeResult run_online_recovery(const TaskGraph& g, const Schedule& nominal,
     inv.observed_at = observed_at;
     inv.horizon = horizon;
     inv.events = batch.size();
+    inv.batch = batch;
     inv.survivors = view.observed_alive();
     inv.retry_attempt = attempt;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <tuple>
 #include <sstream>
 #include <vector>
 
@@ -135,7 +136,7 @@ void write_schedule_listing(std::ostream& os, const Schedule& s) {
   for (TaskId t = 0; t < s.num_tasks(); ++t)
     if (s.is_scheduled(t)) tasks.push_back(t);
   std::stable_sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
-    return s.start(a) < s.start(b);
+    return std::make_tuple(s.start(a), a) < std::make_tuple(s.start(b), b);
   });
   for (TaskId t : tasks) {
     os << "t" << t << " -> p" << s.proc(t) << ", [" << format_compact(s.start(t))

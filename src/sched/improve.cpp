@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "flb/algos/mapping.hpp"
@@ -31,8 +32,12 @@ ImproveResult improve_schedule(const TaskGraph& g, const Schedule& s,
     // tasks closing out the makespan are the profitable movers.
     std::vector<TaskId> order(n);
     std::iota(order.begin(), order.end(), 0);
+    // Total order: latest finish first, id as the tie-break — ties must
+    // not land in unspecified order or the improvement pass (and every
+    // digest downstream of it) flaps across STL implementations.
     std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
-      return result.schedule.finish(a) > result.schedule.finish(b);
+      return std::make_tuple(result.schedule.finish(b), a) <
+             std::make_tuple(result.schedule.finish(a), b);
     });
 
     bool improved_this_pass = false;

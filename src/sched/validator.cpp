@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <tuple>
 
 #include "flb/platform/cost_model.hpp"
 #include "flb/sim/topology.hpp"
@@ -66,7 +67,7 @@ std::vector<Violation> validate_schedule(const TaskGraph& g, const Schedule& s,
     for (TaskId t : span)
       if (finite[t]) tasks.push_back(t);
     std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
-      return s.start(a) < s.start(b);
+      return std::make_tuple(s.start(a), a) < std::make_tuple(s.start(b), b);
     });
     Cost max_finish = -kInfiniteTime;
     TaskId max_task = kInvalidTask;
@@ -188,7 +189,8 @@ std::vector<Violation> validate_link_occupancies(
   for (std::size_t link = 0; link < links; ++link) {
     std::vector<std::size_t>& ids = by_link[link];
     std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
-      return occupancies[a].begin < occupancies[b].begin;
+      return std::make_tuple(occupancies[a].begin, a) <
+             std::make_tuple(occupancies[b].begin, b);
     });
     Cost max_end = -kInfiniteTime;
     std::size_t max_id = 0;

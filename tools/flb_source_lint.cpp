@@ -1,0 +1,303 @@
+// flb_source_lint — source-level determinism linter over src/.
+//
+// The schedule linter and the runtime auditor check *artifacts* (schedules,
+// event logs); this tool checks the *code* for the idioms that would break
+// the bit-identical-output guarantee before any artifact exists. It walks a
+// source tree (default: the directory given as argv[1]) and enforces, over
+// every .cpp/.hpp file, the project invariants that code review keeps
+// re-litigating:
+//
+//   unordered-iteration   no range-for over a std::unordered_{map,set}:
+//                         bucket order is implementation-defined, so any
+//                         iteration that feeds a digest, a log or an
+//                         emitted artifact is nondeterministic. Unordered
+//                         containers are fine for lookup and dedup.
+//   nondeterministic-clock no rand()/srand()/time()/clock()/system_clock
+//                         in the deterministic libraries. The serving
+//                         layer and util/stopwatch.hpp are the sanctioned
+//                         wall-clock users (latency accounting only).
+//   sort-total-order      a std::sort/std::stable_sort with a lambda
+//                         comparator in core/, sched/ or analysis/ must
+//                         compare through a total-order key (std::tie, a
+//                         tuple key, key_of/.key()): a partial key makes
+//                         tied elements land in unspecified order and the
+//                         schedule digest flap across STL implementations.
+//   raw-new               no raw `new` in the library: steady-state paths
+//                         allocate through util/arena.hpp (pinned by
+//                         flb_alloc_test), everything else uses containers
+//                         or std::make_unique.
+//   doxygen-marker        a line must not *start* with `///<` — that
+//                         marker documents the declaration to its left, so
+//                         a line-leading one attaches to nothing; the
+//                         continuation of a trailing comment is `///<` on
+//                         the first line and aligned `///<` only behind
+//                         code, otherwise plain `///`.
+//
+// Comment and string contents are stripped before matching (the doxygen
+// rule, which inspects comments themselves, runs on the raw line). Exit
+// code: 0 clean, 1 findings, 2 usage error. --list-rules prints the
+// catalogue.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Strip // and /* */ comments plus string/char literal *contents* from a
+/// whole file, preserving line structure so findings keep their line
+/// numbers. Literal delimiters stay so that syntax like "](" in a string
+/// cannot fake a lambda.
+std::string strip(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar } state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;  // unterminated (macro trick); keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+void lint_file(const std::filesystem::path& path,
+               std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw = buffer.str();
+  const std::string generic = path.generic_string();
+  const std::vector<std::string> raw_lines = split_lines(raw);
+  const std::vector<std::string> code_lines = split_lines(strip(raw));
+
+  auto emit = [&](std::size_t line, const char* rule,
+                  const std::string& message) {
+    findings.push_back({generic, line + 1, rule, message});
+  };
+
+  // doxygen-marker: on raw lines (it inspects comments).
+  static const std::regex leading_trailer(R"(^\s*///<)");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i)
+    if (std::regex_search(raw_lines[i], leading_trailer))
+      emit(i, "doxygen-marker",
+           "line-leading `///<` attaches to no declaration; use `///` for "
+           "a continuation line (or move the comment above the entity)");
+
+  // nondeterministic-clock.
+  const bool clock_allowed =
+      contains(generic, "/serve/") || contains(generic, "stopwatch");
+  static const std::regex clock_use(
+      R"(\b(srand|rand|time|clock)\s*\(|std::chrono::system_clock)");
+  if (!clock_allowed)
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      if (std::regex_search(code_lines[i], clock_use))
+        emit(i, "nondeterministic-clock",
+             "wall-clock / PRNG call in a deterministic library (only the "
+             "serve layer and util/stopwatch.hpp may read real time; "
+             "seeded splitmix/xoshiro utilities cover randomness)");
+
+  // unordered-iteration: collect unordered container variable names, then
+  // flag range-fors over them.
+  static const std::regex unordered_decl(
+      R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;({=])");
+  std::set<std::string> unordered_names;
+  for (const std::string& line : code_lines) {
+    std::smatch m;
+    std::string rest = line;
+    while (std::regex_search(rest, m, unordered_decl)) {
+      unordered_names.insert(m[1].str());
+      rest = m.suffix().str();
+    }
+  }
+  if (!unordered_names.empty()) {
+    static const std::regex range_for(R"(\bfor\s*\(.*:\s*(.*)\))");
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(code_lines[i], m, range_for)) continue;
+      const std::string range = m[1].str();
+      for (const std::string& name : unordered_names) {
+        const std::regex word(R"(\b)" + name + R"(\b)");
+        if (std::regex_search(range, word))
+          emit(i, "unordered-iteration",
+               "range-for over unordered container `" + name +
+                   "`: bucket order is implementation-defined, so "
+                   "anything derived from this loop (digests, logs, "
+                   "emitted artifacts) is nondeterministic");
+      }
+    }
+  }
+
+  // sort-total-order: core/, sched/ and analysis/ only.
+  const bool sort_scope = contains(generic, "/core/") ||
+                          contains(generic, "/sched/") ||
+                          contains(generic, "/analysis/");
+  if (sort_scope) {
+    static const std::regex sort_call(R"(std::(?:stable_)?sort\s*\()");
+    static const std::regex lambda(R"(\[[^\]]*\]\s*\()");
+    static const std::regex total_key(R"(std::tie|tuple|key_of|\.key\(\))");
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+      if (!std::regex_search(code_lines[i], sort_call)) continue;
+      // The sort statement may span lines: accumulate to the terminating
+      // ';' (bounded lookahead keeps a malformed file from hanging us).
+      std::string stmt;
+      for (std::size_t j = i; j < code_lines.size() && j < i + 12; ++j) {
+        stmt += code_lines[j];
+        stmt += '\n';
+        if (code_lines[j].find(';') != std::string::npos) break;
+      }
+      if (!std::regex_search(stmt, lambda)) continue;  // default operator<
+      if (std::regex_search(stmt, total_key)) continue;
+      emit(i, "sort-total-order",
+           "std::sort with a lambda comparator that breaks no ties: "
+           "compare through a total-order key (std::tie(primary, id), a "
+           "tuple key, or the heap's key_of) so tied elements cannot land "
+           "in unspecified order");
+    }
+  }
+
+  // raw-new.
+  static const std::regex raw_new(R"((^|[^\w:])new\b)");
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    if (line.find('#') != std::string::npos) continue;  // #include <new>
+    if (line.find("operator new") != std::string::npos) continue;
+    if (std::regex_search(line, raw_new))
+      emit(i, "raw-new",
+           "raw `new` in the library: steady-state paths allocate through "
+           "util/arena.hpp; elsewhere use containers or std::make_unique");
+  }
+}
+
+void print_rules() {
+  std::cout
+      << "unordered-iteration [error] no range-for over unordered "
+         "containers (bucket order is implementation-defined)\n"
+      << "nondeterministic-clock [error] no rand()/time()/clock()/"
+         "system_clock outside the serve layer and util/stopwatch.hpp\n"
+      << "sort-total-order [error] lambda sort comparators in core/sched/"
+         "analysis must compare through a total-order key\n"
+      << "raw-new [error] no raw `new` in the library (arena or "
+         "make_unique)\n"
+      << "doxygen-marker [error] no line-leading `///<` continuation "
+         "markers\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = "src";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: flb_source_lint [SRC_DIR] [--list-rules]\n";
+      return 0;
+    }
+    root = arg;
+  }
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "flb_source_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) lint_file(file, findings);
+
+  for (const Finding& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  std::cout << files.size() << " file(s) scanned, " << findings.size()
+            << " finding(s)\n";
+  return findings.empty() ? 0 : 1;
+}
